@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for the memory-controller data paths: the
+//! simulator-side cost of one read/write per scheme (not the modeled NVM
+//! time — the host cost of simulating it).
+
+use anubis::{
+    AnubisConfig, BonsaiController, BonsaiScheme, DataAddr, MemoryController, SgxController,
+    SgxScheme,
+};
+use anubis_nvm::Block;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_bonsai_write(c: &mut Criterion) {
+    let config = AnubisConfig::small_test();
+    let mut group = c.benchmark_group("bonsai_write");
+    for scheme in BonsaiScheme::all() {
+        let mut ctrl = BonsaiController::new(scheme, &config);
+        let mut i = 0u64;
+        group.bench_function(scheme.name(), |b| {
+            b.iter(|| {
+                i = (i + 97) % 4000;
+                ctrl.write(DataAddr::new(black_box(i)), Block::filled(i as u8)).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bonsai_read(c: &mut Criterion) {
+    let config = AnubisConfig::small_test();
+    let mut group = c.benchmark_group("bonsai_read");
+    for scheme in [BonsaiScheme::WriteBack, BonsaiScheme::AgitPlus] {
+        let mut ctrl = BonsaiController::new(scheme, &config);
+        for i in 0..1000u64 {
+            ctrl.write(DataAddr::new(i), Block::filled(i as u8)).unwrap();
+        }
+        let mut i = 0u64;
+        group.bench_function(scheme.name(), |b| {
+            b.iter(|| {
+                i = (i + 131) % 1000;
+                ctrl.read(DataAddr::new(black_box(i))).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sgx_write(c: &mut Criterion) {
+    let config = AnubisConfig::small_test();
+    let mut group = c.benchmark_group("sgx_write");
+    for scheme in SgxScheme::all() {
+        let mut ctrl = SgxController::new(scheme, &config);
+        let mut i = 0u64;
+        group.bench_function(scheme.name(), |b| {
+            b.iter(|| {
+                i = (i + 97) % 4000;
+                ctrl.write(DataAddr::new(black_box(i)), Block::filled(i as u8)).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bonsai_write, bench_bonsai_read, bench_sgx_write);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figure 13: performance sensitivity to metadata cache size for the
+//! recoverable schemes (AGIT-Read, AGIT-Plus, ASIT), normalized to the
+//! write-back baseline *at the same cache size*.
+
+use anubis::AnubisConfig;
+use anubis_bench::{banner, scale_from_args};
+use anubis_sim::experiments::cache_sensitivity;
+use anubis_sim::{Table, TimingModel};
+use anubis_workloads::spec2006;
+
+fn main() {
+    let scale = scale_from_args();
+    banner(
+        "Figure 13",
+        "Normalized performance vs cache size (write-back at same size = 1.00)",
+        scale,
+    );
+    let config = AnubisConfig::paper();
+    let model = TimingModel::paper();
+    let sizes: Vec<usize> = [128usize, 256, 512, 1024, 2048, 4096]
+        .iter()
+        .map(|kb| kb << 10)
+        .collect();
+
+    // The paper sweeps a representative subset; we use three workloads
+    // spanning the intensity range.
+    for spec in [spec2006::mcf(), spec2006::libquantum(), spec2006::milc()] {
+        println!("workload: {}", spec.name);
+        let points =
+            cache_sensitivity(&spec, &config, &sizes, &model, scale).expect("sweep");
+        let mut table = Table::new(vec![
+            "cache".into(),
+            "agit-read".into(),
+            "agit-plus".into(),
+            "asit".into(),
+            "write-back ms".into(),
+        ]);
+        for p in &points {
+            let mut cells = vec![format!("{} KB", p.cache_bytes >> 10)];
+            for (_, n) in &p.normalized {
+                cells.push(format!("{n:.3}"));
+            }
+            cells.push(format!("{:.2}", p.write_back_ns / 1e6));
+            table.row(cells);
+        }
+        println!("{table}");
+    }
+    println!(
+        "paper reference: overheads shrink with cache size and flatten beyond ~1 MB;\n\
+         ASIT is the least sensitive (its extra writes track data writes, not locality)."
+    );
+}

@@ -1,0 +1,70 @@
+//! Beyond-paper table: device lifetime and energy per scheme — the
+//! quantified version of §6.2's endurance argument.
+//!
+//! Lifetime is computed two ways: with ideal wear-leveling (upper bound)
+//! and with none (the hottest block dies first). Strict persistence is
+//! hurt twice: ~10× the write volume *and* extreme hot-spotting on the
+//! upper tree levels.
+
+use anubis::{
+    AnubisConfig, BonsaiController, BonsaiScheme, MemoryController, SgxController, SgxScheme,
+};
+use anubis_bench::{banner, scale_from_args};
+use anubis_sim::{run_trace, EnduranceModel, Table, TimingModel};
+use anubis_workloads::{spec2006, TraceGenerator};
+
+fn main() {
+    let scale = scale_from_args();
+    banner(
+        "Endurance & energy (paper §6.2, quantified)",
+        "Projected lifetime and memory-system energy, libquantum trace",
+        scale,
+    );
+    let config = AnubisConfig::paper();
+    let model = TimingModel::paper();
+    let endurance = EnduranceModel::pcm();
+    let trace = TraceGenerator::new(spec2006::libquantum(), config.capacity_bytes)
+        .generate(scale.ops, scale.seed);
+    let capacity_blocks = config.data_blocks();
+
+    let mut table = Table::new(vec![
+        "scheme".into(),
+        "writes/op".into(),
+        "life (ideal WL) yr".into(),
+        "life (no WL) h".into(),
+        "energy mJ".into(),
+    ]);
+    let push = |name: &str,
+                    r: &anubis_sim::RunResult,
+                    max_wear: u64,
+                    hash_ops: u64,
+                    table: &mut Table| {
+        table.row(vec![
+            name.to_string(),
+            format!("{:.2}", r.writes_per_data_write),
+            format!("{:.1}", endurance.ideal_lifetime_years(r, capacity_blocks)),
+            format!("{:.1}", endurance.unleveled_lifetime_years(max_wear, r.total_ns) * 365.25 * 24.0),
+            format!("{:.2}", endurance.energy_mj(r, hash_ops)),
+        ]);
+    };
+    for scheme in BonsaiScheme::all_with_extras() {
+        let mut c = BonsaiController::new(scheme, &config);
+        let r = run_trace(&mut c, &trace, &model).expect("replay");
+        let wear = c.domain().device().stats().max_writes_to_one_block();
+        let hashes = c.total_cost().hash_ops + c.total_cost().bg_hash_ops;
+        push(scheme.name(), &r, wear, hashes, &mut table);
+    }
+    for scheme in SgxScheme::all_with_extras() {
+        let mut c = SgxController::new(scheme, &config);
+        let r = run_trace(&mut c, &trace, &model).expect("replay");
+        let wear = c.domain().device().stats().max_writes_to_one_block();
+        let hashes = c.total_cost().hash_ops + c.total_cost().bg_hash_ops;
+        push(scheme.name(), &r, wear, hashes, &mut table);
+    }
+    println!("{table}");
+    println!(
+        "expected shape: strict persistence loses an order of magnitude of\n\
+         unleveled lifetime to tree-path hot-spotting; Anubis schemes stay\n\
+         within a small factor of the write-back baseline."
+    );
+}

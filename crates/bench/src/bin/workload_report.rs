@@ -1,0 +1,46 @@
+//! Characterizes the synthetic SPEC-like workloads: read fraction,
+//! footprint, reuse, and the metadata-cache behaviour they induce —
+//! the data a reviewer needs to judge the trace-substitution fidelity
+//! (DESIGN.md, "Substitutions").
+
+use anubis::{AnubisConfig, BonsaiController, BonsaiScheme};
+use anubis_bench::{banner, scale_from_args};
+use anubis_sim::{run_trace, Table, TimingModel};
+use anubis_workloads::{spec2006, TraceGenerator};
+
+fn main() {
+    let scale = scale_from_args();
+    banner(
+        "Workload characterization",
+        "Trace statistics and induced metadata-cache behaviour per profile",
+        scale,
+    );
+    let config = AnubisConfig::paper();
+    let mut table = Table::new(vec![
+        "workload".into(),
+        "read %".into(),
+        "footprint MB".into(),
+        "uniq/op".into(),
+        "ctr$ hit %".into(),
+        "tree$ hit %".into(),
+        "clean-ev %".into(),
+    ]);
+    for spec in spec2006::all() {
+        let trace =
+            TraceGenerator::new(spec.clone(), config.capacity_bytes).generate(scale.ops, scale.seed);
+        let mut ctrl = BonsaiController::new(BonsaiScheme::WriteBack, &config);
+        run_trace(&mut ctrl, &trace, &TimingModel::paper()).expect("replay");
+        let cs = ctrl.counter_cache_stats();
+        let ts = ctrl.tree_cache_stats();
+        table.row(vec![
+            spec.name.to_string(),
+            format!("{:.1}", trace.read_fraction() * 100.0),
+            format!("{:.1}", trace.footprint_blocks() as f64 * 64.0 / 1e6),
+            format!("{:.3}", trace.footprint_blocks() as f64 / trace.len() as f64),
+            format!("{:.1}", cs.hit_rate().unwrap_or(0.0) * 100.0),
+            format!("{:.1}", ts.hit_rate().unwrap_or(0.0) * 100.0),
+            format!("{:.1}", cs.clean_eviction_fraction().unwrap_or(0.0) * 100.0),
+        ]);
+    }
+    println!("{table}");
+}

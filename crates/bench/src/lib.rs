@@ -1,0 +1,52 @@
+//! Shared plumbing for the per-figure harness binaries.
+//!
+//! Every binary accepts `--smoke` (or `ANUBIS_SMOKE=1`) to run at reduced
+//! trace length for quick checks; the default is the full figure scale.
+//! Run with `--release` — the full figures replay 200 k operations per
+//! (workload, scheme) pair.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use anubis_sim::experiments::Scale;
+
+/// Resolves the run scale from CLI args and the environment.
+///
+/// `--smoke` or `ANUBIS_SMOKE=1` selects the reduced scale; `--ops N`
+/// overrides the operation count explicitly.
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = if args.iter().any(|a| a == "--smoke")
+        || std::env::var("ANUBIS_SMOKE").map(|v| v == "1").unwrap_or(false)
+    {
+        Scale::smoke()
+    } else {
+        Scale::full()
+    };
+    if let Some(pos) = args.iter().position(|a| a == "--ops") {
+        if let Some(n) = args.get(pos + 1).and_then(|v| v.parse::<usize>().ok()) {
+            scale.ops = n;
+        }
+    }
+    scale
+}
+
+/// Standard banner printed by every figure binary.
+pub fn banner(figure: &str, what: &str, scale: Scale) {
+    println!("== Anubis reproduction :: {figure} ==");
+    println!("{what}");
+    println!("(trace length: {} ops per run, seed {})\n", scale.ops, scale.seed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_full() {
+        // Cargo test harness args contain no --smoke.
+        std::env::remove_var("ANUBIS_SMOKE");
+        let s = scale_from_args();
+        assert!(s.ops >= Scale::smoke().ops);
+    }
+}

@@ -1,0 +1,644 @@
+//! Set-associative security-metadata caches for the Anubis reproduction.
+//!
+//! The counter cache, Merkle-tree cache and (for SGX-style systems) the
+//! combined metadata cache are all instances of [`MetadataCache`]. Two
+//! properties matter beyond ordinary cache behaviour:
+//!
+//! * **Stable slot index.** "The position of the block in the counter
+//!   cache remains fixed for its lifetime in the cache; LRU bits are
+//!   typically stored and changed in the tag array" (paper §4.1). Anubis
+//!   shadow tables mirror the cache's *data array*, one NVM block per
+//!   cache slot, so each resident block exposes a [`SlotId`] that never
+//!   changes while the block is resident.
+//! * **Clean/dirty eviction accounting.** Figure 7 of the paper and the
+//!   AGIT-Plus optimization both hinge on how many blocks leave the cache
+//!   unmodified; [`CacheStats`] tracks this, along with first-modification
+//!   events (the AGIT-Plus trigger).
+//!
+//! # Example
+//!
+//! ```
+//! use anubis_cache::MetadataCache;
+//! use anubis_nvm::{Block, BlockAddr};
+//!
+//! let mut cache: MetadataCache<Block> = MetadataCache::new(4096, 8); // 64 slots
+//! let outcome = cache.insert(BlockAddr::new(1), Block::zeroed());
+//! assert!(outcome.evicted.is_none());
+//! assert!(cache.mark_dirty(BlockAddr::new(1)), "first modification");
+//! assert!(!cache.mark_dirty(BlockAddr::new(1)), "already dirty");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use anubis_nvm::{BlockAddr, BLOCK_BYTES};
+
+/// The fixed position of a resident block inside the cache data array.
+///
+/// `SlotId` is what a shadow table indexes by: slot *k* of the cache maps
+/// to block *k* of the shadow region in NVM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotId {
+    set: u32,
+    way: u32,
+}
+
+impl SlotId {
+    /// The set index.
+    pub fn set(self) -> usize {
+        self.set as usize
+    }
+
+    /// The way index within the set.
+    pub fn way(self) -> usize {
+        self.way as usize
+    }
+
+    /// Linearizes to `set * ways + way` — the shadow-table block offset.
+    pub fn linear(self, ways: usize) -> usize {
+        self.set as usize * ways + self.way as usize
+    }
+}
+
+/// A block displaced from the cache by an insertion or explicit eviction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Eviction<T> {
+    /// Address the victim was caching.
+    pub addr: BlockAddr,
+    /// The cached value at eviction time.
+    pub value: T,
+    /// Whether the victim had been modified since it was inserted
+    /// (dirty victims must be written back to NVM).
+    pub dirty: bool,
+    /// The slot the victim occupied (and the new block will occupy).
+    pub slot: SlotId,
+}
+
+/// Result of [`MetadataCache::insert`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InsertOutcome<T> {
+    /// The slot the new block now occupies (stable for its residency).
+    pub slot: SlotId,
+    /// The displaced victim, if the slot was occupied.
+    pub evicted: Option<Eviction<T>>,
+}
+
+/// Hit/miss/eviction statistics, including the clean-vs-dirty eviction
+/// split reported in the paper's Figure 7.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Evictions of unmodified blocks.
+    pub clean_evictions: u64,
+    /// Evictions of modified blocks (require writeback).
+    pub dirty_evictions: u64,
+    /// Number of times a clean resident block became dirty
+    /// (the AGIT-Plus shadow-write trigger).
+    pub first_modifications: u64,
+    /// Total `mark_dirty` calls (every metadata update).
+    pub updates: u64,
+    /// Insertions.
+    pub fills: u64,
+}
+
+impl CacheStats {
+    /// Total evictions.
+    pub fn evictions(&self) -> u64 {
+        self.clean_evictions + self.dirty_evictions
+    }
+
+    /// Fraction of evictions that were clean, or `None` before the first
+    /// eviction.
+    pub fn clean_eviction_fraction(&self) -> Option<f64> {
+        let total = self.evictions();
+        (total > 0).then(|| self.clean_evictions as f64 / total as f64)
+    }
+
+    /// Hit rate over all lookups, or `None` before the first lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Slot<T> {
+    tag: BlockAddr,
+    value: T,
+    dirty: bool,
+    last_use: u64,
+}
+
+/// A set-associative, write-back cache for 64-byte security metadata.
+///
+/// Generic over the cached value type `T` so the counter cache can store
+/// decoded counter blocks, the tree cache decoded nodes, etc. The cache
+/// only manages residency; writebacks are the caller's responsibility via
+/// the returned [`Eviction`]s.
+#[derive(Clone, Debug)]
+pub struct MetadataCache<T> {
+    sets: Vec<Vec<Option<Slot<T>>>>,
+    ways: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl<T> MetadataCache<T> {
+    /// Creates a cache of `capacity_bytes` with `ways`-way associativity
+    /// and 64-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not a positive multiple of
+    /// `64 * ways`.
+    pub fn new(capacity_bytes: usize, ways: usize) -> Self {
+        assert!(ways > 0, "associativity must be nonzero");
+        assert!(
+            capacity_bytes > 0 && capacity_bytes.is_multiple_of(BLOCK_BYTES * ways),
+            "capacity {capacity_bytes} B must be a positive multiple of {} B",
+            BLOCK_BYTES * ways
+        );
+        let num_sets = capacity_bytes / BLOCK_BYTES / ways;
+        MetadataCache {
+            sets: (0..num_sets).map(|_| (0..ways).map(|_| None).collect()).collect(),
+            ways,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Total number of slots (= shadow-table length in blocks).
+    pub fn num_slots(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.num_slots() * BLOCK_BYTES
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (contents untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_index(&self, addr: BlockAddr) -> usize {
+        (addr.index() % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up `addr`, updating LRU state and hit/miss statistics.
+    pub fn lookup(&mut self, addr: BlockAddr) -> Option<&mut T> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(addr);
+        match self.sets[set]
+            .iter_mut()
+            .flatten()
+            .find(|s| s.tag == addr)
+        {
+            Some(slot) => {
+                slot.last_use = tick;
+                self.stats.hits += 1;
+                Some(&mut slot.value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether `addr` is resident. Does not touch LRU or statistics.
+    pub fn contains(&self, addr: BlockAddr) -> bool {
+        self.sets[self.set_index(addr)].iter().flatten().any(|s| s.tag == addr)
+    }
+
+    /// Reads a resident value without perturbing LRU or statistics.
+    pub fn peek(&self, addr: BlockAddr) -> Option<&T> {
+        self.sets[self.set_index(addr)]
+            .iter()
+            .flatten()
+            .find(|s| s.tag == addr)
+            .map(|s| &s.value)
+    }
+
+    /// Mutates a resident value without perturbing LRU or statistics.
+    pub fn peek_mut(&mut self, addr: BlockAddr) -> Option<&mut T> {
+        let set = self.set_index(addr);
+        self.sets[set]
+            .iter_mut()
+            .flatten()
+            .find(|s| s.tag == addr)
+            .map(|s| &mut s.value)
+    }
+
+    /// The stable slot of a resident block.
+    pub fn slot_of(&self, addr: BlockAddr) -> Option<SlotId> {
+        let set = self.set_index(addr);
+        self.sets[set].iter().enumerate().find_map(|(way, s)| {
+            s.as_ref()
+                .filter(|s| s.tag == addr)
+                .map(|_| SlotId { set: set as u32, way: way as u32 })
+        })
+    }
+
+    /// Whether a resident block is dirty.
+    pub fn is_dirty(&self, addr: BlockAddr) -> Option<bool> {
+        self.sets[self.set_index(addr)]
+            .iter()
+            .flatten()
+            .find(|s| s.tag == addr)
+            .map(|s| s.dirty)
+    }
+
+    /// Inserts `addr` (clean), evicting the LRU way of its set if full.
+    /// If `addr` is already resident its value is replaced in place and no
+    /// eviction occurs.
+    pub fn insert(&mut self, addr: BlockAddr, value: T) -> InsertOutcome<T> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(addr);
+        self.stats.fills += 1;
+
+        // Already resident: replace value, keep slot and dirty bit.
+        if let Some((way, slot)) = self.sets[set]
+            .iter_mut()
+            .enumerate()
+            .find_map(|(w, s)| s.as_mut().filter(|s| s.tag == addr).map(|s| (w, s)))
+        {
+            slot.value = value;
+            slot.last_use = tick;
+            return InsertOutcome {
+                slot: SlotId { set: set as u32, way: way as u32 },
+                evicted: None,
+            };
+        }
+
+        // Free way?
+        if let Some(way) = self.sets[set].iter().position(Option::is_none) {
+            self.sets[set][way] = Some(Slot { tag: addr, value, dirty: false, last_use: tick });
+            return InsertOutcome {
+                slot: SlotId { set: set as u32, way: way as u32 },
+                evicted: None,
+            };
+        }
+
+        // Evict LRU.
+        let way = self.sets[set]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.as_ref().map(|s| s.last_use).unwrap_or(0))
+            .map(|(w, _)| w)
+            .expect("nonzero associativity");
+        let slot_id = SlotId { set: set as u32, way: way as u32 };
+        let victim = self.sets[set][way]
+            .replace(Slot { tag: addr, value, dirty: false, last_use: tick })
+            .expect("set was full");
+        if victim.dirty {
+            self.stats.dirty_evictions += 1;
+        } else {
+            self.stats.clean_evictions += 1;
+        }
+        InsertOutcome {
+            slot: slot_id,
+            evicted: Some(Eviction {
+                addr: victim.tag,
+                value: victim.value,
+                dirty: victim.dirty,
+                slot: slot_id,
+            }),
+        }
+    }
+
+    /// Marks a resident block dirty, returning `true` if this was its
+    /// *first* modification since insertion (the AGIT-Plus trigger).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not resident — callers must fill before
+    /// modifying.
+    pub fn mark_dirty(&mut self, addr: BlockAddr) -> bool {
+        let set = self.set_index(addr);
+        let slot = self.sets[set]
+            .iter_mut()
+            .flatten()
+            .find(|s| s.tag == addr)
+            .unwrap_or_else(|| panic!("mark_dirty on non-resident block {addr}"));
+        self.stats.updates += 1;
+        let first = !slot.dirty;
+        slot.dirty = true;
+        if first {
+            self.stats.first_modifications += 1;
+        }
+        first
+    }
+
+    /// Clears the dirty bit of a resident block (after an explicit
+    /// writeback), returning whether it was dirty.
+    pub fn mark_clean(&mut self, addr: BlockAddr) -> bool {
+        let set = self.set_index(addr);
+        if let Some(slot) = self.sets[set].iter_mut().flatten().find(|s| s.tag == addr) {
+            let was = slot.dirty;
+            slot.dirty = false;
+            was
+        } else {
+            false
+        }
+    }
+
+    /// Removes `addr` from the cache, returning it as an eviction record.
+    pub fn evict(&mut self, addr: BlockAddr) -> Option<Eviction<T>> {
+        let set = self.set_index(addr);
+        for (way, entry) in self.sets[set].iter_mut().enumerate() {
+            if entry.as_ref().is_some_and(|s| s.tag == addr) {
+                let slot = entry.take().expect("checked above");
+                if slot.dirty {
+                    self.stats.dirty_evictions += 1;
+                } else {
+                    self.stats.clean_evictions += 1;
+                }
+                return Some(Eviction {
+                    addr: slot.tag,
+                    value: slot.value,
+                    dirty: slot.dirty,
+                    slot: SlotId { set: set as u32, way: way as u32 },
+                });
+            }
+        }
+        None
+    }
+
+    /// Iterates every resident block as `(slot, addr, value, dirty)` —
+    /// used to model crash loss and to drain caches at shutdown.
+    pub fn iter_resident(&self) -> impl Iterator<Item = (SlotId, BlockAddr, &T, bool)> + '_ {
+        self.sets.iter().enumerate().flat_map(move |(set, ways)| {
+            ways.iter().enumerate().filter_map(move |(way, s)| {
+                s.as_ref().map(|s| {
+                    (SlotId { set: set as u32, way: way as u32 }, s.tag, &s.value, s.dirty)
+                })
+            })
+        })
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.sets.iter().flatten().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every resident block without writeback — the crash model
+    /// (caches are volatile).
+    pub fn invalidate_all(&mut self) {
+        for set in &mut self.sets {
+            for slot in set.iter_mut() {
+                *slot = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anubis_nvm::Block;
+
+    fn cache(slots: usize, ways: usize) -> MetadataCache<u64> {
+        MetadataCache::new(slots * BLOCK_BYTES, ways)
+    }
+
+    #[test]
+    fn geometry() {
+        let c = cache(64, 8);
+        assert_eq!(c.num_slots(), 64);
+        assert_eq!(c.num_sets(), 8);
+        assert_eq!(c.ways(), 8);
+        assert_eq!(c.capacity_bytes(), 64 * 64);
+        // Paper config: 256 KB, 8-way.
+        let paper: MetadataCache<Block> = MetadataCache::new(256 * 1024, 8);
+        assert_eq!(paper.num_slots(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn bad_capacity_panics() {
+        let _ = cache(3, 2); // 192 B not a multiple of 128? it is... use odd bytes
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn non_multiple_capacity_panics() {
+        let _: MetadataCache<u64> = MetadataCache::new(100, 1);
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut c = cache(8, 2);
+        assert!(c.lookup(BlockAddr::new(1)).is_none());
+        c.insert(BlockAddr::new(1), 11);
+        assert_eq!(c.lookup(BlockAddr::new(1)), Some(&mut 11));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().hit_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn slot_is_stable_across_hits() {
+        let mut c = cache(16, 4);
+        let a = BlockAddr::new(5);
+        let slot = c.insert(a, 1).slot;
+        for i in 0..20u64 {
+            // Insert same-set blocks to churn other ways.
+            c.insert(BlockAddr::new(5 + 4 * (i + 1)), i);
+            c.lookup(a); // keep `a` MRU
+            assert_eq!(c.slot_of(a), Some(slot), "slot moved at churn {i}");
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = cache(2, 2); // 1 set... no: 2 slots 2 ways = 1 set
+        c.insert(BlockAddr::new(1), 1);
+        c.insert(BlockAddr::new(2), 2);
+        c.lookup(BlockAddr::new(1)); // 2 is now LRU
+        let out = c.insert(BlockAddr::new(3), 3);
+        let ev = out.evicted.expect("full set must evict");
+        assert_eq!(ev.addr, BlockAddr::new(2));
+    }
+
+    #[test]
+    fn clean_dirty_eviction_split() {
+        let mut c = cache(2, 2);
+        c.insert(BlockAddr::new(1), 1);
+        c.insert(BlockAddr::new(2), 2);
+        c.mark_dirty(BlockAddr::new(1));
+        c.insert(BlockAddr::new(3), 3); // evicts 2 (clean)
+        c.insert(BlockAddr::new(4), 4); // evicts 1 (dirty, LRU after 3 churn)
+        let s = c.stats();
+        assert_eq!(s.clean_evictions, 1);
+        assert_eq!(s.dirty_evictions, 1);
+        assert_eq!(s.clean_eviction_fraction(), Some(0.5));
+    }
+
+    #[test]
+    fn first_modification_detection() {
+        let mut c = cache(4, 4);
+        c.insert(BlockAddr::new(1), 0);
+        assert!(c.mark_dirty(BlockAddr::new(1)));
+        assert!(!c.mark_dirty(BlockAddr::new(1)));
+        assert_eq!(c.stats().first_modifications, 1);
+        assert_eq!(c.stats().updates, 2);
+        // Writeback then re-dirty counts again.
+        assert!(c.mark_clean(BlockAddr::new(1)));
+        assert!(c.mark_dirty(BlockAddr::new(1)));
+        assert_eq!(c.stats().first_modifications, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-resident")]
+    fn mark_dirty_nonresident_panics() {
+        cache(4, 4).mark_dirty(BlockAddr::new(9));
+    }
+
+    #[test]
+    fn reinsert_keeps_slot_and_dirty_bit() {
+        let mut c = cache(4, 4);
+        let slot = c.insert(BlockAddr::new(1), 1).slot;
+        c.mark_dirty(BlockAddr::new(1));
+        let out = c.insert(BlockAddr::new(1), 2);
+        assert_eq!(out.slot, slot);
+        assert!(out.evicted.is_none());
+        assert_eq!(c.is_dirty(BlockAddr::new(1)), Some(true));
+        assert_eq!(c.peek(BlockAddr::new(1)), Some(&2));
+    }
+
+    #[test]
+    fn explicit_evict() {
+        let mut c = cache(4, 4);
+        c.insert(BlockAddr::new(1), 7);
+        c.mark_dirty(BlockAddr::new(1));
+        let ev = c.evict(BlockAddr::new(1)).expect("resident");
+        assert!(ev.dirty);
+        assert_eq!(ev.value, 7);
+        assert!(c.evict(BlockAddr::new(1)).is_none());
+        assert!(!c.contains(BlockAddr::new(1)));
+    }
+
+    #[test]
+    fn iter_resident_and_invalidate() {
+        let mut c = cache(8, 2);
+        c.insert(BlockAddr::new(1), 1);
+        c.insert(BlockAddr::new(2), 2);
+        c.mark_dirty(BlockAddr::new(2));
+        let resident: Vec<_> = c.iter_resident().collect();
+        assert_eq!(resident.len(), 2);
+        assert!(resident.iter().any(|(_, a, v, d)| *a == BlockAddr::new(2) && **v == 2 && *d));
+        assert_eq!(c.len(), 2);
+        c.invalidate_all();
+        assert!(c.is_empty());
+        assert_eq!(c.iter_resident().count(), 0);
+    }
+
+    #[test]
+    fn linear_slot_index_is_dense_and_unique() {
+        let mut c = cache(16, 4);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..16u64 {
+            let out = c.insert(BlockAddr::new(i), i);
+            let lin = out.slot.linear(c.ways());
+            assert!(lin < c.num_slots());
+            assert!(seen.insert(lin), "duplicate linear slot {lin}");
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn peek_does_not_touch_stats_or_lru() {
+        let mut c = cache(2, 2);
+        c.insert(BlockAddr::new(1), 1);
+        c.insert(BlockAddr::new(2), 2);
+        let _ = c.peek(BlockAddr::new(1));
+        // 1 is still LRU because peek didn't promote it.
+        let ev = c.insert(BlockAddr::new(3), 3).evicted.expect("evicts");
+        assert_eq!(ev.addr, BlockAddr::new(1));
+        assert_eq!(c.stats().hits, 0);
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+    use anubis_nvm::BlockAddr;
+
+    #[test]
+    fn peek_mut_mutates_without_lru_touch() {
+        let mut c: MetadataCache<u64> = MetadataCache::new(2 * BLOCK_BYTES, 2);
+        c.insert(BlockAddr::new(1), 10);
+        c.insert(BlockAddr::new(2), 20);
+        *c.peek_mut(BlockAddr::new(1)).unwrap() = 99;
+        assert_eq!(c.peek(BlockAddr::new(1)), Some(&99));
+        // 1 was not promoted: it is still the LRU victim.
+        let ev = c.insert(BlockAddr::new(3), 30).evicted.unwrap();
+        assert_eq!(ev.addr, BlockAddr::new(1));
+        assert_eq!(ev.value, 99, "mutation visible in the eviction record");
+    }
+
+    #[test]
+    fn mark_clean_on_nonresident_is_noop() {
+        let mut c: MetadataCache<u64> = MetadataCache::new(2 * BLOCK_BYTES, 2);
+        assert!(!c.mark_clean(BlockAddr::new(9)));
+    }
+
+    #[test]
+    fn is_dirty_reports_residency_and_state() {
+        let mut c: MetadataCache<u64> = MetadataCache::new(2 * BLOCK_BYTES, 2);
+        assert_eq!(c.is_dirty(BlockAddr::new(1)), None);
+        c.insert(BlockAddr::new(1), 0);
+        assert_eq!(c.is_dirty(BlockAddr::new(1)), Some(false));
+        c.mark_dirty(BlockAddr::new(1));
+        assert_eq!(c.is_dirty(BlockAddr::new(1)), Some(true));
+    }
+
+    #[test]
+    fn single_way_cache_is_direct_mapped() {
+        let mut c: MetadataCache<u64> = MetadataCache::new(4 * BLOCK_BYTES, 1);
+        assert_eq!(c.num_sets(), 4);
+        c.insert(BlockAddr::new(0), 1);
+        // Same set (0 % 4 == 4 % 4): must evict.
+        let ev = c.insert(BlockAddr::new(4), 2).evicted.unwrap();
+        assert_eq!(ev.addr, BlockAddr::new(0));
+        // Different set: no eviction.
+        assert!(c.insert(BlockAddr::new(1), 3).evicted.is_none());
+    }
+
+    #[test]
+    fn reset_stats_preserves_contents() {
+        let mut c: MetadataCache<u64> = MetadataCache::new(2 * BLOCK_BYTES, 2);
+        c.insert(BlockAddr::new(1), 7);
+        c.lookup(BlockAddr::new(1));
+        c.reset_stats();
+        assert_eq!(c.stats().hits, 0);
+        assert_eq!(c.peek(BlockAddr::new(1)), Some(&7));
+    }
+}

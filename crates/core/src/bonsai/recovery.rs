@@ -1,0 +1,336 @@
+//! Post-crash recovery for the Bonsai controller family.
+//!
+//! * **Strict persistence** — nothing was lost; only an interrupted page
+//!   re-encryption needs completing.
+//! * **Write-back** — rebuild the whole tree from the NVM counters as-is
+//!   (no Osiris probing) and compare with the root register: succeeds only
+//!   if no dirty metadata was in flight.
+//! * **Osiris** — the paper's O(memory) baseline: ECC-probe every counter
+//!   of every counter block against its data, then rebuild the entire
+//!   tree and compare with the root register.
+//! * **AGIT** (Algorithm 1) — scan the SCT/SMT, Osiris-fix only the
+//!   tracked counter blocks, recompute only the tracked tree nodes level
+//!   by level, then compare with the root register.
+
+use super::{BonsaiController, BonsaiScheme, ReencLog};
+use crate::error::RecoveryError;
+use crate::layout::LINES_PER_COUNTER_BLOCK;
+use crate::recovery::RecoveryReport;
+use crate::shadow::ShadowAddrEntry;
+use anubis_crypto::otp::IvCounter;
+use anubis_crypto::{SealedBlock, SplitCounterBlock};
+use anubis_itree::bonsai::Root;
+use anubis_itree::NodeId;
+use anubis_nvm::{Block, BlockAddr};
+use std::collections::BTreeSet;
+
+/// Tallies recovery work separately from the run-time cost model.
+#[derive(Default)]
+struct Tally {
+    reads: u64,
+    writes: u64,
+    hashes: u64,
+    counters_fixed: u64,
+    nodes_fixed: u64,
+}
+
+pub(super) fn recover(c: &mut BonsaiController) -> Result<RecoveryReport, RecoveryError> {
+    let redo_writes = c.domain.power_up() as u64;
+    let mut t = Tally::default();
+
+    // Complete any interrupted page re-encryption first; it also tells
+    // AGIT recovery which extra path must be repaired.
+    let reenc_leaf = complete_reencryption(c, &mut t)?;
+
+    match c.scheme {
+        BonsaiScheme::StrictPersist => {
+            // All metadata persisted eagerly. If a re-encryption was
+            // interrupted, its leaf path must be recomputed (the path
+            // writes may have been lost with the commit group).
+            if let Some(leaf) = reenc_leaf {
+                fix_path(c, leaf, &mut t)?;
+                check_root(c, &mut t)?;
+            }
+        }
+        BonsaiScheme::WriteBack
+        | BonsaiScheme::CounterWriteThrough
+        | BonsaiScheme::LazyWriteBack => {
+            // Counters as-is (write-through keeps them current; plain
+            // write-back only recovers if nothing dirty was lost), whole
+            // tree rebuilt, root compared.
+            rebuild_whole_tree(c, &mut t, false)?;
+        }
+        BonsaiScheme::Osiris => {
+            rebuild_whole_tree(c, &mut t, true)?;
+        }
+        BonsaiScheme::AgitRead | BonsaiScheme::AgitPlus => {
+            recover_agit(c, &mut t, reenc_leaf)?;
+        }
+    }
+
+    Ok(RecoveryReport {
+        nvm_reads: t.reads,
+        nvm_writes: t.writes,
+        hash_ops: t.hashes,
+        counters_fixed: t.counters_fixed,
+        nodes_fixed: t.nodes_fixed,
+        redo_writes,
+        reencryption_completed: reenc_leaf.is_some(),
+    })
+}
+
+fn dev_read(c: &mut BonsaiController, addr: BlockAddr, t: &mut Tally) -> Block {
+    t.reads += 1;
+    c.domain.device_mut().read(addr)
+}
+
+/// Reads a tree node, substituting the canonical zero-state content for
+/// never-written interior nodes (see `BonsaiController::nvm_read_node`).
+fn dev_read_node(c: &mut BonsaiController, node: NodeId, t: &mut Tally) -> Block {
+    let raw = dev_read(c, c.layout.node_addr(node), t);
+    if node.level >= 1 && raw.is_zeroed() {
+        c.canonical_node(node)
+    } else {
+        raw
+    }
+}
+
+fn dev_write(c: &mut BonsaiController, addr: BlockAddr, block: Block, t: &mut Tally) {
+    t.writes += 1;
+    c.domain.device_mut().write(addr, block);
+}
+
+/// Completes an interrupted page re-encryption from the on-chip log
+/// (counter block first, then the remaining lines). Returns the affected
+/// leaf so tree recovery can repair its path.
+fn complete_reencryption(
+    c: &mut BonsaiController,
+    t: &mut Tally,
+) -> Result<Option<NodeId>, RecoveryError> {
+    let Some(ReencLog { leaf, old, next_line }) = c.reenc_log else {
+        return Ok(None);
+    };
+    let leaf_node = NodeId::new(0, leaf);
+    let new_major = old.major() + 1;
+    // REDO the counter-block install (idempotent).
+    let fresh = SplitCounterBlock::with_major(new_major);
+    let leaf_addr = c.layout.node_addr(leaf_node);
+    dev_write(c, leaf_addr, fresh.to_block(), t);
+    // Finish the lines. Redo the boundary line defensively: a crash may
+    // have landed between the line commit and the log bump.
+    let start = next_line.saturating_sub(1) as usize;
+    for line in start..LINES_PER_COUNTER_BLOCK as usize {
+        let Some(data_addr) = c.layout.line_of(leaf, line) else { break };
+        let dev = c.layout.data_addr(data_addr);
+        let side_addr = c.layout.side_addr(data_addr);
+        let ciphertext = dev_read(c, dev, t);
+        let side = c.domain.device_mut().read(side_addr);
+        let sealed = SealedBlock { ciphertext, ecc: side.word(0), mac: side.word(1) };
+        let new_iv = IvCounter::split(new_major, 0);
+        let plaintext = if old.major() == 0 && old.minor(line) == 0 {
+            Block::zeroed()
+        } else {
+            t.hashes += 1;
+            let old_iv = IvCounter::split(old.major(), old.minor(line) as u64);
+            match c.codec.probe(dev, old_iv, &sealed) {
+                Some(pt) => pt,
+                None => {
+                    t.hashes += 1;
+                    if c.codec.probe(dev, new_iv, &sealed).is_some() {
+                        continue; // already re-encrypted before the crash
+                    }
+                    return Err(RecoveryError::CounterNotRecovered { addr: dev });
+                }
+            }
+        };
+        t.hashes += 2;
+        let resealed = c.codec.seal(dev, new_iv, &plaintext);
+        dev_write(c, dev, resealed.ciphertext, t);
+        let mut side_new = Block::zeroed();
+        side_new.set_word(0, resealed.ecc);
+        side_new.set_word(1, resealed.mac);
+        c.domain.device_mut().write(side_addr, side_new);
+    }
+    c.reenc_log = None;
+    Ok(Some(leaf_node))
+}
+
+/// Osiris-fixes every counter of one counter block against its data
+/// lines, writing the repaired block back. Returns whether anything moved.
+fn fix_counter_block(
+    c: &mut BonsaiController,
+    leaf: NodeId,
+    t: &mut Tally,
+) -> Result<bool, RecoveryError> {
+    let leaf_addr = c.layout.node_addr(leaf);
+    let stale = SplitCounterBlock::from_block(&dev_read(c, leaf_addr, t));
+    let mut fixed = stale;
+    let mut changed = false;
+    for line in 0..LINES_PER_COUNTER_BLOCK as usize {
+        let Some(data_addr) = c.layout.line_of(leaf.index, line) else { break };
+        let dev = c.layout.data_addr(data_addr);
+        let side_addr = c.layout.side_addr(data_addr);
+        let ciphertext = dev_read(c, dev, t);
+        let side = c.domain.device_mut().read(side_addr);
+        let sealed = SealedBlock { ciphertext, ecc: side.word(0), mac: side.word(1) };
+        let base_minor = stale.minor(line) as u64;
+        // Candidate 0: the zero state (never-written line).
+        if stale.major() == 0 && base_minor == 0 && ciphertext.is_zeroed() && side.is_zeroed() {
+            continue;
+        }
+        let mut recovered = None;
+        for gap in 0..=c.config.stop_loss as u64 {
+            let minor = base_minor + gap;
+            if minor > anubis_crypto::MINOR_MAX as u64 {
+                break; // overflow would have persisted the block
+            }
+            if stale.major() == 0 && minor == 0 {
+                continue; // zero state handled above
+            }
+            t.hashes += 1;
+            let iv = IvCounter::split(stale.major(), minor);
+            if c.codec.probe(dev, iv, &sealed).is_some() {
+                recovered = Some(gap as u8);
+                break;
+            }
+        }
+        match recovered {
+            Some(gap) => {
+                if gap > 0 {
+                    fixed.advance_minor(line, gap);
+                    changed = true;
+                    t.counters_fixed += 1;
+                }
+            }
+            None => return Err(RecoveryError::CounterNotRecovered { addr: dev }),
+        }
+    }
+    if changed {
+        dev_write(c, leaf_addr, fixed.to_block(), t);
+    }
+    Ok(changed)
+}
+
+/// Recomputes one interior node from its children in NVM and writes it.
+fn fix_interior_node(c: &mut BonsaiController, node: NodeId, t: &mut Tally) {
+    let g = c.layout.geometry().clone();
+    let children: Vec<NodeId> = g.children(node).collect();
+    let mut digests = Vec::with_capacity(children.len());
+    for child in children {
+        let child_block = dev_read_node(c, child, t);
+        t.hashes += 1;
+        digests.push(c.hasher.digest(&child_block));
+    }
+    let block = c.hasher.parent_block(&digests);
+    dev_write(c, c.layout.node_addr(node), block, t);
+    t.nodes_fixed += 1;
+}
+
+/// Recomputes the root digest from the NVM top node and compares it with
+/// the on-chip register.
+fn check_root(c: &mut BonsaiController, t: &mut Tally) -> Result<(), RecoveryError> {
+    let g = c.layout.geometry().clone();
+    let top = g.top();
+    let top_block = dev_read_node(c, top, t);
+    t.hashes += 1;
+    let computed = Root(c.hasher.digest(&top_block));
+    if computed == c.root {
+        Ok(())
+    } else {
+        Err(RecoveryError::RootMismatch)
+    }
+}
+
+/// Recomputes the ancestors of `leaf` from NVM, bottom-up (used after an
+/// interrupted re-encryption under strict persistence).
+fn fix_path(c: &mut BonsaiController, leaf: NodeId, t: &mut Tally) -> Result<(), RecoveryError> {
+    let g = c.layout.geometry().clone();
+    for node in g.path_to_top(leaf) {
+        fix_interior_node(c, node, t);
+    }
+    Ok(())
+}
+
+/// Whole-memory recovery: optionally Osiris-fix every counter block, then
+/// rebuild every interior node bottom-up and compare the root.
+fn rebuild_whole_tree(
+    c: &mut BonsaiController,
+    t: &mut Tally,
+    probe_counters: bool,
+) -> Result<(), RecoveryError> {
+    let g = c.layout.geometry().clone();
+    if probe_counters {
+        for leaf in 0..g.num_leaves() {
+            fix_counter_block(c, NodeId::new(0, leaf), t)?;
+        }
+    }
+    for level in 1..g.num_levels() {
+        for index in 0..g.nodes_at(level) {
+            fix_interior_node(c, NodeId::new(level, index), t);
+        }
+    }
+    check_root(c, t)
+}
+
+/// Algorithm 1 (paper §4.2.3): fix tracked counters, then tracked nodes
+/// level by level, then verify the root.
+fn recover_agit(
+    c: &mut BonsaiController,
+    t: &mut Tally,
+    reenc_leaf: Option<NodeId>,
+) -> Result<(), RecoveryError> {
+    let g = c.layout.geometry().clone();
+
+    // Scan the SCT.
+    let mut tracked_counters: BTreeSet<u64> = BTreeSet::new();
+    for slot in 0..c.layout.sct_slots() {
+        let block = dev_read(c, c.layout.sct_slot(slot), t);
+        if let Some(entry) = ShadowAddrEntry::from_block(&block) {
+            let node = entry.node();
+            if node.level == 0 && node.index < g.num_leaves() {
+                tracked_counters.insert(node.index);
+            }
+        }
+    }
+    // Scan the SMT.
+    let mut tracked_nodes: BTreeSet<(usize, u64)> = BTreeSet::new();
+    for slot in 0..c.layout.smt_slots() {
+        let block = dev_read(c, c.layout.smt_slot(slot), t);
+        if let Some(entry) = ShadowAddrEntry::from_block(&block) {
+            let node = entry.node();
+            if node.level >= 1 && node.level < g.num_levels() && node.index < g.nodes_at(node.level)
+            {
+                tracked_nodes.insert((node.level, node.index));
+            }
+        }
+    }
+    // An interrupted re-encryption repairs its own leaf path regardless of
+    // shadow tracking (the tracking commit may have been the lost group).
+    if let Some(leaf) = reenc_leaf {
+        tracked_counters.insert(leaf.index);
+        for node in g.path_to_top(leaf) {
+            tracked_nodes.insert((node.level, node.index));
+        }
+    }
+
+    // Phase 1: fix tracked counter blocks.
+    for leaf in tracked_counters {
+        fix_counter_block(c, NodeId::new(0, leaf), t)?;
+    }
+
+    // Phase 2: fix tracked nodes level by level (order matters: upper
+    // levels hash the already-repaired lower levels).
+    for level in 1..g.num_levels() {
+        let at_level: Vec<u64> = tracked_nodes
+            .iter()
+            .filter(|(l, _)| *l == level)
+            .map(|(_, i)| *i)
+            .collect();
+        for index in at_level {
+            fix_interior_node(c, NodeId::new(level, index), t);
+        }
+    }
+
+    // Phase 3: root check.
+    check_root(c, t)
+}

@@ -1,0 +1,163 @@
+//! Controller configuration.
+
+use anubis_crypto::Key;
+
+/// Configuration for a secure-NVM memory controller.
+///
+/// Defaults mirror the paper's Table 1; [`AnubisConfig::small_test`]
+/// shrinks everything so crash/recovery tests run in milliseconds.
+///
+/// # Example
+///
+/// ```
+/// use anubis::AnubisConfig;
+/// let cfg = AnubisConfig::paper();
+/// assert_eq!(cfg.capacity_bytes, 16 << 30);
+/// assert_eq!(cfg.counter_cache_bytes, 256 * 1024);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnubisConfig {
+    /// Data capacity in bytes (metadata regions are allocated on top).
+    pub capacity_bytes: u64,
+    /// Counter-cache capacity in bytes (Bonsai family).
+    pub counter_cache_bytes: usize,
+    /// Counter-cache associativity.
+    pub counter_cache_ways: usize,
+    /// Merkle-tree-cache capacity in bytes (Bonsai family).
+    pub tree_cache_bytes: usize,
+    /// Merkle-tree-cache associativity.
+    pub tree_cache_ways: usize,
+    /// Combined metadata-cache capacity in bytes (SGX family).
+    pub metadata_cache_bytes: usize,
+    /// Combined metadata-cache associativity.
+    pub metadata_cache_ways: usize,
+    /// Osiris stop-loss limit: counters are persisted every N-th update.
+    pub stop_loss: u8,
+    /// Number of counter LSBs stored per ST entry (paper: 49). Lowering
+    /// this in tests forces the LSB-overflow persistence path.
+    pub st_lsb_bits: u32,
+    /// Master key; every working key is derived from it.
+    pub key: Key,
+}
+
+impl AnubisConfig {
+    /// The paper's Table 1 configuration: 16 GiB PCM, 256 KiB 8-way
+    /// counter cache, 256 KiB 16-way tree cache, 512 KiB combined
+    /// metadata cache for ASIT, stop-loss 4.
+    pub fn paper() -> Self {
+        AnubisConfig {
+            capacity_bytes: 16 << 30,
+            counter_cache_bytes: 256 * 1024,
+            counter_cache_ways: 8,
+            tree_cache_bytes: 256 * 1024,
+            tree_cache_ways: 16,
+            metadata_cache_bytes: 512 * 1024,
+            metadata_cache_ways: 16,
+            stop_loss: 4,
+            st_lsb_bits: 49,
+            key: Key([0x0041_4e55_4249_5300, 0x0049_5343_415f_3139]),
+        }
+    }
+
+    /// A miniature configuration for unit and crash-injection tests:
+    /// 1 MiB of data, 4 KiB caches — small enough that evictions and
+    /// shadow-slot reuse actually happen in short runs.
+    pub fn small_test() -> Self {
+        AnubisConfig {
+            capacity_bytes: 1 << 20,
+            counter_cache_bytes: 4 * 1024,
+            counter_cache_ways: 4,
+            tree_cache_bytes: 4 * 1024,
+            tree_cache_ways: 4,
+            metadata_cache_bytes: 8 * 1024,
+            metadata_cache_ways: 4,
+            stop_loss: 4,
+            st_lsb_bits: 49,
+            key: Key([7, 13]),
+        }
+    }
+
+    /// Returns a copy with a different data capacity.
+    pub fn with_capacity(mut self, bytes: u64) -> Self {
+        self.capacity_bytes = bytes;
+        self
+    }
+
+    /// Returns a copy with both Bonsai caches set to `bytes` each and the
+    /// combined metadata cache to `2 * bytes` (the Fig. 12/13 sweep rule:
+    /// "both counter cache and Merkle tree cache sizes are increased by
+    /// the same capacity").
+    pub fn with_cache_bytes(mut self, bytes: usize) -> Self {
+        self.counter_cache_bytes = bytes;
+        self.tree_cache_bytes = bytes;
+        self.metadata_cache_bytes = 2 * bytes;
+        self
+    }
+
+    /// Returns a copy with a different stop-loss limit.
+    pub fn with_stop_loss(mut self, n: u8) -> Self {
+        assert!(n >= 1, "stop-loss must be at least 1");
+        self.stop_loss = n;
+        self
+    }
+
+    /// Returns a copy with a different ST LSB width (1..=49).
+    pub fn with_st_lsb_bits(mut self, bits: u32) -> Self {
+        assert!((1..=49).contains(&bits), "ST LSB width must be 1..=49");
+        self.st_lsb_bits = bits;
+        self
+    }
+
+    /// Number of 64-byte data blocks.
+    pub fn data_blocks(&self) -> u64 {
+        self.capacity_bytes / 64
+    }
+}
+
+impl Default for AnubisConfig {
+    fn default() -> Self {
+        AnubisConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table_1() {
+        let c = AnubisConfig::paper();
+        assert_eq!(c.counter_cache_ways, 8);
+        assert_eq!(c.tree_cache_ways, 16);
+        assert_eq!(c.stop_loss, 4);
+        assert_eq!(c.st_lsb_bits, 49);
+        assert_eq!(c.data_blocks(), (16u64 << 30) / 64);
+        assert_eq!(AnubisConfig::default(), c);
+    }
+
+    #[test]
+    fn builders() {
+        let c = AnubisConfig::small_test()
+            .with_capacity(2 << 20)
+            .with_cache_bytes(8 * 1024)
+            .with_stop_loss(8)
+            .with_st_lsb_bits(8);
+        assert_eq!(c.capacity_bytes, 2 << 20);
+        assert_eq!(c.counter_cache_bytes, 8 * 1024);
+        assert_eq!(c.metadata_cache_bytes, 16 * 1024);
+        assert_eq!(c.stop_loss, 8);
+        assert_eq!(c.st_lsb_bits, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "stop-loss")]
+    fn zero_stop_loss_rejected() {
+        let _ = AnubisConfig::small_test().with_stop_loss(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "LSB width")]
+    fn bad_lsb_width_rejected() {
+        let _ = AnubisConfig::small_test().with_st_lsb_bits(50);
+    }
+}

@@ -1,0 +1,180 @@
+//! Error types for the memory controllers and recovery.
+
+use crate::layout::DataAddr;
+use anubis_crypto::CryptoError;
+use anubis_itree::NodeId;
+use anubis_nvm::{BlockAddr, NvmError};
+use core::fmt;
+
+/// Errors from the run-time data path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// Device/persistence-domain failure.
+    Nvm(NvmError),
+    /// Cryptographic verification failure (ECC or data MAC).
+    Crypto(CryptoError),
+    /// Integrity-tree verification failure.
+    Integrity {
+        /// The node whose digest/MAC did not verify.
+        node: NodeId,
+        /// What the node was being checked against.
+        against: IntegrityWitness,
+    },
+    /// Data address beyond the configured capacity.
+    OutOfRange {
+        /// Offending data address.
+        addr: DataAddr,
+        /// Data capacity in blocks.
+        capacity_blocks: u64,
+    },
+}
+
+/// What a failed integrity check was verified against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntegrityWitness {
+    /// The parent node's stored digest (Bonsai).
+    ParentDigest,
+    /// The on-chip root register (Bonsai top node).
+    RootRegister,
+    /// The node's own MAC against its parent counter (SGX-style).
+    NodeMac,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Nvm(e) => write!(f, "nvm error: {e}"),
+            MemError::Crypto(e) => write!(f, "crypto error: {e}"),
+            MemError::Integrity { node, against } => {
+                let w = match against {
+                    IntegrityWitness::ParentDigest => "parent digest",
+                    IntegrityWitness::RootRegister => "root register",
+                    IntegrityWitness::NodeMac => "node MAC",
+                };
+                write!(f, "integrity violation at {node} (checked against {w})")
+            }
+            MemError::OutOfRange { addr, capacity_blocks } => {
+                write!(f, "data address {addr} beyond capacity of {capacity_blocks} blocks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MemError::Nvm(e) => Some(e),
+            MemError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NvmError> for MemError {
+    fn from(e: NvmError) -> Self {
+        MemError::Nvm(e)
+    }
+}
+
+impl From<CryptoError> for MemError {
+    fn from(e: CryptoError) -> Self {
+        MemError::Crypto(e)
+    }
+}
+
+/// Errors from post-crash recovery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RecoveryError {
+    /// The rebuilt tree's root does not match the on-chip register
+    /// (Algorithm 1 line 20 / write-back loss detection).
+    RootMismatch,
+    /// The Shadow Table failed its own integrity tree check
+    /// (Algorithm 2 line 2): tampered or corrupted shadow region.
+    ShadowTableTampered,
+    /// A recovered SGX node failed MAC verification against its parent
+    /// counter (Algorithm 2 line 10).
+    NodeMacMismatch {
+        /// Address of the failing node.
+        addr: BlockAddr,
+    },
+    /// Osiris could not find any counter within the stop-loss window that
+    /// passes the ECC sanity check for a data line.
+    CounterNotRecovered {
+        /// Address of the unrecoverable data line.
+        addr: BlockAddr,
+    },
+    /// The scheme fundamentally cannot recover this tree style (e.g.
+    /// Osiris with an SGX tree whose interior nodes were lost).
+    SchemeCannotRecover {
+        /// Explanation of the structural limitation.
+        reason: &'static str,
+    },
+    /// Device failure during recovery.
+    Nvm(NvmError),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::RootMismatch => {
+                write!(f, "rebuilt tree root does not match the on-chip root register")
+            }
+            RecoveryError::ShadowTableTampered => {
+                write!(f, "shadow table failed SHADOW_TREE_ROOT verification")
+            }
+            RecoveryError::NodeMacMismatch { addr } => {
+                write!(f, "recovered node at {addr} failed MAC verification")
+            }
+            RecoveryError::CounterNotRecovered { addr } => {
+                write!(f, "no counter candidate passed the ECC check for data line {addr}")
+            }
+            RecoveryError::SchemeCannotRecover { reason } => {
+                write!(f, "scheme cannot recover: {reason}")
+            }
+            RecoveryError::Nvm(e) => write!(f, "nvm error during recovery: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoveryError::Nvm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NvmError> for RecoveryError {
+    fn from(e: NvmError) -> Self {
+        RecoveryError::Nvm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = MemError::Integrity {
+            node: NodeId::new(2, 5),
+            against: IntegrityWitness::RootRegister,
+        };
+        assert!(e.to_string().contains("L2#5"));
+        assert!(RecoveryError::RootMismatch.to_string().contains("root"));
+        let e = RecoveryError::NodeMacMismatch { addr: BlockAddr::new(0x40) };
+        assert!(e.to_string().contains("0x40"));
+    }
+
+    #[test]
+    fn conversions() {
+        let n = NvmError::PoweredOff;
+        assert_eq!(MemError::from(n.clone()), MemError::Nvm(n.clone()));
+        assert_eq!(RecoveryError::from(n.clone()), RecoveryError::Nvm(n));
+        let c = CryptoError::EccMismatch;
+        assert_eq!(MemError::from(c.clone()), MemError::Crypto(c));
+    }
+}

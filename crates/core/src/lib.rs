@@ -1,0 +1,129 @@
+//! # Anubis — secure, recoverable non-volatile memory controllers
+//!
+//! A from-scratch reproduction of **"Anubis: Ultra-Low Overhead and
+//! Recovery Time for Secure Non-Volatile Memories"** (Zubair & Awad,
+//! ISCA 2019).
+//!
+//! The crate implements the paper's memory-controller schemes over the
+//! substrates in the sibling crates (`anubis-nvm`, `anubis-crypto`,
+//! `anubis-cache`, `anubis-itree`):
+//!
+//! | Scheme | Tree | Recovery | Paper section |
+//! |--------|------|----------|---------------|
+//! | [`BonsaiScheme::WriteBack`] | general 8-ary | unrecoverable after metadata loss | §6.1 ① |
+//! | [`BonsaiScheme::StrictPersist`] | general 8-ary | trivial (everything persisted) | §6.1 ② |
+//! | [`BonsaiScheme::Osiris`] | general 8-ary | O(memory): fix every counter, rebuild whole tree | §6.1 ③ |
+//! | [`BonsaiScheme::AgitRead`] | general 8-ary | O(cache): shadow-tracked blocks only | §4.2.1 |
+//! | [`BonsaiScheme::AgitPlus`] | general 8-ary | O(cache): tracked on first modification | §4.2.2 |
+//! | [`SgxScheme::WriteBack`] | SGX-style | **impossible** (lost interior nodes) | §6.2 ① |
+//! | [`SgxScheme::StrictPersist`] | SGX-style | trivial | §6.2 ② |
+//! | [`SgxScheme::Osiris`] | SGX-style | **impossible** (leaves don't determine tree) | §6.2 ③ |
+//! | [`SgxScheme::Asit`] | SGX-style | O(cache): integrity-protected shadow copy | §4.3 |
+//!
+//! Both controller families expose the same surface: [`MemoryController`]
+//! with `read`/`write`/`crash`/`recover`, per-operation [`OpCost`]s for
+//! the timing simulator, and honest integrity verification (tampering
+//! with NVM contents is *detected*, not assumed away).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use anubis::{AnubisConfig, BonsaiController, BonsaiScheme, DataAddr, MemoryController};
+//! use anubis_nvm::Block;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = AnubisConfig::small_test();
+//! let mut mem = BonsaiController::new(BonsaiScheme::AgitPlus, &config);
+//! mem.write(DataAddr::new(7), Block::filled(0xAB))?;
+//! mem.crash();                       // power failure: caches lost
+//! let report = mem.recover()?;       // Algorithm 1, O(cache) work
+//! assert_eq!(mem.read(DataAddr::new(7))?, Block::filled(0xAB));
+//! assert!(report.estimated_ns() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod cost;
+mod error;
+mod layout;
+mod shadow;
+mod shadow_tree;
+
+pub mod bonsai;
+pub mod recovery;
+pub mod sgx;
+
+pub use bonsai::{BonsaiController, BonsaiScheme};
+pub use config::AnubisConfig;
+pub use cost::{CostAccum, OpCost};
+pub use error::{MemError, RecoveryError};
+pub use layout::{BonsaiLayout, DataAddr, SgxLayout};
+pub use recovery::RecoveryReport;
+pub use sgx::{SgxController, SgxScheme};
+pub use shadow::{ShadowAddrEntry, StEntry};
+
+use anubis_nvm::Block;
+
+/// The uniform controller surface shared by every scheme.
+///
+/// A controller owns the NVM persistence domain, the metadata caches and
+/// the on-chip persistent registers (tree root, shadow root). The timing
+/// simulator drives it op by op, reading [`MemoryController::last_cost`]
+/// after each call; crash-recovery experiments call
+/// [`MemoryController::crash`] at arbitrary points and then
+/// [`MemoryController::recover`].
+pub trait MemoryController {
+    /// Scheme name for reports (e.g. `"agit-plus"`).
+    fn scheme_name(&self) -> &'static str;
+
+    /// Reads and decrypts the data line at `addr`, verifying counters
+    /// against the integrity tree and data against its MAC.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Integrity`] on any verification failure;
+    /// [`MemError::Nvm`] on device errors (including powered-off).
+    fn read(&mut self, addr: DataAddr) -> Result<Block, MemError>;
+
+    /// Encrypts and persists `data` at `addr`, updating counters and the
+    /// integrity tree according to the scheme.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`MemoryController::read`].
+    fn write(&mut self, addr: DataAddr, data: Block) -> Result<(), MemError>;
+
+    /// Simulates a power failure: every volatile structure (caches,
+    /// shadow-tree interior, write buffers outside the WPQ) is lost; the
+    /// device, the WPQ (via ADR) and on-chip persistent registers survive.
+    fn crash(&mut self);
+
+    /// Restores power and runs the scheme's recovery algorithm.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError`] if the scheme cannot restore a verified state
+    /// (e.g. write-back after losing dirty metadata, or detected
+    /// tampering).
+    fn recover(&mut self) -> Result<RecoveryReport, RecoveryError>;
+
+    /// Gracefully drains all dirty metadata to NVM (orderly shutdown).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Nvm`] on device errors.
+    fn shutdown_flush(&mut self) -> Result<(), MemError>;
+
+    /// Cost of the most recent `read`/`write` call, for the timing model.
+    fn last_cost(&self) -> OpCost;
+
+    /// Cumulative costs since construction or the last reset.
+    fn total_cost(&self) -> &CostAccum;
+
+    /// Resets cumulative cost counters (e.g. after cache warm-up).
+    fn reset_costs(&mut self);
+}

@@ -1,0 +1,772 @@
+//! The SGX-style (parallelizable-tree) memory controller family.
+//!
+//! One controller struct implements all four schemes of the paper's §6.2
+//! (write-back, strict persistence, Osiris, ASIT); [`SgxScheme`] selects
+//! the hooks. The tree is the parallelizable SGX-style counter tree with
+//! *lazy* updates: a counter increment touches only the leaf in the
+//! cache, and version counters propagate upward when dirty nodes are
+//! written back (paper §2.3.2, Vault/Synergy style).
+
+mod recovery;
+
+#[cfg(test)]
+mod tests;
+
+use crate::config::AnubisConfig;
+use crate::cost::{CostAccum, OpCost};
+use crate::error::{IntegrityWitness, MemError, RecoveryError};
+use crate::layout::{DataAddr, SgxLayout};
+use crate::recovery::RecoveryReport;
+use crate::shadow::StEntry;
+use crate::shadow_tree::ShadowTree;
+use crate::MemoryController;
+use anubis_cache::MetadataCache;
+use anubis_crypto::hash::Hasher64;
+use anubis_crypto::otp::IvCounter;
+use anubis_crypto::{DataCodec, SgxCounterNode, SGX_COUNTERS_PER_NODE};
+use anubis_itree::bonsai::Root;
+use anubis_itree::NodeId;
+use anubis_nvm::{Block, BlockAddr, PersistenceDomain, WriteOp};
+
+/// Which §6.2 scheme an [`SgxController`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SgxScheme {
+    /// Lazy write-back caching; unrecoverable after losing any dirty
+    /// interior node (the paper's §3 motivation).
+    WriteBack,
+    /// Eager in-cache updates (every write propagates version counters up
+    /// to the on-chip top node) with lazy *persistence*. Demonstrates the
+    /// paper's §2.6 point: for SGX-style trees even a perfectly fresh
+    /// root cannot recover lost intermediate nodes — eager update is
+    /// insufficient, a shadow of the cache *contents* is required.
+    EagerWriteBack,
+    /// Eager update and immediate persistence of the whole path — the
+    /// only pre-Anubis scheme that can recover an SGX-style tree.
+    StrictPersist,
+    /// Osiris-style stop-loss on leaf counters. Models the run-time cost;
+    /// recovery remains impossible because interior nodes cannot be
+    /// rebuilt from leaves.
+    Osiris,
+    /// ASIT (paper §4.3): lazy updates plus an integrity-protected Shadow
+    /// Table mirroring the metadata cache.
+    Asit,
+}
+
+impl SgxScheme {
+    /// Scheme name used in reports and figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SgxScheme::WriteBack => "sgx-write-back",
+            SgxScheme::EagerWriteBack => "sgx-eager-write-back",
+            SgxScheme::StrictPersist => "sgx-strict-persist",
+            SgxScheme::Osiris => "sgx-osiris",
+            SgxScheme::Asit => "asit",
+        }
+    }
+
+    /// The four schemes of the paper's Figure 11, in its order.
+    pub fn all() -> [SgxScheme; 4] {
+        [
+            SgxScheme::WriteBack,
+            SgxScheme::StrictPersist,
+            SgxScheme::Osiris,
+            SgxScheme::Asit,
+        ]
+    }
+
+    /// Every implemented scheme, including the beyond-paper
+    /// [`SgxScheme::EagerWriteBack`] demonstrator.
+    pub fn all_with_extras() -> [SgxScheme; 5] {
+        [
+            SgxScheme::WriteBack,
+            SgxScheme::EagerWriteBack,
+            SgxScheme::StrictPersist,
+            SgxScheme::Osiris,
+            SgxScheme::Asit,
+        ]
+    }
+}
+
+/// A cached SGX node plus Osiris stop-loss bookkeeping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct SgxEntry {
+    pub(crate) node: SgxCounterNode,
+    pub(crate) since_persist: u8,
+}
+
+/// The SGX-style secure memory controller (paper §4.3 and baselines).
+#[derive(Clone, Debug)]
+pub struct SgxController {
+    scheme: SgxScheme,
+    config: AnubisConfig,
+    layout: SgxLayout,
+    domain: PersistenceDomain,
+    codec: DataCodec,
+    mac_key: Hasher64,
+    cache: MetadataCache<SgxEntry>,
+    /// On-chip persistent register: the top node's eight version counters.
+    top: SgxCounterNode,
+    /// The content a never-written node logically holds: zero counters
+    /// sealed against a zero parent counter. One value serves every node
+    /// because SGX MACs are content-only.
+    canonical_zero: SgxCounterNode,
+    /// Volatile shadow-table mirror + protection tree (ASIT only).
+    shadow_tree: Option<ShadowTree>,
+    /// On-chip persistent register: `SHADOW_TREE_ROOT` (ASIT only).
+    shadow_root: Root,
+    /// Root value to install at commit time (keeps the register update
+    /// atomic with the ST write group).
+    pending_shadow_root: Option<Root>,
+    cost: OpCost,
+    totals: CostAccum,
+    pending: Vec<WriteOp>,
+    /// Simulation oracle: whether the last crash destroyed dirty cached
+    /// metadata. Write-back and Osiris cannot recover an SGX tree in that
+    /// case (paper §3); in hardware the failure surfaces as stale or
+    /// unreadable data, which this flag stands in for (see DESIGN.md).
+    lost_dirty_metadata: bool,
+}
+
+impl SgxController {
+    /// Builds a controller over a fresh all-zero NVM image.
+    pub fn new(scheme: SgxScheme, config: &AnubisConfig) -> Self {
+        let cache: MetadataCache<SgxEntry> =
+            MetadataCache::new(config.metadata_cache_bytes, config.metadata_cache_ways);
+        let layout = SgxLayout::new(config, cache.num_slots() as u64);
+        let mut domain = PersistenceDomain::new(layout.device_bytes());
+        domain.device_mut().register_regions(layout.regions());
+        let mac_key = Hasher64::new(config.key.derive("sgx-mac"));
+        let mut canonical_zero = SgxCounterNode::new();
+        canonical_zero.seal(&mac_key, 0);
+        let shadow_tree = (scheme == SgxScheme::Asit)
+            .then(|| ShadowTree::new(config.key, cache.num_slots() as u64));
+        let shadow_root = shadow_tree.as_ref().map(|t| t.root()).unwrap_or_default();
+        SgxController {
+            scheme,
+            config: config.clone(),
+            layout,
+            domain,
+            codec: DataCodec::new(config.key),
+            mac_key,
+            cache,
+            top: SgxCounterNode::new(),
+            canonical_zero,
+            shadow_tree,
+            shadow_root,
+            pending_shadow_root: None,
+            cost: OpCost::zero(),
+            totals: CostAccum::default(),
+            pending: Vec::new(),
+            lost_dirty_metadata: false,
+        }
+    }
+
+    /// The scheme this controller runs.
+    pub fn scheme(&self) -> SgxScheme {
+        self.scheme
+    }
+
+    /// The memory layout (for tamper experiments).
+    pub fn layout(&self) -> &SgxLayout {
+        &self.layout
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AnubisConfig {
+        &self.config
+    }
+
+    /// Combined metadata-cache statistics.
+    pub fn cache_stats(&self) -> &anubis_cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Direct access to the persistence domain (tamper API, device stats).
+    pub fn domain_mut(&mut self) -> &mut PersistenceDomain {
+        &mut self.domain
+    }
+
+    /// Read-only access to the persistence domain.
+    pub fn domain(&self) -> &PersistenceDomain {
+        &self.domain
+    }
+
+    /// The on-chip `SHADOW_TREE_ROOT` register (ASIT).
+    pub fn shadow_root(&self) -> Root {
+        self.shadow_root
+    }
+
+    /// Test/debug hook: every resident metadata node as
+    /// `(device address, node, dirty)`.
+    #[doc(hidden)]
+    pub fn debug_resident(&self) -> Vec<(BlockAddr, SgxCounterNode, bool)> {
+        self.cache
+            .iter_resident()
+            .map(|(_, addr, entry, dirty)| (addr, entry.node, dirty))
+            .collect()
+    }
+
+    /// Test/debug hook: the slot a resident node occupies.
+    #[doc(hidden)]
+    pub fn debug_slot_of(&self, addr: BlockAddr) -> Option<u64> {
+        self.cache.slot_of(addr).map(|s| s.linear(self.cache.ways()) as u64)
+    }
+
+    // ------------------------------------------------------------------
+    // Cost-counted primitives
+    // ------------------------------------------------------------------
+
+    fn nvm_read(&mut self, addr: BlockAddr) -> Result<Block, MemError> {
+        self.cost.nvm_reads += 1;
+        self.read_through(addr)
+    }
+
+    fn nvm_read_free(&mut self, addr: BlockAddr) -> Result<Block, MemError> {
+        self.read_through(addr)
+    }
+
+    /// Store-to-load forwarding: the controller must observe writes it has
+    /// staged for the current commit group but not yet pushed to the WPQ.
+    fn read_through(&mut self, addr: BlockAddr) -> Result<Block, MemError> {
+        if let Some(op) = self.pending.iter().rev().find(|op| op.addr == addr) {
+            return Ok(op.block);
+        }
+        Ok(self.domain.read(addr)?)
+    }
+
+    fn stage(&mut self, addr: BlockAddr, block: Block) {
+        self.cost.nvm_writes += 1;
+        self.pending.push(WriteOp::new(addr, block));
+    }
+
+    fn stage_free(&mut self, addr: BlockAddr, block: Block) {
+        self.pending.push(WriteOp::new(addr, block));
+    }
+
+    fn commit(&mut self) -> Result<(), MemError> {
+        if !self.pending.is_empty() {
+            let ops = std::mem::take(&mut self.pending);
+            self.domain.commit_group(ops)?;
+        }
+        // The SHADOW_TREE_ROOT register update rides the commit: atomic
+        // with the ST writes from the hardware's perspective.
+        if let Some(root) = self.pending_shadow_root.take() {
+            self.shadow_root = root;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Parent-counter plumbing
+    // ------------------------------------------------------------------
+
+    /// The parent version counter for `node`, from the cache if the
+    /// parent is resident, from the on-chip register for top-level
+    /// children, or from NVM otherwise (charged as a read).
+    fn parent_counter(&mut self, node: NodeId) -> Result<u64, MemError> {
+        let g = self.layout.geometry().clone();
+        let Some(parent) = g.parent(node) else {
+            // `node` *is* the top node: versioned by an implicit constant.
+            return Ok(0);
+        };
+        let slot = g.child_slot(node);
+        if self.layout.is_on_chip(parent) {
+            return Ok(self.top.counter(slot));
+        }
+        let p_addr = self.layout.node_addr(parent);
+        if let Some(entry) = self.cache.peek(p_addr) {
+            return Ok(entry.node.counter(slot));
+        }
+        // Not resident: NVM copy is current (lazy scheme invariant — a
+        // parent counter only changes when this child is written back,
+        // which marks the parent dirty and resident).
+        let block = self.nvm_read(p_addr)?;
+        Ok(SgxCounterNode::from_block(&block).counter(slot))
+    }
+
+    /// Bumps the parent's version counter for `node` (the writeback rule:
+    /// every writeback of a node increments its parent counter so stale
+    /// copies cannot be replayed). Returns the new counter value.
+    ///
+    /// Deliberately does **not** pull missing parents into the cache:
+    /// inserting mid-eviction could evict further dirty nodes and re-fetch
+    /// the very node being written back while its update is still in
+    /// flight. A non-resident parent is instead read, bumped, re-sealed
+    /// (recursively bumping *its* parent) and written straight back —
+    /// recursion is strictly upward and bounded by the tree height.
+    fn bump_parent_counter(&mut self, node: NodeId) -> Result<u64, MemError> {
+        let g = self.layout.geometry().clone();
+        let Some(parent) = g.parent(node) else {
+            return Ok(0);
+        };
+        let slot = g.child_slot(node);
+        if self.layout.is_on_chip(parent) {
+            self.top.increment(slot);
+            return Ok(self.top.counter(slot));
+        }
+        let p_addr = self.layout.node_addr(parent);
+        if self.cache.contains(p_addr) {
+            let new = {
+                let entry = self.cache.peek_mut(p_addr).expect("checked resident");
+                entry.node.increment(slot);
+                entry.node.counter(slot)
+            };
+            let first_mod = self.cache.mark_dirty(p_addr);
+            self.after_update_hooks(parent, first_mod)?;
+            return Ok(new);
+        }
+        // Non-resident parent: its NVM copy is current (lazy invariant).
+        let block = self.nvm_read(p_addr)?;
+        let mut p_node = if block.is_zeroed() {
+            self.canonical_zero
+        } else {
+            SgxCounterNode::from_block(&block)
+        };
+        let pc_check = self.parent_counter(parent)?;
+        self.cost.hash_ops += 1;
+        if !p_node.verify(&self.mac_key, pc_check) {
+            return Err(MemError::Integrity {
+                node: parent,
+                against: IntegrityWitness::NodeMac,
+            });
+        }
+        p_node.increment(slot);
+        // Writing the parent back is itself a writeback: bump upward.
+        let pc_new = self.bump_parent_counter(parent)?;
+        p_node.seal(&self.mac_key, pc_new);
+        self.cost.hash_ops += 1;
+        self.stage(p_addr, p_node.to_block());
+        Ok(p_node.counter(slot))
+    }
+
+    // ------------------------------------------------------------------
+    // Scheme hooks
+    // ------------------------------------------------------------------
+
+    /// Runs after any update to a cached node: ASIT shadow-table write
+    /// (every update), Osiris stop-loss persistence, LSB-overflow
+    /// persistence.
+    fn after_update_hooks(&mut self, node: NodeId, _first_mod: bool) -> Result<(), MemError> {
+        match self.scheme {
+            SgxScheme::Asit => {
+                self.stage_st_entry(node)?;
+                self.maybe_persist_on_lsb_overflow(node)?;
+            }
+            SgxScheme::Osiris => {
+                let addr = self.layout.node_addr(node);
+                let persist = {
+                    let entry = self.cache.peek_mut(addr).expect("resident");
+                    entry.since_persist = entry.since_persist.saturating_add(1);
+                    if entry.since_persist >= self.config.stop_loss {
+                        entry.since_persist = 0;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if persist {
+                    self.writeback_node(node)?;
+                }
+            }
+            SgxScheme::WriteBack | SgxScheme::EagerWriteBack | SgxScheme::StrictPersist => {}
+        }
+        Ok(())
+    }
+
+    /// Stages the ST entry for a resident node and eagerly updates the
+    /// shadow-protection tree (root installed at commit).
+    fn stage_st_entry(&mut self, node: NodeId) -> Result<(), MemError> {
+        let addr = self.layout.node_addr(node);
+        let pc = self.parent_counter(node)?;
+        let (counters, slot) = {
+            let entry = self.cache.peek(addr).expect("ST entry for resident node");
+            let mut cs = [0u64; SGX_COUNTERS_PER_NODE];
+            for (i, c) in cs.iter_mut().enumerate() {
+                *c = entry.node.counter(i);
+            }
+            let slot = self
+                .cache
+                .slot_of(addr)
+                .expect("resident")
+                .linear(self.cache.ways()) as u64;
+            (cs, slot)
+        };
+        self.cost.hash_ops += 1;
+        let mac = SgxCounterNode::compute_mac(&self.mac_key, &counters, pc);
+        let lsb_mask = (1u64 << self.config.st_lsb_bits) - 1;
+        let lsbs = counters.map(|c| c & lsb_mask);
+        let entry = StEntry::new(addr, mac, lsbs);
+        let st_addr = self.layout.st_slot(slot);
+        self.stage(st_addr, entry.to_block());
+        let tree = self.shadow_tree.as_mut().expect("ASIT has a shadow tree");
+        // The shadow-protection tree is maintained by a dedicated on-chip
+        // engine off the data path.
+        self.cost.bg_hash_ops += tree.update_hash_ops();
+        let root = tree.update(slot, entry.to_block());
+        self.pending_shadow_root = Some(root);
+        Ok(())
+    }
+
+    /// Persists a node whose counter LSBs just wrapped past the ST field
+    /// width, so recovery's MSB-splice stays correct (paper §4.3.1).
+    fn maybe_persist_on_lsb_overflow(&mut self, node: NodeId) -> Result<(), MemError> {
+        let addr = self.layout.node_addr(node);
+        let lsb_mask = (1u64 << self.config.st_lsb_bits) - 1;
+        let wrapped = {
+            let entry = self.cache.peek(addr).expect("resident");
+            (0..SGX_COUNTERS_PER_NODE).any(|i| entry.node.counter(i) & lsb_mask == 0
+                && entry.node.counter(i) != 0)
+        };
+        if wrapped {
+            self.writeback_node(node)?;
+        }
+        Ok(())
+    }
+
+    /// Writes a resident node back to NVM without evicting it: bumps the
+    /// parent counter, seals, stages the write, and (ASIT) refreshes the
+    /// node's ST entry so the shadow copy matches the NVM copy.
+    fn writeback_node(&mut self, node: NodeId) -> Result<(), MemError> {
+        let addr = self.layout.node_addr(node);
+        let pc = self.bump_parent_counter(node)?;
+        let sealed = {
+            let entry = self.cache.peek_mut(addr).expect("resident during writeback");
+            entry.node.seal(&self.mac_key, pc);
+            entry.node
+        };
+        self.cost.hash_ops += 1;
+        self.stage(addr, sealed.to_block());
+        self.cache.mark_clean(addr);
+        if self.scheme == SgxScheme::Asit {
+            self.stage_st_entry(node)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Verified fetch and eviction
+    // ------------------------------------------------------------------
+
+    /// Ensures `node` is resident and MAC-verified, fetching the missing
+    /// chain up to the first cached ancestor (or the on-chip top node).
+    fn ensure_node(&mut self, node: NodeId) -> Result<(), MemError> {
+        debug_assert!(!self.layout.is_on_chip(node), "the top node is always on-chip");
+        // One lookup records the hit/miss; retries use `contains` so a
+        // thrash-retry doesn't double-count.
+        if self.cache.lookup(self.layout.node_addr(node)).is_some() {
+            return Ok(());
+        }
+        for _attempt in 0..12 {
+            if self.cache.contains(self.layout.node_addr(node)) {
+                return Ok(());
+            }
+            self.fetch_chain(node)?;
+        }
+        panic!("metadata cache thrashing: cannot keep {node} resident");
+    }
+
+    fn fetch_chain(&mut self, node: NodeId) -> Result<(), MemError> {
+        let g = self.layout.geometry().clone();
+        let mut chain = vec![node];
+        let mut cur = node;
+        while let Some(p) = g.parent(cur) {
+            if self.layout.is_on_chip(p) || self.cache.contains(self.layout.node_addr(p)) {
+                break;
+            }
+            chain.push(p);
+            cur = p;
+        }
+        for n in chain.into_iter().rev() {
+            let addr = self.layout.node_addr(n);
+            if self.cache.contains(addr) {
+                continue; // an eviction cascade may have fetched it already
+            }
+            let block = self.nvm_read(addr)?;
+            let fetched = if block.is_zeroed() {
+                // Never-written node: canonical zero state (a real node's
+                // MAC is zero only with probability 2^-56).
+                self.canonical_zero
+            } else {
+                SgxCounterNode::from_block(&block)
+            };
+            let pc = self.parent_counter(n)?;
+            self.cost.hash_ops += 1;
+            if !fetched.verify(&self.mac_key, pc) {
+                return Err(MemError::Integrity { node: n, against: IntegrityWitness::NodeMac });
+            }
+            self.insert_node(n, fetched)?;
+        }
+        Ok(())
+    }
+
+    /// Inserts a verified node, handling the displaced victim (lazy
+    /// propagation: dirty victims bump their parent counter, seal, write
+    /// back, and refresh their ST entry).
+    fn insert_node(&mut self, node: NodeId, value: SgxCounterNode) -> Result<(), MemError> {
+        let addr = self.layout.node_addr(node);
+        let outcome = self.cache.insert(addr, SgxEntry { node: value, since_persist: 0 });
+        if let Some(ev) = outcome.evicted {
+            if ev.dirty {
+                let victim = self
+                    .layout
+                    .node_of_addr(ev.addr)
+                    .expect("cache keys are metadata addresses");
+                // Clear the victim's ST slot *before* bumping its parent:
+                // the slot now belongs to the freshly inserted node, and
+                // if that node happens to BE the victim's parent, the bump
+                // below writes the parent's new ST entry into this very
+                // slot — clearing afterwards would wipe it, leaving a
+                // dirty resident node untracked (unrecoverable bump).
+                if self.scheme == SgxScheme::Asit {
+                    self.clear_st_slot(ev.slot.linear(self.cache.ways()) as u64);
+                }
+                let pc = self.bump_parent_counter(victim)?;
+                let mut sealed = ev.value.node;
+                sealed.seal(&self.mac_key, pc);
+                self.cost.hash_ops += 1;
+                self.stage(ev.addr, sealed.to_block());
+            }
+        }
+        Ok(())
+    }
+
+    /// Clears the ST slot of an evicted dirty node. The eviction writeback
+    /// makes the NVM copy current, so the entry is no longer needed — and
+    /// keeping it would let a later *non-resident* writeback (the upward
+    /// counter cascade) silently invalidate its MAC. Invariant: ST entries
+    /// exist only for currently resident nodes (see DESIGN.md).
+    fn clear_st_slot(&mut self, slot: u64) {
+        let st_addr = self.layout.st_slot(slot);
+        self.stage(st_addr, Block::zeroed());
+        let tree = self.shadow_tree.as_mut().expect("ASIT has a shadow tree");
+        self.cost.bg_hash_ops += tree.update_hash_ops();
+        let root = tree.update(slot, Block::zeroed());
+        self.pending_shadow_root = Some(root);
+    }
+
+    // ------------------------------------------------------------------
+    // Data path
+    // ------------------------------------------------------------------
+
+    fn validate(&self, addr: DataAddr) -> Result<(), MemError> {
+        if addr.index() < self.layout.data_blocks() {
+            Ok(())
+        } else {
+            Err(MemError::OutOfRange { addr, capacity_blocks: self.layout.data_blocks() })
+        }
+    }
+
+    fn begin_op(&mut self) {
+        self.cost = OpCost::zero();
+        self.pending.clear();
+        self.pending_shadow_root = None;
+    }
+
+    /// The strict-persistence write path: eagerly bump and persist the
+    /// whole path (every node sealed against its just-bumped parent).
+    fn strict_propagate(&mut self, leaf: NodeId) -> Result<(), MemError> {
+        let g = self.layout.geometry().clone();
+        let mut node = leaf;
+        loop {
+            let pc = self.bump_parent_counter(node)?;
+            let addr = self.layout.node_addr(node);
+            let sealed = {
+                let entry = self.cache.peek_mut(addr).expect("resident");
+                entry.node.seal(&self.mac_key, pc);
+                entry.node
+            };
+            self.cost.hash_ops += 1;
+            self.stage(addr, sealed.to_block());
+            self.cache.mark_clean(addr);
+            match g.parent(node) {
+                Some(p) if !self.layout.is_on_chip(p) => {
+                    self.ensure_node(p)?;
+                    node = p;
+                }
+                _ => break,
+            }
+        }
+        Ok(())
+    }
+
+    /// Eager in-cache propagation (no persistence): bump every ancestor's
+    /// version counter and re-seal each node against its new parent
+    /// counter, keeping everything dirty in the cache. The on-chip top
+    /// node is always fresh — and yet a crash still loses the interior
+    /// (paper §2.6: eager update is insufficient for SGX-style trees).
+    fn eager_propagate(&mut self, leaf: NodeId) -> Result<(), MemError> {
+        let g = self.layout.geometry().clone();
+        let mut node = leaf;
+        loop {
+            let pc = self.bump_parent_counter(node)?;
+            let addr = self.layout.node_addr(node);
+            {
+                let entry = self.cache.peek_mut(addr).expect("resident on the path");
+                entry.node.seal(&self.mac_key, pc);
+            }
+            self.cost.hash_ops += 1;
+            self.cache.mark_dirty(addr);
+            match g.parent(node) {
+                Some(p) if !self.layout.is_on_chip(p) => {
+                    self.ensure_node(p)?;
+                    node = p;
+                }
+                _ => break,
+            }
+        }
+        Ok(())
+    }
+
+}
+
+impl MemoryController for SgxController {
+    fn scheme_name(&self) -> &'static str {
+        self.scheme.name()
+    }
+
+    fn read(&mut self, addr: DataAddr) -> Result<Block, MemError> {
+        self.validate(addr)?;
+        self.begin_op();
+        let (leaf, slot) = self.layout.leaf_of(addr);
+        // Degenerate single-leaf tree: the leaf IS the on-chip top node.
+        let ctr = if self.layout.is_on_chip(leaf) {
+            self.top.counter(slot)
+        } else {
+            self.ensure_node(leaf)?;
+            self.cache
+                .peek(self.layout.node_addr(leaf))
+                .expect("ensured")
+                .node
+                .counter(slot)
+        };
+        let dev = self.layout.data_addr(addr);
+        let side_addr = self.layout.side_addr(addr);
+        let result = if ctr == 0 {
+            let stored = self.nvm_read(dev)?;
+            let side = self.nvm_read_free(side_addr)?;
+            if stored.is_zeroed() && side.is_zeroed() {
+                Ok(Block::zeroed())
+            } else {
+                Err(MemError::Crypto(anubis_crypto::CryptoError::DataMacMismatch))
+            }
+        } else {
+            let ciphertext = self.nvm_read(dev)?;
+            let side = self.nvm_read_free(side_addr)?;
+            let sealed = anubis_crypto::SealedBlock {
+                ciphertext,
+                ecc: side.word(0),
+                mac: side.word(1),
+            };
+            self.cost.hash_ops += 2;
+            self.codec
+                .open(dev, IvCounter::monolithic(ctr), &sealed)
+                .map_err(MemError::from)
+        };
+        let value = result?;
+        self.commit()?;
+        self.totals.record(false, self.cost);
+        Ok(value)
+    }
+
+    fn write(&mut self, addr: DataAddr, data: Block) -> Result<(), MemError> {
+        self.validate(addr)?;
+        self.begin_op();
+        let (leaf, slot) = self.layout.leaf_of(addr);
+        let ctr = if self.layout.is_on_chip(leaf) {
+            // Degenerate single-leaf tree: counters live in the persistent
+            // on-chip register — no cache, no shadowing, no propagation.
+            self.top.increment(slot);
+            self.top.counter(slot)
+        } else {
+            self.ensure_node(leaf)?;
+            let leaf_addr = self.layout.node_addr(leaf);
+            let ctr = {
+                let entry = self.cache.peek_mut(leaf_addr).expect("ensured");
+                entry.node.increment(slot);
+                entry.node.counter(slot)
+            };
+            let first_mod = self.cache.mark_dirty(leaf_addr);
+            self.after_update_hooks(leaf, first_mod)?;
+            if self.scheme == SgxScheme::StrictPersist {
+                self.strict_propagate(leaf)?;
+            }
+            if self.scheme == SgxScheme::EagerWriteBack {
+                self.eager_propagate(leaf)?;
+            }
+            ctr
+        };
+        // Seal and stage the data.
+        let dev = self.layout.data_addr(addr);
+        let side_addr = self.layout.side_addr(addr);
+        self.cost.hash_ops += 2;
+        let sealed = self.codec.seal(dev, IvCounter::monolithic(ctr), &data);
+        self.stage(dev, sealed.ciphertext);
+        let mut side = Block::zeroed();
+        side.set_word(0, sealed.ecc);
+        side.set_word(1, sealed.mac);
+        self.stage_free(side_addr, side);
+        self.commit()?;
+        self.totals.record(true, self.cost);
+        Ok(())
+    }
+
+    fn crash(&mut self) {
+        self.domain.power_fail();
+        self.lost_dirty_metadata = self
+            .cache
+            .iter_resident()
+            .any(|(_, _, _, dirty)| dirty);
+        self.cache.invalidate_all();
+        self.pending.clear();
+        self.pending_shadow_root = None;
+        // Volatile shadow-tree interior is lost; rebuilt during recovery.
+        if self.scheme == SgxScheme::Asit {
+            self.shadow_tree = None;
+        }
+        // `top` and `shadow_root` are on-chip persistent registers: kept.
+    }
+
+    fn recover(&mut self) -> Result<RecoveryReport, RecoveryError> {
+        recovery::recover(self)
+    }
+
+    fn shutdown_flush(&mut self) -> Result<(), MemError> {
+        self.begin_op();
+        // Write back every dirty node, deepest levels first so parent
+        // counter bumps target still-resident parents coherently.
+        loop {
+            let next = self
+                .cache
+                .iter_resident()
+                .filter(|(_, _, _, dirty)| *dirty)
+                .map(|(_, addr, _, _)| addr)
+                .min_by_key(|addr| {
+                    self.layout
+                        .node_of_addr(*addr)
+                        .map(|n| n.level)
+                        .unwrap_or(usize::MAX)
+                });
+            let Some(addr) = next else { break };
+            let node = self.layout.node_of_addr(addr).expect("metadata address");
+            self.writeback_node(node)?;
+            self.commit()?;
+        }
+        self.commit()?;
+        self.domain.drain_wpq();
+        Ok(())
+    }
+
+    fn last_cost(&self) -> OpCost {
+        self.cost
+    }
+
+    fn total_cost(&self) -> &CostAccum {
+        &self.totals
+    }
+
+    fn reset_costs(&mut self) {
+        self.totals.reset();
+        self.cache.reset_stats();
+        self.domain.device_mut().reset_stats();
+    }
+}

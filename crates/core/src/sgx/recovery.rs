@@ -1,0 +1,199 @@
+//! Post-crash recovery for the SGX-style controller family.
+//!
+//! * **Strict persistence** — nothing was lost; trivial.
+//! * **Write-back / Osiris** — structurally unrecoverable once dirty
+//!   metadata was lost: interior nodes cannot be rebuilt from leaves
+//!   (paper §3). The simulation detects the loss via the crash oracle and
+//!   reports [`RecoveryError::SchemeCannotRecover`].
+//! * **ASIT** (Algorithm 2) — read the Shadow Table, verify it against
+//!   `SHADOW_TREE_ROOT`, splice each tracked node's counter LSBs and MAC
+//!   onto its stale NVM copy, place the recovered nodes in the metadata
+//!   cache (dirty, so they lazily propagate), and verify every recovered
+//!   node's MAC against its parent counter.
+
+use super::{SgxController, SgxEntry, SgxScheme};
+use crate::error::RecoveryError;
+use crate::recovery::RecoveryReport;
+use crate::shadow::StEntry;
+use crate::shadow_tree::ShadowTree;
+use anubis_crypto::{SgxCounterNode, SGX_COUNTERS_PER_NODE};
+use anubis_nvm::BlockAddr;
+use std::collections::HashMap;
+
+#[derive(Default)]
+struct Tally {
+    reads: u64,
+    writes: u64,
+    hashes: u64,
+    nodes_fixed: u64,
+}
+
+pub(super) fn recover(c: &mut SgxController) -> Result<RecoveryReport, RecoveryError> {
+    let redo_writes = c.domain.power_up() as u64;
+    let mut t = Tally::default();
+    match c.scheme {
+        SgxScheme::StrictPersist => {
+            // Everything persisted eagerly; the tree in NVM plus the
+            // on-chip top node is complete and fresh.
+        }
+        SgxScheme::WriteBack | SgxScheme::EagerWriteBack | SgxScheme::Osiris => {
+            if c.lost_dirty_metadata {
+                return Err(RecoveryError::SchemeCannotRecover {
+                    reason: "SGX-style interior nodes cannot be rebuilt from leaves; \
+                             dirty metadata lost in the crash is gone for good \
+                             (even with an eagerly-updated, perfectly fresh top node)",
+                });
+            }
+        }
+        SgxScheme::Asit => recover_asit(c, &mut t)?,
+    }
+    Ok(RecoveryReport {
+        nvm_reads: t.reads,
+        nvm_writes: t.writes,
+        hash_ops: t.hashes,
+        counters_fixed: 0,
+        nodes_fixed: t.nodes_fixed,
+        redo_writes,
+        reencryption_completed: false,
+    })
+}
+
+/// Algorithm 2 (paper §4.3.2).
+fn recover_asit(c: &mut SgxController, t: &mut Tally) -> Result<(), RecoveryError> {
+    // Step 1: read the whole Shadow Table.
+    let st_slots = c.layout.st_slots();
+    let mut st_blocks = Vec::with_capacity(st_slots as usize);
+    for slot in 0..st_slots {
+        let addr = c.layout.st_slot(slot);
+        t.reads += 1;
+        st_blocks.push(c.domain.device_mut().read(addr));
+    }
+
+    // Step 2: regenerate SHADOW_TREE_ROOT and verify against the on-chip
+    // register.
+    let rebuilt = ShadowTree::rebuild(c.config.key, st_blocks.clone());
+    t.hashes += rebuilt.rebuild_hash_ops();
+    if rebuilt.root() != c.shadow_root {
+        return Err(RecoveryError::ShadowTableTampered);
+    }
+
+    // Parse entries; deduplicate by node address keeping the freshest
+    // (componentwise-largest counters — counters only ever grow, and a
+    // stale duplicate always equals the NVM copy; see DESIGN.md).
+    let lsb_bits = c.config.st_lsb_bits;
+    let mut by_addr: HashMap<BlockAddr, StEntry> = HashMap::new();
+    for block in &st_blocks {
+        let Some(entry) = StEntry::from_block(block) else { continue };
+        // Ignore entries pointing outside the metadata regions (possible
+        // only through tampering that also defeated the shadow root — but
+        // stay defensive).
+        if c.layout.node_of_addr(entry.addr()).is_none() {
+            continue;
+        }
+        by_addr
+            .entry(entry.addr())
+            .and_modify(|existing| {
+                if lsb_sum(&entry) > lsb_sum(existing) {
+                    *existing = entry;
+                }
+            })
+            .or_insert(entry);
+    }
+
+    // Step 3: recover each tracked node: stale NVM MSBs + shadow LSBs,
+    // MAC replaced from the shadow entry; insert into the cache dirty.
+    let mut recovered: Vec<(BlockAddr, SgxCounterNode)> = Vec::with_capacity(by_addr.len());
+    for (&addr, entry) in &by_addr {
+        t.reads += 1;
+        let stale_block = c.domain.device_mut().read(addr);
+        let stale = SgxCounterNode::from_block(&stale_block);
+        let mask = (1u64 << lsb_bits) - 1;
+        let mut node = SgxCounterNode::new();
+        for i in 0..SGX_COUNTERS_PER_NODE {
+            node.set_counter(i, (stale.counter(i) & !mask) | entry.lsbs()[i]);
+        }
+        node.set_mac(entry.mac());
+        recovered.push((addr, node));
+    }
+    for (addr, node) in &recovered {
+        let outcome = c.cache.insert(*addr, SgxEntry { node: *node, since_persist: 0 });
+        assert!(
+            outcome.evicted.is_none(),
+            "recovered nodes co-resided before the crash and must fit"
+        );
+        c.cache.mark_dirty(*addr);
+        t.nodes_fixed += 1;
+    }
+
+    // Step 4: verify every recovered node's MAC against its parent
+    // counter (recovered parent from the cache, the on-chip top node, or
+    // the — necessarily current — NVM copy).
+    let g = c.layout.geometry().clone();
+    for (addr, node) in &recovered {
+        let id = c.layout.node_of_addr(*addr).expect("validated above");
+        let pc = match g.parent(id) {
+            None => 0,
+            Some(p) if c.layout.is_on_chip(p) => c.top.counter(g.child_slot(id)),
+            Some(p) => {
+                let p_addr = c.layout.node_addr(p);
+                if let Some(entry) = c.cache.peek(p_addr) {
+                    entry.node.counter(g.child_slot(id))
+                } else {
+                    t.reads += 1;
+                    let b = c.domain.device_mut().read(p_addr);
+                    SgxCounterNode::from_block(&b).counter(g.child_slot(id))
+                }
+            }
+        };
+        t.hashes += 1;
+        if !node.verify(&c.mac_key, pc) {
+            return Err(RecoveryError::NodeMacMismatch { addr: *addr });
+        }
+    }
+
+    // Normalize the Shadow Table to the post-recovery cache state.
+    //
+    // Re-insertion may have placed recovered nodes in different ways than
+    // they occupied before the crash; without rewriting the ST, the old
+    // slots would keep orphaned entries that a *later* recovery could
+    // resurrect (rolling counters back to a stale-but-MAC-valid state).
+    // Recovery therefore rewrites each recovered node's entry at its
+    // current slot and clears every other slot, re-anchoring
+    // SHADOW_TREE_ROOT. O(cache) work, like the rest of Algorithm 2.
+    let lsb_mask = (1u64 << lsb_bits) - 1;
+    let mut fresh_tree = ShadowTree::new(c.config.key, st_slots);
+    t.hashes += fresh_tree.rebuild_hash_ops();
+    let mut occupied = vec![false; st_slots as usize];
+    for (addr, node) in &recovered {
+        let slot = c
+            .cache
+            .slot_of(*addr)
+            .expect("recovered node is resident")
+            .linear(c.cache.ways()) as u64;
+        let mut lsbs = [0u64; SGX_COUNTERS_PER_NODE];
+        for (i, l) in lsbs.iter_mut().enumerate() {
+            *l = node.counter(i) & lsb_mask;
+        }
+        let entry = StEntry::new(*addr, node.mac(), lsbs);
+        t.writes += 1;
+        c.domain.device_mut().write(c.layout.st_slot(slot), entry.to_block());
+        fresh_tree.update(slot, entry.to_block());
+        occupied[slot as usize] = true;
+    }
+    for slot in 0..st_slots {
+        if !occupied[slot as usize] && !st_blocks[slot as usize].is_zeroed() {
+            t.writes += 1;
+            c.domain
+                .device_mut()
+                .write(c.layout.st_slot(slot), anubis_nvm::Block::zeroed());
+        }
+    }
+    c.shadow_root = fresh_tree.root();
+    c.shadow_tree = Some(fresh_tree);
+    c.lost_dirty_metadata = false;
+    Ok(())
+}
+
+fn lsb_sum(e: &StEntry) -> u128 {
+    e.lsbs().iter().map(|&v| v as u128).sum()
+}

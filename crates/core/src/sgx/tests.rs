@@ -1,0 +1,410 @@
+//! Unit tests for the SGX-style controller family.
+
+use super::*;
+use crate::MemoryController;
+
+fn cfg() -> AnubisConfig {
+    AnubisConfig::small_test()
+}
+
+fn controller(scheme: SgxScheme) -> SgxController {
+    SgxController::new(scheme, &cfg())
+}
+
+fn pattern(i: u64) -> Block {
+    Block::from_words([i, !i, i * 5, i + 1, i << 4, i ^ 0xF0F0, i.rotate_right(9), 7])
+}
+
+#[test]
+fn fresh_memory_reads_zero() {
+    for scheme in SgxScheme::all() {
+        let mut c = controller(scheme);
+        assert_eq!(c.read(DataAddr::new(0)).unwrap(), Block::zeroed(), "{}", scheme.name());
+        assert_eq!(c.read(DataAddr::new(9999)).unwrap(), Block::zeroed());
+    }
+}
+
+#[test]
+fn write_read_roundtrip_all_schemes() {
+    for scheme in SgxScheme::all() {
+        let mut c = controller(scheme);
+        for i in 0..60u64 {
+            c.write(DataAddr::new(i * 31 % 3000), pattern(i)).unwrap();
+        }
+        for i in 0..60u64 {
+            let addr = i * 31 % 3000;
+            let last = (0..60u64).filter(|j| j * 31 % 3000 == addr).max().unwrap();
+            assert_eq!(
+                c.read(DataAddr::new(addr)).unwrap(),
+                pattern(last),
+                "{} addr {addr}",
+                scheme.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn out_of_range_rejected() {
+    let mut c = controller(SgxScheme::Asit);
+    let cap = c.layout().data_blocks();
+    assert!(matches!(c.read(DataAddr::new(cap)), Err(MemError::OutOfRange { .. })));
+}
+
+#[test]
+fn data_tamper_detected() {
+    let mut c = controller(SgxScheme::Asit);
+    let a = DataAddr::new(3);
+    c.write(a, pattern(1)).unwrap();
+    c.domain_mut().drain_wpq();
+    let dev = c.layout().data_addr(a);
+    c.domain_mut().device_mut().tamper_flip_bit(dev, 17);
+    assert!(matches!(c.read(a), Err(MemError::Crypto(_))));
+}
+
+#[test]
+fn leaf_replay_detected_on_fetch() {
+    // Roll a leaf back to an old (validly MACed) NVM value after its
+    // parent counter advanced: the fetch MAC check must fail.
+    let mut c = controller(SgxScheme::WriteBack);
+    let a = DataAddr::new(5);
+    c.write(a, pattern(1)).unwrap();
+    c.shutdown_flush().unwrap(); // leaf sealed+written, parent bumped
+    let (leaf, _) = c.layout().leaf_of(a);
+    let leaf_addr = c.layout().node_addr(leaf);
+    let old = c.domain_mut().device_mut().peek(leaf_addr);
+    // Advance state: another write + flush bumps the parent counter again.
+    c.write(a, pattern(2)).unwrap();
+    c.shutdown_flush().unwrap();
+    c.cache.invalidate_all();
+    c.domain_mut().device_mut().tamper_replay(leaf_addr, old);
+    assert!(matches!(c.read(a), Err(MemError::Integrity { .. })));
+}
+
+#[test]
+fn interior_node_tamper_detected() {
+    let mut c = controller(SgxScheme::WriteBack);
+    c.write(DataAddr::new(0), pattern(1)).unwrap();
+    c.shutdown_flush().unwrap();
+    c.cache.invalidate_all();
+    let node = anubis_itree::NodeId::new(1, 0);
+    let addr = c.layout().node_addr(node);
+    c.domain_mut().device_mut().tamper_flip_bit(addr, 100);
+    assert!(matches!(c.read(DataAddr::new(0)), Err(MemError::Integrity { .. })));
+}
+
+#[test]
+fn graceful_shutdown_then_recover_all_schemes() {
+    for scheme in SgxScheme::all() {
+        let mut c = controller(scheme);
+        for i in 0..40u64 {
+            c.write(DataAddr::new(i * 3), pattern(i)).unwrap();
+        }
+        c.shutdown_flush().unwrap();
+        c.crash();
+        let r = c.recover();
+        assert!(r.is_ok(), "{}: {r:?}", scheme.name());
+        for i in 0..40u64 {
+            assert_eq!(c.read(DataAddr::new(i * 3)).unwrap(), pattern(i), "{}", scheme.name());
+        }
+    }
+}
+
+#[test]
+fn asit_crash_recovery_restores_cache_state() {
+    let mut c = controller(SgxScheme::Asit);
+    for i in 0..80u64 {
+        c.write(DataAddr::new(i * 17 % 900), pattern(i)).unwrap();
+    }
+    c.crash();
+    let report = c.recover().unwrap();
+    assert!(report.nodes_fixed > 0, "dirty nodes must be restored");
+    assert!(report.nvm_reads >= c.layout().st_slots(), "full ST scan");
+    for i in 0..80u64 {
+        let addr = i * 17 % 900;
+        let last = (0..80u64).filter(|j| j * 17 % 900 == addr).max().unwrap();
+        assert_eq!(c.read(DataAddr::new(addr)).unwrap(), pattern(last), "addr {addr}");
+    }
+}
+
+#[test]
+fn asit_recovery_is_cache_sized_not_memory_sized() {
+    let mut c = controller(SgxScheme::Asit);
+    for i in 0..50u64 {
+        c.write(DataAddr::new(i), pattern(i)).unwrap();
+    }
+    c.crash();
+    let report = c.recover().unwrap();
+    let st = c.layout().st_slots();
+    // Scan + shadow rebuild + per-entry work: comfortably below data size.
+    assert!(report.nvm_reads < st * 4);
+    assert!(report.nvm_reads < c.layout().data_blocks());
+}
+
+#[test]
+fn writeback_and_osiris_cannot_recover_sgx_tree() {
+    for scheme in [SgxScheme::WriteBack, SgxScheme::Osiris] {
+        let mut c = controller(scheme);
+        for i in 0..30u64 {
+            c.write(DataAddr::new(i), pattern(i)).unwrap();
+        }
+        c.crash();
+        assert!(
+            matches!(c.recover(), Err(RecoveryError::SchemeCannotRecover { .. })),
+            "{} must fail",
+            scheme.name()
+        );
+    }
+}
+
+#[test]
+fn strict_persist_recovers_after_crash() {
+    let mut c = controller(SgxScheme::StrictPersist);
+    for i in 0..30u64 {
+        c.write(DataAddr::new(i * 7), pattern(i)).unwrap();
+    }
+    c.crash();
+    c.recover().unwrap();
+    for i in 0..30u64 {
+        assert_eq!(c.read(DataAddr::new(i * 7)).unwrap(), pattern(i));
+    }
+}
+
+#[test]
+fn tampered_shadow_table_detected() {
+    let mut c = controller(SgxScheme::Asit);
+    for i in 0..20u64 {
+        c.write(DataAddr::new(i), pattern(i)).unwrap();
+    }
+    c.crash();
+    // Flip one bit anywhere in the ST region.
+    let st0 = c.layout().st_slot(0);
+    // Find a nonzero slot to make the tamper meaningful; fall back to 0.
+    let mut target = st0;
+    for s in 0..c.layout().st_slots() {
+        let a = c.layout().st_slot(s);
+        if !c.domain().device().peek(a).is_zeroed() {
+            target = a;
+            break;
+        }
+    }
+    c.domain_mut().device_mut().tamper_flip_bit(target, 5);
+    assert_eq!(c.recover(), Err(RecoveryError::ShadowTableTampered));
+}
+
+#[test]
+fn tampered_stale_node_msbs_detected_after_recovery() {
+    // Attack the MSBs recovery takes from NVM: the spliced node's MAC
+    // (from the ST) must then fail verification.
+    let small_lsb = cfg().with_st_lsb_bits(8);
+    let mut c = SgxController::new(SgxScheme::Asit, &small_lsb);
+    let a = DataAddr::new(0);
+    // Push the counter past 255 so the MSBs are nonzero and *current* in
+    // NVM (each LSB wrap forces a persist).
+    for i in 0..300u64 {
+        c.write(a, pattern(i)).unwrap();
+    }
+    c.crash();
+    let (leaf, _) = c.layout().leaf_of(a);
+    let leaf_addr = c.layout().node_addr(leaf);
+    // Flip an MSB bit of counter 0 (byte 1 of the 7-byte field = bit 8+).
+    c.domain_mut().device_mut().tamper_flip_bit(leaf_addr, 9);
+    assert!(matches!(
+        c.recover(),
+        Err(RecoveryError::NodeMacMismatch { .. }) | Err(RecoveryError::ShadowTableTampered)
+    ));
+}
+
+#[test]
+fn lsb_overflow_forces_node_persistence() {
+    let small_lsb = cfg().with_st_lsb_bits(4); // wraps every 16 increments
+    let mut c = SgxController::new(SgxScheme::Asit, &small_lsb);
+    let a = DataAddr::new(0);
+    for i in 0..40u64 {
+        c.write(a, pattern(i)).unwrap();
+    }
+    c.domain_mut().drain_wpq();
+    let (leaf, slot) = c.layout().leaf_of(a);
+    let nvm = anubis_crypto::SgxCounterNode::from_block(
+        &{ let a = c.layout().node_addr(leaf); c.domain_mut().device_mut().read(a) },
+    );
+    // NVM MSBs must be current: counter 40 has MSB part 32 (wrap at 32).
+    assert!(nvm.counter(slot) >= 32, "persist on LSB wrap keeps MSBs fresh");
+    // And the full cycle still recovers.
+    c.crash();
+    c.recover().unwrap();
+    assert_eq!(c.read(a).unwrap(), pattern(39));
+}
+
+#[test]
+fn asit_extra_writes_are_about_one_per_data_write() {
+    // Cache-friendly working set (no eviction churn): the steady-state
+    // cost the paper quotes — one ST write per data write.
+    let mut c = controller(SgxScheme::Asit);
+    for i in 0..400u64 {
+        c.write(DataAddr::new(i % 100), pattern(i)).unwrap();
+    }
+    let amp = c.total_cost().writes_per_data_write().unwrap();
+    assert!((1.8..2.6).contains(&amp), "ASIT write amplification {amp}");
+}
+
+#[test]
+fn strict_writes_much_more_than_asit() {
+    let amp = |scheme| {
+        let mut c = controller(scheme);
+        for i in 0..300u64 {
+            c.write(DataAddr::new(i * 11 % 2000), pattern(i)).unwrap();
+        }
+        c.total_cost().writes_per_data_write().unwrap()
+    };
+    let strict = amp(SgxScheme::StrictPersist);
+    let asit = amp(SgxScheme::Asit);
+    let wb = amp(SgxScheme::WriteBack);
+    assert!(strict > asit, "strict {strict} vs asit {asit}");
+    assert!(asit > wb, "asit {asit} vs wb {wb}");
+}
+
+#[test]
+fn repeated_crash_recover_cycles() {
+    let mut c = controller(SgxScheme::Asit);
+    for round in 0..4u64 {
+        for i in 0..25u64 {
+            c.write(DataAddr::new(i * 5), pattern(round * 100 + i)).unwrap();
+        }
+        c.crash();
+        c.recover().unwrap_or_else(|e| panic!("round {round}: {e}"));
+    }
+    for i in 0..25u64 {
+        assert_eq!(c.read(DataAddr::new(i * 5)).unwrap(), pattern(300 + i));
+    }
+}
+
+#[test]
+fn shadow_root_register_tracks_commits() {
+    let mut c = controller(SgxScheme::Asit);
+    let r0 = c.shadow_root();
+    c.write(DataAddr::new(0), pattern(1)).unwrap();
+    assert_ne!(c.shadow_root(), r0, "register advances with the commit");
+}
+
+#[test]
+fn eager_update_is_insufficient_for_sgx_trees() {
+    // Paper §2.6: even with every write propagated to the on-chip top
+    // node (root perfectly fresh), losing dirty interior nodes makes the
+    // tree unrecoverable — only shadowing the cache *contents* (ASIT)
+    // helps. The eager variant must behave correctly while powered and
+    // still fail recovery after a dirty-loss crash.
+    let mut c = controller(SgxScheme::EagerWriteBack);
+    for i in 0..40u64 {
+        c.write(DataAddr::new(i * 5 % 600), pattern(i)).unwrap();
+    }
+    for i in 0..40u64 {
+        let addr = i * 5 % 600;
+        let last = (0..40u64).filter(|j| j * 5 % 600 == addr).max().unwrap();
+        assert_eq!(c.read(DataAddr::new(addr)).unwrap(), pattern(last));
+    }
+    c.crash();
+    assert!(matches!(
+        c.recover(),
+        Err(RecoveryError::SchemeCannotRecover { .. })
+    ));
+}
+
+#[test]
+fn eager_variant_recovers_after_clean_shutdown() {
+    let mut c = controller(SgxScheme::EagerWriteBack);
+    for i in 0..30u64 {
+        c.write(DataAddr::new(i), pattern(i)).unwrap();
+    }
+    c.shutdown_flush().unwrap();
+    c.crash();
+    c.recover().expect("nothing dirty was lost");
+    for i in 0..30u64 {
+        assert_eq!(c.read(DataAddr::new(i)).unwrap(), pattern(i));
+    }
+}
+
+#[test]
+fn all_with_extras_lists_five_schemes() {
+    let schemes = SgxScheme::all_with_extras();
+    assert_eq!(schemes.len(), 5);
+    let mut names: Vec<_> = schemes.iter().map(|s| s.name()).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), 5);
+}
+
+#[test]
+fn asit_recovery_is_idempotent() {
+    let mut c = controller(SgxScheme::Asit);
+    for i in 0..60u64 {
+        c.write(DataAddr::new(i * 3 % 500), pattern(i)).unwrap();
+    }
+    c.crash();
+    let r1 = c.recover().unwrap();
+    assert!(r1.nodes_fixed > 0);
+    // Immediate second crash: the normalized Shadow Table must recover
+    // the same state again without error.
+    c.crash();
+    let r2 = c.recover().unwrap();
+    assert!(r2.nodes_fixed <= r1.nodes_fixed + 1);
+    for i in 0..60u64 {
+        let addr = i * 3 % 500;
+        let last = (0..60u64).filter(|j| j * 3 % 500 == addr).max().unwrap();
+        assert_eq!(c.read(DataAddr::new(addr)).unwrap(), pattern(last));
+    }
+}
+
+#[test]
+fn single_leaf_sgx_memory_works() {
+    let tiny = cfg().with_capacity(512); // 8 lines -> one leaf, 1-level tree
+    let mut c = SgxController::new(SgxScheme::Asit, &tiny);
+    assert_eq!(c.layout().geometry().num_levels(), 1);
+    for i in 0..8u64 {
+        c.write(DataAddr::new(i), pattern(i)).unwrap();
+    }
+    c.crash();
+    c.recover().unwrap();
+    for i in 0..8u64 {
+        assert_eq!(c.read(DataAddr::new(i)).unwrap(), pattern(i));
+    }
+}
+
+#[test]
+fn lazy_propagation_reaches_top_register_on_flush() {
+    // After shutdown_flush, every dirty node was written back, so the
+    // on-chip top node's counters must account for every writeback of its
+    // children — nonzero once enough traffic flowed.
+    let mut c = controller(SgxScheme::Asit);
+    for i in 0..200u64 {
+        c.write(DataAddr::new(i * 97 % 4000), pattern(i)).unwrap();
+    }
+    c.shutdown_flush().unwrap();
+    let top_sum: u64 = (0..8).map(|i| c.top.counter(i)).sum();
+    assert!(top_sum > 0, "writebacks must have propagated to the on-chip top node");
+    // And the fully-persisted tree verifies from a cold cache.
+    c.cache.invalidate_all();
+    for i in [0u64, 1111, 3999] {
+        assert!(c.read(DataAddr::new(i)).is_ok());
+    }
+}
+
+#[test]
+fn parent_fetch_evicting_own_child_keeps_parent_tracked() {
+    // Regression: inserting a parent node can evict its own dirty child;
+    // the victim-handling bumps the parent (tracking it at its new slot —
+    // the slot the child just vacated) and must NOT then clear that slot.
+    // The 185-op prefix of this workload deterministically hits the case
+    // at small_test geometry.
+    let mut c = controller(SgxScheme::Asit);
+    for i in 0..185u64 {
+        c.write(DataAddr::new(i * 7 % 1000), pattern(i)).unwrap();
+    }
+    c.crash();
+    c.recover().expect("parent bump must stay tracked");
+    for i in 0..185u64 {
+        let addr = i * 7 % 1000;
+        let last = (0..185u64).filter(|j| j * 7 % 1000 == addr).max().unwrap();
+        assert_eq!(c.read(DataAddr::new(addr)).unwrap(), pattern(last), "addr {addr}");
+    }
+}

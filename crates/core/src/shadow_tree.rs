@@ -1,0 +1,124 @@
+//! The small non-parallelizable tree protecting the ASIT Shadow Table
+//! (paper §4.3.1, "Protecting Shadow Table").
+//!
+//! The tree's *interior* lives in volatile storage (the paper reserves a
+//! slice of the metadata cache for it); only its root — `SHADOW_TREE_ROOT`
+//! — is kept in an on-chip persistent register. It is updated **eagerly**
+//! on every Shadow Table write, so after a crash the register attests the
+//! exact last-committed ST contents, which recovery re-hashes and checks.
+
+use anubis_crypto::Key;
+use anubis_itree::bonsai::{ReferenceTree, Root};
+use anubis_nvm::Block;
+
+/// Volatile mirror of the Shadow Table plus its protection tree.
+#[derive(Clone, Debug)]
+pub struct ShadowTree {
+    tree: ReferenceTree,
+    levels: u32,
+}
+
+impl ShadowTree {
+    /// Builds the tree over `slots` all-zero ST blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0`.
+    pub fn new(master: Key, slots: u64) -> Self {
+        assert!(slots > 0, "shadow table must have at least one slot");
+        let tree = ReferenceTree::build(
+            master.derive("shadow-table-tree"),
+            vec![Block::zeroed(); slots as usize],
+        );
+        let levels = tree.geometry().num_levels() as u32;
+        ShadowTree { tree, levels }
+    }
+
+    /// Rebuilds from an ST image read back from NVM (recovery path) and
+    /// returns the recomputed root for comparison with the register.
+    pub fn rebuild(master: Key, st_blocks: Vec<Block>) -> Self {
+        assert!(!st_blocks.is_empty(), "shadow table must have at least one slot");
+        let tree = ReferenceTree::build(master.derive("shadow-table-tree"), st_blocks);
+        let levels = tree.geometry().num_levels() as u32;
+        ShadowTree { tree, levels }
+    }
+
+    /// Records a new ST block at `slot` and returns the new root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn update(&mut self, slot: u64, block: Block) -> Root {
+        self.tree.update_leaf(slot, block);
+        self.tree.root()
+    }
+
+    /// The current root.
+    pub fn root(&self) -> Root {
+        self.tree.root()
+    }
+
+    /// Hash computations charged per eager update (one digest per level).
+    pub fn update_hash_ops(&self) -> u32 {
+        self.levels
+    }
+
+    /// Hash computations charged for a full rebuild (≈ every node once).
+    pub fn rebuild_hash_ops(&self) -> u64 {
+        let g = self.tree.geometry();
+        (0..g.num_levels()).map(|l| g.nodes_at(l)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_changes_root_deterministically() {
+        let mut a = ShadowTree::new(Key([1, 2]), 16);
+        let mut b = ShadowTree::new(Key([1, 2]), 16);
+        assert_eq!(a.root(), b.root());
+        let ra = a.update(3, Block::filled(0xAA));
+        let rb = b.update(3, Block::filled(0xAA));
+        assert_eq!(ra, rb);
+        assert_ne!(ra, ShadowTree::new(Key([1, 2]), 16).root());
+    }
+
+    #[test]
+    fn rebuild_matches_incremental() {
+        let mut inc = ShadowTree::new(Key([5, 6]), 32);
+        let mut image = vec![Block::zeroed(); 32];
+        for (slot, fill) in [(0u64, 1u8), (31, 2), (7, 3), (7, 4)] {
+            image[slot as usize] = Block::filled(fill);
+            inc.update(slot, Block::filled(fill));
+        }
+        let rebuilt = ShadowTree::rebuild(Key([5, 6]), image);
+        assert_eq!(rebuilt.root(), inc.root());
+    }
+
+    #[test]
+    fn tampered_image_mismatches() {
+        let mut inc = ShadowTree::new(Key([5, 6]), 8);
+        inc.update(2, Block::filled(9));
+        let mut image = vec![Block::zeroed(); 8];
+        image[2] = Block::filled(9);
+        image[2].flip_bit(0); // attacker flips one ST bit
+        assert_ne!(ShadowTree::rebuild(Key([5, 6]), image).root(), inc.root());
+    }
+
+    #[test]
+    fn paper_sized_table_has_four_plus_levels() {
+        // 256 KB cache -> 4096 slots -> 8-ary tree of 4 interior levels
+        // (the paper: "only a tree of four levels (8-ary) needs to be
+        // maintained").
+        let t = ShadowTree::new(Key([1, 1]), 4096);
+        assert_eq!(t.update_hash_ops(), 5); // 4096 leaves + 4 levels above
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_panics() {
+        let _ = ShadowTree::new(Key([1, 1]), 0);
+    }
+}

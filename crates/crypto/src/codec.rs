@@ -1,0 +1,221 @@
+//! The per-block secure data path: counter-mode encryption + encrypted
+//! plaintext ECC (Osiris) + Bonsai-style data MAC.
+
+use crate::ecc;
+use crate::error::CryptoError;
+use crate::hash::Hasher64;
+use crate::otp::{self, IvCounter};
+use crate::Key;
+use anubis_nvm::{Block, BlockAddr};
+
+/// What the memory controller actually stores for one data line:
+/// the ciphertext plus two encrypted 8-byte side words.
+///
+/// On a real DIMM the ECC word lives in the spare ECC bits and the MAC in
+/// spare bits or a colocated scheme (Synergy); neither costs an extra
+/// memory transaction, which is how the timing model treats them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct SealedBlock {
+    /// Counter-mode encrypted data.
+    pub ciphertext: Block,
+    /// ECC of the plaintext, encrypted under the ECC pad lane.
+    pub ecc: u64,
+    /// MAC over (plaintext, counter, address), truncated to 64 bits.
+    pub mac: u64,
+}
+
+/// Encrypts and authenticates data blocks under a processor key pair.
+///
+/// This is the Bonsai Merkle Tree data path (paper §2.3): counters are
+/// integrity-protected by the tree, data is protected by a MAC over the
+/// data and its counter, and the plaintext ECC rides along encrypted so
+/// that recovery can test candidate counters (Osiris, §2.4).
+///
+/// # Example
+///
+/// ```
+/// use anubis_crypto::{Key, DataCodec, otp::IvCounter};
+/// use anubis_nvm::{Block, BlockAddr};
+/// let codec = DataCodec::new(Key([1, 2]));
+/// let addr = BlockAddr::new(10);
+/// let ctr = IvCounter::split(0, 3);
+/// let sealed = codec.seal(addr, ctr, &Block::filled(0x77));
+/// let opened = codec.open(addr, ctr, &sealed)?;
+/// assert_eq!(opened, Block::filled(0x77));
+/// # Ok::<(), anubis_crypto::CryptoError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct DataCodec {
+    enc_key: Key,
+    mac: Hasher64,
+}
+
+impl DataCodec {
+    /// Derives the encryption and MAC keys from a master key.
+    pub fn new(master: Key) -> Self {
+        DataCodec {
+            enc_key: master.derive("data-encryption"),
+            mac: Hasher64::new(master.derive("data-mac")),
+        }
+    }
+
+    /// Encrypts `plaintext` for storage at `addr` under `counter`.
+    pub fn seal(&self, addr: BlockAddr, counter: IvCounter, plaintext: &Block) -> SealedBlock {
+        let ciphertext = otp::encrypt(self.enc_key, addr, counter, plaintext);
+        let ecc_plain = ecc::ecc_block(plaintext);
+        let side_pad = otp::pad_word(self.enc_key, addr, counter);
+        SealedBlock {
+            ciphertext,
+            ecc: ecc_plain ^ side_pad,
+            mac: self.data_mac(addr, counter, plaintext),
+        }
+    }
+
+    /// Decrypts and fully verifies a sealed block.
+    ///
+    /// # Errors
+    ///
+    /// * [`CryptoError::EccMismatch`] — wrong counter or corrupted
+    ///   ciphertext/ECC.
+    /// * [`CryptoError::DataMacMismatch`] — ECC passed but the
+    ///   authentication MAC failed (targeted tampering).
+    pub fn open(
+        &self,
+        addr: BlockAddr,
+        counter: IvCounter,
+        sealed: &SealedBlock,
+    ) -> Result<Block, CryptoError> {
+        let plaintext = self.probe(addr, counter, sealed).ok_or(CryptoError::EccMismatch)?;
+        if sealed.mac != self.data_mac(addr, counter, &plaintext) {
+            return Err(CryptoError::DataMacMismatch);
+        }
+        Ok(plaintext)
+    }
+
+    /// The Osiris primitive: attempts decryption with `counter` and returns
+    /// the plaintext only if the decrypted ECC sanity check passes. Does
+    /// *not* check the data MAC — recovery verifies integrity via the tree
+    /// root afterwards.
+    pub fn probe(&self, addr: BlockAddr, counter: IvCounter, sealed: &SealedBlock) -> Option<Block> {
+        let plaintext = otp::decrypt(self.enc_key, addr, counter, &sealed.ciphertext);
+        let side_pad = otp::pad_word(self.enc_key, addr, counter);
+        ecc::check_block(&plaintext, sealed.ecc ^ side_pad).then_some(plaintext)
+    }
+
+    /// Runs the Osiris trial loop: tries `candidates` in order and returns
+    /// the index of the first counter whose ECC check passes.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::CounterNotRecovered`] if no candidate passes.
+    pub fn osiris_recover(
+        &self,
+        addr: BlockAddr,
+        candidates: impl IntoIterator<Item = IvCounter>,
+        sealed: &SealedBlock,
+    ) -> Result<(usize, Block), CryptoError> {
+        let mut trials = 0u32;
+        for (i, ctr) in candidates.into_iter().enumerate() {
+            trials += 1;
+            if let Some(pt) = self.probe(addr, ctr, sealed) {
+                return Ok((i, pt));
+            }
+        }
+        Err(CryptoError::CounterNotRecovered { trials })
+    }
+
+    fn data_mac(&self, addr: BlockAddr, counter: IvCounter, plaintext: &Block) -> u64 {
+        let mut bytes = Vec::with_capacity(64 + 24);
+        bytes.extend_from_slice(plaintext.as_bytes());
+        bytes.extend_from_slice(&addr.index().to_le_bytes());
+        bytes.extend_from_slice(&counter.major.to_le_bytes());
+        bytes.extend_from_slice(&counter.minor.to_le_bytes());
+        self.mac.hash(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codec() -> DataCodec {
+        DataCodec::new(Key([77, 88]))
+    }
+
+    fn ctr(minor: u64) -> IvCounter {
+        IvCounter::split(2, minor)
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let c = codec();
+        let pt = Block::from_words([10, 20, 30, 40, 50, 60, 70, 80]);
+        let sealed = c.seal(BlockAddr::new(5), ctr(1), &pt);
+        assert_eq!(c.open(BlockAddr::new(5), ctr(1), &sealed).unwrap(), pt);
+    }
+
+    #[test]
+    fn wrong_counter_fails_ecc() {
+        let c = codec();
+        let sealed = c.seal(BlockAddr::new(5), ctr(1), &Block::filled(9));
+        assert_eq!(c.open(BlockAddr::new(5), ctr(2), &sealed), Err(CryptoError::EccMismatch));
+    }
+
+    #[test]
+    fn wrong_address_fails_ecc() {
+        let c = codec();
+        let sealed = c.seal(BlockAddr::new(5), ctr(1), &Block::filled(9));
+        assert!(c.open(BlockAddr::new(6), ctr(1), &sealed).is_err());
+    }
+
+    #[test]
+    fn ciphertext_tamper_fails() {
+        let c = codec();
+        let mut sealed = c.seal(BlockAddr::new(5), ctr(1), &Block::filled(9));
+        sealed.ciphertext.flip_bit(3);
+        assert!(c.open(BlockAddr::new(5), ctr(1), &sealed).is_err());
+    }
+
+    #[test]
+    fn mac_tamper_detected_even_if_ecc_passes() {
+        let c = codec();
+        let mut sealed = c.seal(BlockAddr::new(5), ctr(1), &Block::filled(9));
+        sealed.mac ^= 1;
+        assert_eq!(
+            c.open(BlockAddr::new(5), ctr(1), &sealed),
+            Err(CryptoError::DataMacMismatch)
+        );
+    }
+
+    #[test]
+    fn osiris_recovers_recent_counter() {
+        // Memory holds a counter persisted at minor=4 (stop-loss write);
+        // the block was actually encrypted at minor=6. Trials walk forward.
+        let c = codec();
+        let pt = Block::filled(0xCD);
+        let sealed = c.seal(BlockAddr::new(9), ctr(6), &pt);
+        let candidates = (4..8).map(ctr);
+        let (idx, recovered) = c.osiris_recover(BlockAddr::new(9), candidates, &sealed).unwrap();
+        assert_eq!(idx, 2); // 4, 5, then 6 matches
+        assert_eq!(recovered, pt);
+    }
+
+    #[test]
+    fn osiris_fails_outside_stop_loss_window() {
+        let c = codec();
+        let sealed = c.seal(BlockAddr::new(9), ctr(10), &Block::filled(1));
+        let candidates = (4..8).map(ctr);
+        assert_eq!(
+            c.osiris_recover(BlockAddr::new(9), candidates, &sealed),
+            Err(CryptoError::CounterNotRecovered { trials: 4 })
+        );
+    }
+
+    #[test]
+    fn probe_does_not_require_mac() {
+        let c = codec();
+        let mut sealed = c.seal(BlockAddr::new(9), ctr(3), &Block::filled(1));
+        sealed.mac = 0; // destroyed MAC
+        assert!(c.probe(BlockAddr::new(9), ctr(3), &sealed).is_some());
+    }
+}

@@ -1,0 +1,223 @@
+//! SGX-style counter nodes: eight 56-bit counters plus a 56-bit MAC per
+//! 64-byte line (paper §4.3, Fig. 3).
+
+use crate::hash::{Hasher64, MASK56};
+use anubis_nvm::Block;
+
+/// Counters per SGX-style node/leaf line.
+pub const SGX_COUNTERS_PER_NODE: usize = 8;
+
+/// Width of an SGX counter in bits.
+pub const SGX_COUNTER_BITS: u32 = 56;
+
+/// Maximum SGX counter value.
+pub const SGX_COUNTER_MAX: u64 = MASK56;
+
+/// One line of the SGX-style integrity tree.
+///
+/// Leaves hold eight per-data-line encryption counters; interior nodes hold
+/// eight per-child version counters. Either way the line carries a 56-bit
+/// MAC computed over the node's eight counters **and one counter from the
+/// parent node** — this inter-level dependence is what makes the tree
+/// parallelizable to update but impossible to rebuild from leaves alone
+/// (paper §2.3.2 / §3).
+///
+/// Layout in the 64-byte block: counters `i` in bytes `7i..7i+7`
+/// (little-endian, 7 bytes each, 56 bytes total), MAC in bytes 56..63,
+/// byte 63 unused.
+///
+/// # Example
+///
+/// ```
+/// use anubis_crypto::{Key, SgxCounterNode, hash::Hasher64};
+/// let mac_key = Hasher64::new(Key([1, 2]).derive("sgx-mac"));
+/// let mut node = SgxCounterNode::new();
+/// node.increment(2);
+/// node.seal(&mac_key, 7); // parent counter = 7
+/// assert!(node.verify(&mac_key, 7));
+/// assert!(!node.verify(&mac_key, 8)); // replayed parent counter
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct SgxCounterNode {
+    counters: [u64; SGX_COUNTERS_PER_NODE],
+    mac: u64,
+}
+
+impl SgxCounterNode {
+    /// A fresh node with all counters and MAC zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The `i`-th counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    pub fn counter(&self, i: usize) -> u64 {
+        self.counters[i]
+    }
+
+    /// Sets the `i`-th counter (used by recovery when splicing LSBs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8` or `value` exceeds 56 bits.
+    pub fn set_counter(&mut self, i: usize, value: u64) {
+        assert!(value <= SGX_COUNTER_MAX, "SGX counter must fit 56 bits");
+        self.counters[i] = value;
+    }
+
+    /// The node's 56-bit MAC.
+    pub fn mac(&self) -> u64 {
+        self.mac
+    }
+
+    /// Overwrites the MAC (used by recovery when splicing from the shadow
+    /// table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mac` exceeds 56 bits.
+    pub fn set_mac(&mut self, mac: u64) {
+        assert!(mac <= MASK56, "MAC must fit 56 bits");
+        self.mac = mac;
+    }
+
+    /// Increments counter `i`, wrapping within 56 bits (a 56-bit counter
+    /// overflows only after ~7.2 × 10¹⁶ writes; wrap handling is out of the
+    /// paper's scope).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    pub fn increment(&mut self, i: usize) {
+        self.counters[i] = (self.counters[i] + 1) & SGX_COUNTER_MAX;
+    }
+
+    /// Computes the MAC over this node's counters and `parent_counter`,
+    /// storing it in the node.
+    pub fn seal(&mut self, mac_key: &Hasher64, parent_counter: u64) {
+        self.mac = Self::compute_mac(mac_key, &self.counters, parent_counter);
+    }
+
+    /// Verifies the stored MAC against the counters and `parent_counter`.
+    #[must_use]
+    pub fn verify(&self, mac_key: &Hasher64, parent_counter: u64) -> bool {
+        self.mac == Self::compute_mac(mac_key, &self.counters, parent_counter)
+    }
+
+    /// The MAC function: 56-bit keyed hash over the eight counters and the
+    /// parent counter.
+    pub fn compute_mac(
+        mac_key: &Hasher64,
+        counters: &[u64; SGX_COUNTERS_PER_NODE],
+        parent_counter: u64,
+    ) -> u64 {
+        let mut words = [0u64; SGX_COUNTERS_PER_NODE + 1];
+        words[..SGX_COUNTERS_PER_NODE].copy_from_slice(counters);
+        words[SGX_COUNTERS_PER_NODE] = parent_counter;
+        mac_key.hash_words(&words) & MASK56
+    }
+
+    /// Serializes into a 64-byte block (see type-level layout notes).
+    pub fn to_block(&self) -> Block {
+        let mut b = Block::zeroed();
+        let bytes = b.as_bytes_mut();
+        for (i, &c) in self.counters.iter().enumerate() {
+            bytes[i * 7..i * 7 + 7].copy_from_slice(&c.to_le_bytes()[..7]);
+        }
+        bytes[56..63].copy_from_slice(&self.mac.to_le_bytes()[..7]);
+        b
+    }
+
+    /// Deserializes from a block written by [`SgxCounterNode::to_block`].
+    pub fn from_block(b: &Block) -> Self {
+        let bytes = b.as_bytes();
+        let mut counters = [0u64; SGX_COUNTERS_PER_NODE];
+        for (i, c) in counters.iter_mut().enumerate() {
+            let mut w = [0u8; 8];
+            w[..7].copy_from_slice(&bytes[i * 7..i * 7 + 7]);
+            *c = u64::from_le_bytes(w);
+        }
+        let mut w = [0u8; 8];
+        w[..7].copy_from_slice(&bytes[56..63]);
+        SgxCounterNode { counters, mac: u64::from_le_bytes(w) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Key;
+
+    fn mac_key() -> Hasher64 {
+        Hasher64::new(Key([5, 6]).derive("sgx-mac"))
+    }
+
+    #[test]
+    fn seal_verify_roundtrip() {
+        let k = mac_key();
+        let mut n = SgxCounterNode::new();
+        n.increment(0);
+        n.increment(0);
+        n.increment(5);
+        n.seal(&k, 42);
+        assert!(n.verify(&k, 42));
+    }
+
+    #[test]
+    fn verify_fails_on_counter_tamper() {
+        let k = mac_key();
+        let mut n = SgxCounterNode::new();
+        n.seal(&k, 0);
+        n.set_counter(3, 1);
+        assert!(!n.verify(&k, 0));
+    }
+
+    #[test]
+    fn verify_fails_on_parent_counter_mismatch() {
+        // The replay-detection property: an old child (valid MAC under old
+        // parent counter) fails once the parent counter advances.
+        let k = mac_key();
+        let mut n = SgxCounterNode::new();
+        n.seal(&k, 10);
+        assert!(n.verify(&k, 10));
+        assert!(!n.verify(&k, 11));
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let mut n = SgxCounterNode::new();
+        for i in 0..SGX_COUNTERS_PER_NODE {
+            n.set_counter(i, ((i as u64 + 1) * 0x0011_2233_4455) & SGX_COUNTER_MAX);
+        }
+        n.set_mac(0x0000_ABCD_EF01_2345);
+        assert_eq!(SgxCounterNode::from_block(&n.to_block()), n);
+    }
+
+    #[test]
+    fn block_roundtrip_extremes() {
+        let mut n = SgxCounterNode::new();
+        for i in 0..SGX_COUNTERS_PER_NODE {
+            n.set_counter(i, SGX_COUNTER_MAX);
+        }
+        n.set_mac(MASK56);
+        assert_eq!(SgxCounterNode::from_block(&n.to_block()), n);
+        assert_eq!(SgxCounterNode::from_block(&Block::zeroed()), SgxCounterNode::new());
+    }
+
+    #[test]
+    fn increment_wraps_at_56_bits() {
+        let mut n = SgxCounterNode::new();
+        n.set_counter(0, SGX_COUNTER_MAX);
+        n.increment(0);
+        assert_eq!(n.counter(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "56 bits")]
+    fn set_counter_rejects_wide_values() {
+        SgxCounterNode::new().set_counter(0, 1 << 56);
+    }
+}

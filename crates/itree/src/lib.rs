@@ -1,0 +1,31 @@
+//! Integrity trees for the Anubis reproduction.
+//!
+//! Two tree families, matching the paper's taxonomy (§2.3):
+//!
+//! * [`bonsai`] — the **general, non-parallelizable** 8-ary Merkle tree:
+//!   every interior node packs eight 8-byte keyed hashes of its children;
+//!   the root hash lives on-chip. Reconstructable from the leaves alone,
+//!   which is what makes Osiris-style recovery (and AGIT) possible.
+//! * [`sgx`] — the **parallelizable SGX-style** counter tree: every node
+//!   carries eight 56-bit counters plus a 56-bit MAC computed over the
+//!   node's counters *and one counter in its parent*. Updates parallelize,
+//!   but the tree cannot be rebuilt from leaves — the motivation for ASIT.
+//!
+//! [`TreeGeometry`] provides the arity/level/indexing math shared by both,
+//! and [`bonsai::ReferenceTree`] is a fully materialized model used by
+//! tests to cross-check the cached, lazily-updated controller
+//! implementations in the `anubis` crate.
+//!
+//! This crate is deliberately *pure*: no NVM traffic, no caches — just the
+//! data-structure math. The memory controllers in `anubis` decide what to
+//! fetch, cache and persist.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bonsai;
+pub mod sgx;
+
+mod geometry;
+
+pub use geometry::{NodeId, TreeGeometry};

@@ -1,0 +1,290 @@
+//! The parallelizable SGX-style counter tree (paper §2.3.2, Fig. 3).
+//!
+//! Every 64-byte line — leaf or interior — holds eight 56-bit counters and
+//! one 56-bit MAC. A node's MAC covers its own eight counters **plus the
+//! one counter in its parent that versions this node**. Incrementing a
+//! leaf counter therefore only requires bumping the parent's counter for
+//! that child and re-MACing both lines — no hashing of sibling content —
+//! which is what makes updates parallelizable.
+//!
+//! The flip side (paper §3): interior counters are *not* derivable from
+//! the leaves. Lose an interior node and the chain of custody from the
+//! on-chip top node to the leaf is broken forever — the reason Osiris
+//! cannot recover such trees and ASIT exists.
+//!
+//! [`ReferenceSgxTree`] is the materialized model used by tests and by the
+//! `anubis` controllers' verification oracles.
+
+use crate::geometry::{NodeId, TreeGeometry};
+use anubis_crypto::hash::Hasher64;
+use anubis_crypto::{Key, SgxCounterNode, SGX_COUNTERS_PER_NODE};
+
+/// A fully materialized SGX-style counter tree.
+///
+/// Level 0 holds the per-data-line encryption counters (8 data lines per
+/// leaf). Interior levels hold version counters (8 children per node).
+/// The top node's counters live on-chip in the real design; here the tree
+/// stores them as `levels.last()` and the controller decides what is
+/// on-chip.
+///
+/// # Example
+///
+/// ```
+/// use anubis_crypto::Key;
+/// use anubis_itree::sgx::ReferenceSgxTree;
+///
+/// let mut tree = ReferenceSgxTree::new(Key([3, 4]), 64);
+/// tree.bump_leaf_counter(17); // data line 17 was written
+/// assert!(tree.verify_leaf_path(17 / 8).is_ok());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReferenceSgxTree {
+    mac_key: Hasher64,
+    geometry: TreeGeometry,
+    levels: Vec<Vec<SgxCounterNode>>,
+}
+
+/// A broken verification link: the node whose MAC failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MacFailure(pub NodeId);
+
+impl core::fmt::Display for MacFailure {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "MAC verification failed at node {}", self.0)
+    }
+}
+
+impl std::error::Error for MacFailure {}
+
+impl ReferenceSgxTree {
+    /// Builds a fresh (all-zero counters) tree covering `n_data_lines`
+    /// data lines, 8 per leaf, and seals every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_data_lines == 0`.
+    pub fn new(master: Key, n_data_lines: u64) -> Self {
+        assert!(n_data_lines > 0, "tree must cover at least one data line");
+        let mac_key = Hasher64::new(master.derive("sgx-mac"));
+        let n_leaves = n_data_lines.div_ceil(SGX_COUNTERS_PER_NODE as u64);
+        let geometry = TreeGeometry::new(n_leaves, 8);
+        let mut levels: Vec<Vec<SgxCounterNode>> = (0..geometry.num_levels())
+            .map(|l| vec![SgxCounterNode::new(); geometry.nodes_at(l) as usize])
+            .collect();
+        // Seal all nodes with zero counters.
+        for level in 0..geometry.num_levels() {
+            for index in 0..geometry.nodes_at(level) {
+                let node = NodeId::new(level, index);
+                let parent_ctr = Self::parent_counter_of(&geometry, &levels, node);
+                levels[level][index as usize].seal(&mac_key, parent_ctr);
+            }
+        }
+        ReferenceSgxTree { mac_key, geometry, levels }
+    }
+
+    fn parent_counter_of(
+        geometry: &TreeGeometry,
+        levels: &[Vec<SgxCounterNode>],
+        node: NodeId,
+    ) -> u64 {
+        match geometry.parent(node) {
+            // The top node is versioned by an implicit constant: its
+            // counters live on-chip, so replay against it is impossible.
+            None => 0,
+            Some(p) => {
+                levels[p.level][p.index as usize].counter(geometry.child_slot(node))
+            }
+        }
+    }
+
+    /// The tree's shape.
+    pub fn geometry(&self) -> &TreeGeometry {
+        &self.geometry
+    }
+
+    /// The MAC oracle (shared with controllers that re-seal nodes).
+    pub fn mac_key(&self) -> &Hasher64 {
+        &self.mac_key
+    }
+
+    /// Immutable access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the geometry.
+    pub fn node(&self, node: NodeId) -> &SgxCounterNode {
+        &self.levels[node.level][node.index as usize]
+    }
+
+    /// Replaces a node wholesale (used by tamper tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the geometry.
+    pub fn set_node(&mut self, node: NodeId, value: SgxCounterNode) {
+        self.levels[node.level][node.index as usize] = value;
+    }
+
+    /// The encryption counter for a data line.
+    pub fn leaf_counter(&self, data_line: u64) -> u64 {
+        let leaf = data_line / SGX_COUNTERS_PER_NODE as u64;
+        let slot = (data_line % SGX_COUNTERS_PER_NODE as u64) as usize;
+        self.levels[0][leaf as usize].counter(slot)
+    }
+
+    /// The *eager* update: increments the encryption counter for
+    /// `data_line` and the version counter in every ancestor up to the top
+    /// node, re-sealing each affected node. Returns the new leaf counter.
+    ///
+    /// (Controllers implement the *lazy* variant over cached nodes; this
+    /// reference tree always propagates fully so tests have a ground
+    /// truth for the fully-persisted state.)
+    pub fn bump_leaf_counter(&mut self, data_line: u64) -> u64 {
+        let leaf_index = data_line / SGX_COUNTERS_PER_NODE as u64;
+        let slot = (data_line % SGX_COUNTERS_PER_NODE as u64) as usize;
+        // Bump version counters bottom-up: each node's counter for the
+        // affected child increments.
+        let mut affected = vec![NodeId::new(0, leaf_index)];
+        self.levels[0][leaf_index as usize].increment(slot);
+        let mut child = NodeId::new(0, leaf_index);
+        while let Some(parent) = self.geometry.parent(child) {
+            let child_slot = self.geometry.child_slot(child);
+            self.levels[parent.level][parent.index as usize].increment(child_slot);
+            affected.push(parent);
+            child = parent;
+        }
+        // Re-seal every affected node against its (possibly new) parent
+        // counter. Sealing top-down is unnecessary — the MAC only reads
+        // counters, which are all final by now.
+        for node in affected {
+            let pc = Self::parent_counter_of(&self.geometry, &self.levels, node);
+            self.levels[node.level][node.index as usize].seal(&self.mac_key, pc);
+        }
+        self.levels[0][leaf_index as usize].counter(slot)
+    }
+
+    /// Verifies the MAC chain from `leaf` up to the top node.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first node whose MAC fails.
+    pub fn verify_leaf_path(&self, leaf: u64) -> Result<(), MacFailure> {
+        let mut node = NodeId::new(0, leaf);
+        loop {
+            let pc = Self::parent_counter_of(&self.geometry, &self.levels, node);
+            if !self.levels[node.level][node.index as usize].verify(&self.mac_key, pc) {
+                return Err(MacFailure(node));
+            }
+            match self.geometry.parent(node) {
+                Some(p) => node = p,
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// Verifies every node in the tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first node whose MAC fails (scanning bottom-up).
+    pub fn verify_all(&self) -> Result<(), MacFailure> {
+        for level in 0..self.geometry.num_levels() {
+            for index in 0..self.geometry.nodes_at(level) {
+                let node = NodeId::new(level, index);
+                let pc = Self::parent_counter_of(&self.geometry, &self.levels, node);
+                if !self.levels[node.level][node.index as usize].verify(&self.mac_key, pc) {
+                    return Err(MacFailure(node));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(lines: u64) -> ReferenceSgxTree {
+        ReferenceSgxTree::new(Key([9, 9]), lines)
+    }
+
+    #[test]
+    fn fresh_tree_verifies() {
+        let t = tree(512);
+        assert!(t.verify_all().is_ok());
+    }
+
+    #[test]
+    fn bump_updates_whole_path() {
+        let mut t = tree(512); // 64 leaves, 3 levels
+        assert_eq!(t.bump_leaf_counter(100), 1);
+        assert_eq!(t.leaf_counter(100), 1);
+        assert_eq!(t.leaf_counter(101), 0);
+        // Parent version counters advanced.
+        let leaf = NodeId::new(0, 100 / 8);
+        let p = t.geometry().parent(leaf).unwrap();
+        assert_eq!(t.node(p).counter(t.geometry().child_slot(leaf)), 1);
+        assert!(t.verify_all().is_ok());
+    }
+
+    #[test]
+    fn replay_of_old_leaf_detected() {
+        let mut t = tree(64);
+        let old = *t.node(NodeId::new(0, 0));
+        t.bump_leaf_counter(0);
+        // Attacker rolls the leaf back to its (validly MACed) old value.
+        t.set_node(NodeId::new(0, 0), old);
+        let err = t.verify_leaf_path(0).unwrap_err();
+        assert_eq!(err.0, NodeId::new(0, 0), "stale leaf must fail against new parent counter");
+    }
+
+    #[test]
+    fn interior_tamper_detected() {
+        let mut t = tree(512);
+        t.bump_leaf_counter(5);
+        let node = NodeId::new(1, 0);
+        let mut forged = *t.node(node);
+        forged.set_counter(3, forged.counter(3) + 1);
+        t.set_node(node, forged);
+        assert!(t.verify_all().is_err());
+    }
+
+    #[test]
+    fn lost_interior_node_is_unrecoverable_from_leaves() {
+        // The §3 motivation: zeroing an interior node breaks verification
+        // even though every leaf is intact — the tree cannot be rebuilt
+        // from leaves.
+        let mut t = tree(512);
+        t.bump_leaf_counter(0);
+        t.set_node(NodeId::new(1, 0), SgxCounterNode::new());
+        assert!(t.verify_leaf_path(0).is_err());
+    }
+
+    #[test]
+    fn independent_subtrees_unaffected() {
+        let mut t = tree(512);
+        t.bump_leaf_counter(0);
+        // A leaf in a different L1 subtree still verifies even if we only
+        // check its own path.
+        assert!(t.verify_leaf_path(63).is_ok());
+    }
+
+    #[test]
+    fn many_bumps_keep_consistency() {
+        let mut t = tree(128);
+        for i in 0..200u64 {
+            t.bump_leaf_counter(i % 128);
+        }
+        assert!(t.verify_all().is_ok());
+        assert_eq!(t.leaf_counter(0), 2);
+        assert_eq!(t.leaf_counter(127), 1);
+    }
+
+    #[test]
+    fn counters_cover_ragged_last_leaf() {
+        let t = tree(10); // 2 leaves, second only half used
+        assert_eq!(t.geometry().num_leaves(), 2);
+        assert!(t.verify_all().is_ok());
+    }
+}

@@ -1,0 +1,206 @@
+//! The 64-byte memory block.
+
+use crate::addr::BLOCK_BYTES;
+use core::fmt;
+
+/// A 64-byte memory block — the unit of every read and write in the system.
+///
+/// Provides word-level accessors because counters, hashes and shadow-table
+/// entries are laid out as 8-byte fields within blocks.
+///
+/// # Example
+///
+/// ```
+/// use anubis_nvm::Block;
+/// let mut b = Block::zeroed();
+/// b.set_word(3, 0xDEAD_BEEF);
+/// assert_eq!(b.word(3), 0xDEAD_BEEF);
+/// assert_eq!(b.word(0), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Block {
+    bytes: [u8; BLOCK_BYTES],
+}
+
+impl Block {
+    /// Number of 8-byte words in a block.
+    pub const WORDS: usize = BLOCK_BYTES / 8;
+
+    /// An all-zero block. NVM reads of never-written locations return this.
+    #[inline]
+    pub const fn zeroed() -> Self {
+        Block { bytes: [0u8; BLOCK_BYTES] }
+    }
+
+    /// A block with every byte set to `byte`.
+    #[inline]
+    pub const fn filled(byte: u8) -> Self {
+        Block { bytes: [byte; BLOCK_BYTES] }
+    }
+
+    /// Builds a block from raw bytes.
+    #[inline]
+    pub const fn from_bytes(bytes: [u8; BLOCK_BYTES]) -> Self {
+        Block { bytes }
+    }
+
+    /// Builds a block from eight 64-bit little-endian words.
+    pub fn from_words(words: [u64; Self::WORDS]) -> Self {
+        let mut b = Block::zeroed();
+        for (i, w) in words.into_iter().enumerate() {
+            b.set_word(i, w);
+        }
+        b
+    }
+
+    /// Borrows the raw bytes.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8; BLOCK_BYTES] {
+        &self.bytes
+    }
+
+    /// Mutably borrows the raw bytes.
+    #[inline]
+    pub fn as_bytes_mut(&mut self) -> &mut [u8; BLOCK_BYTES] {
+        &mut self.bytes
+    }
+
+    /// Reads the `i`-th 8-byte little-endian word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= Block::WORDS`.
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        let s = &self.bytes[i * 8..i * 8 + 8];
+        u64::from_le_bytes(s.try_into().expect("8-byte slice"))
+    }
+
+    /// Writes the `i`-th 8-byte little-endian word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= Block::WORDS`.
+    #[inline]
+    pub fn set_word(&mut self, i: usize, value: u64) {
+        self.bytes[i * 8..i * 8 + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// All eight words as an array.
+    pub fn words(&self) -> [u64; Self::WORDS] {
+        core::array::from_fn(|i| self.word(i))
+    }
+
+    /// XORs another block into this one (used for one-time-pad
+    /// encryption/decryption).
+    pub fn xor_with(&mut self, other: &Block) {
+        for (a, b) in self.bytes.iter_mut().zip(other.bytes.iter()) {
+            *a ^= b;
+        }
+    }
+
+    /// Returns `self ^ other` without mutating either operand.
+    #[must_use]
+    pub fn xored(&self, other: &Block) -> Block {
+        let mut out = *self;
+        out.xor_with(other);
+        out
+    }
+
+    /// Flips a single bit — the tamper primitive used by integrity tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 512`.
+    pub fn flip_bit(&mut self, bit: usize) {
+        assert!(bit < BLOCK_BYTES * 8, "bit index {bit} out of range");
+        self.bytes[bit / 8] ^= 1 << (bit % 8);
+    }
+
+    /// Whether every byte is zero.
+    pub fn is_zeroed(&self) -> bool {
+        self.bytes.iter().all(|&b| b == 0)
+    }
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Block::zeroed()
+    }
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Block[")?;
+        for w in self.words() {
+            write!(f, " {w:016x}")?;
+        }
+        write!(f, " ]")
+    }
+}
+
+impl From<[u8; BLOCK_BYTES]> for Block {
+    fn from(bytes: [u8; BLOCK_BYTES]) -> Self {
+        Block::from_bytes(bytes)
+    }
+}
+
+impl AsRef<[u8]> for Block {
+    fn as_ref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_roundtrip() {
+        let mut b = Block::zeroed();
+        for i in 0..Block::WORDS {
+            b.set_word(i, (i as u64 + 1) * 0x0101_0101_0101_0101);
+        }
+        for i in 0..Block::WORDS {
+            assert_eq!(b.word(i), (i as u64 + 1) * 0x0101_0101_0101_0101);
+        }
+        let b2 = Block::from_words(b.words());
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn xor_is_involutive() {
+        let a = Block::filled(0x5A);
+        let pad = Block::from_words([1, 2, 3, 4, 5, 6, 7, 8]);
+        let cipher = a.xored(&pad);
+        assert_ne!(cipher, a);
+        assert_eq!(cipher.xored(&pad), a);
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_bit() {
+        let mut b = Block::zeroed();
+        b.flip_bit(100);
+        let ones: u32 = b.as_bytes().iter().map(|x| x.count_ones()).sum();
+        assert_eq!(ones, 1);
+        b.flip_bit(100);
+        assert!(b.is_zeroed());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_bit_out_of_range() {
+        Block::zeroed().flip_bit(512);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Block::zeroed()).is_empty());
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        assert!(Block::default().is_zeroed());
+        assert!(!Block::filled(1).is_zeroed());
+    }
+}

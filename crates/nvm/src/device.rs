@@ -1,0 +1,251 @@
+//! The sparse NVM device model.
+
+use crate::addr::{BlockAddr, Region, RegionAllocator};
+use crate::block::Block;
+use crate::error::NvmError;
+use crate::stats::NvmStats;
+use std::collections::HashMap;
+
+/// A sparse, block-addressable non-volatile memory device.
+///
+/// Never-written blocks read as all zeros, which lets the simulation cover
+/// terabyte-scale address spaces while only storing the touched footprint.
+/// Contents survive [`crate::PersistenceDomain::power_fail`]; only the
+/// caches and queues in front of the device are volatile.
+///
+/// Blocks can be attributed to named [`Region`]s (registered via
+/// [`NvmDevice::register_regions`]) so per-region read/write counts are
+/// available for endurance and write-amplification studies.
+///
+/// # Example
+///
+/// ```
+/// use anubis_nvm::{NvmDevice, BlockAddr, Block};
+/// let mut dev = NvmDevice::new(1 << 30); // 1 GiB
+/// let a = BlockAddr::new(42);
+/// assert!(dev.read(a).is_zeroed());
+/// dev.write(a, Block::filled(7));
+/// assert_eq!(dev.read(a), Block::filled(7));
+/// ```
+#[derive(Clone, Debug)]
+pub struct NvmDevice {
+    capacity_blocks: u64,
+    store: HashMap<u64, Block>,
+    write_counts: HashMap<u64, u64>,
+    regions: RegionAllocator,
+    stats: NvmStats,
+}
+
+impl NvmDevice {
+    /// Creates a device of `capacity_bytes` bytes (rounded down to whole
+    /// 64-byte blocks). Capacity is an addressing limit, not an allocation:
+    /// memory is materialized lazily per touched block.
+    pub fn new(capacity_bytes: u64) -> Self {
+        NvmDevice {
+            capacity_blocks: capacity_bytes / crate::BLOCK_BYTES as u64,
+            store: HashMap::new(),
+            write_counts: HashMap::new(),
+            regions: RegionAllocator::new(),
+            stats: NvmStats::new(),
+        }
+    }
+
+    /// Registers the region map used to attribute accesses in
+    /// [`NvmDevice::stats`]. Replaces any previous map.
+    pub fn register_regions(&mut self, regions: RegionAllocator) {
+        self.regions = regions;
+    }
+
+    /// Device capacity in blocks.
+    pub fn capacity_blocks(&self) -> u64 {
+        self.capacity_blocks
+    }
+
+    /// Number of blocks that have ever been written (the materialized
+    /// footprint).
+    pub fn touched_blocks(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Checked read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvmError::OutOfRange`] if `addr` is beyond capacity.
+    pub fn try_read(&mut self, addr: BlockAddr) -> Result<Block, NvmError> {
+        self.check(addr)?;
+        self.stats.record_read(self.region_name(addr));
+        Ok(self.store.get(&addr.index()).copied().unwrap_or_default())
+    }
+
+    /// Reads a block, counting the access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is beyond device capacity (see [`NvmDevice::try_read`]
+    /// for the checked variant).
+    pub fn read(&mut self, addr: BlockAddr) -> Block {
+        self.try_read(addr).expect("read within device capacity")
+    }
+
+    /// Reads without counting the access — for inspection by tests and
+    /// reporting code that must not perturb statistics.
+    pub fn peek(&self, addr: BlockAddr) -> Block {
+        self.store.get(&addr.index()).copied().unwrap_or_default()
+    }
+
+    /// Checked write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvmError::OutOfRange`] if `addr` is beyond capacity.
+    pub fn try_write(&mut self, addr: BlockAddr, block: Block) -> Result<(), NvmError> {
+        self.check(addr)?;
+        let count = self.write_counts.entry(addr.index()).or_insert(0);
+        *count += 1;
+        let count = *count;
+        self.stats.record_write(self.region_name(addr), count, addr);
+        self.store.insert(addr.index(), block);
+        Ok(())
+    }
+
+    /// Writes a block, counting the access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is beyond device capacity (see
+    /// [`NvmDevice::try_write`] for the checked variant).
+    pub fn write(&mut self, addr: BlockAddr, block: Block) {
+        self.try_write(addr, block).expect("write within device capacity");
+    }
+
+    /// Overwrites a block without counting the access — used to initialize
+    /// memory images before an experiment starts.
+    pub fn poke(&mut self, addr: BlockAddr, block: Block) {
+        assert!(
+            addr.index() < self.capacity_blocks,
+            "poke at {addr} beyond capacity of {} blocks",
+            self.capacity_blocks
+        );
+        self.store.insert(addr.index(), block);
+    }
+
+    /// Flips one bit of one block in place — the attacker primitive for
+    /// integrity experiments. Does not perturb statistics.
+    pub fn tamper_flip_bit(&mut self, addr: BlockAddr, bit: usize) {
+        let mut b = self.peek(addr);
+        b.flip_bit(bit);
+        self.store.insert(addr.index(), b);
+    }
+
+    /// Replays an old value into a block (replay-attack primitive).
+    /// Does not perturb statistics.
+    pub fn tamper_replay(&mut self, addr: BlockAddr, old: Block) {
+        self.store.insert(addr.index(), old);
+    }
+
+    /// Number of times `addr` has been written (endurance tracking).
+    pub fn writes_to(&self, addr: BlockAddr) -> u64 {
+        self.write_counts.get(&addr.index()).copied().unwrap_or(0)
+    }
+
+    /// Access statistics.
+    pub fn stats(&self) -> &NvmStats {
+        &self.stats
+    }
+
+    /// Resets access statistics (contents and wear counts are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    fn region_name(&self, addr: BlockAddr) -> Option<&'static str> {
+        self.regions.region_of(addr).map(Region::name)
+    }
+
+    fn check(&self, addr: BlockAddr) -> Result<(), NvmError> {
+        if addr.index() < self.capacity_blocks {
+            Ok(())
+        } else {
+            Err(NvmError::OutOfRange { addr, capacity_blocks: self.capacity_blocks })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_blocks_read_zero() {
+        let mut dev = NvmDevice::new(1 << 20);
+        assert!(dev.read(BlockAddr::new(100)).is_zeroed());
+        assert_eq!(dev.stats().reads(), 1);
+        assert_eq!(dev.touched_blocks(), 0);
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut dev = NvmDevice::new(1 << 20);
+        let b = Block::from_words([9, 8, 7, 6, 5, 4, 3, 2]);
+        dev.write(BlockAddr::new(5), b);
+        assert_eq!(dev.read(BlockAddr::new(5)), b);
+        assert_eq!(dev.touched_blocks(), 1);
+        assert_eq!(dev.writes_to(BlockAddr::new(5)), 1);
+    }
+
+    #[test]
+    fn out_of_range_is_error() {
+        let mut dev = NvmDevice::new(128); // 2 blocks
+        assert!(dev.try_read(BlockAddr::new(1)).is_ok());
+        assert_eq!(
+            dev.try_read(BlockAddr::new(2)),
+            Err(NvmError::OutOfRange { addr: BlockAddr::new(2), capacity_blocks: 2 })
+        );
+        assert!(dev.try_write(BlockAddr::new(2), Block::zeroed()).is_err());
+    }
+
+    #[test]
+    fn peek_and_poke_do_not_count() {
+        let mut dev = NvmDevice::new(1 << 20);
+        dev.poke(BlockAddr::new(1), Block::filled(1));
+        assert_eq!(dev.peek(BlockAddr::new(1)), Block::filled(1));
+        assert_eq!(dev.stats().reads(), 0);
+        assert_eq!(dev.stats().writes(), 0);
+        assert_eq!(dev.writes_to(BlockAddr::new(1)), 0);
+    }
+
+    #[test]
+    fn region_attribution() {
+        let mut alloc = RegionAllocator::new();
+        let data = alloc.alloc("data", 10);
+        let ctr = alloc.alloc("ctr", 10);
+        let mut dev = NvmDevice::new(1 << 20);
+        dev.register_regions(alloc);
+        dev.write(data.nth(0), Block::zeroed());
+        dev.write(ctr.nth(0), Block::zeroed());
+        dev.write(ctr.nth(1), Block::zeroed());
+        assert_eq!(dev.stats().writes_in("data"), 1);
+        assert_eq!(dev.stats().writes_in("ctr"), 2);
+    }
+
+    #[test]
+    fn tamper_flips_one_bit() {
+        let mut dev = NvmDevice::new(1 << 20);
+        dev.poke(BlockAddr::new(3), Block::zeroed());
+        dev.tamper_flip_bit(BlockAddr::new(3), 17);
+        let b = dev.peek(BlockAddr::new(3));
+        let ones: u32 = b.as_bytes().iter().map(|x| x.count_ones()).sum();
+        assert_eq!(ones, 1);
+    }
+
+    #[test]
+    fn wear_tracking_counts_repeat_writes() {
+        let mut dev = NvmDevice::new(1 << 20);
+        for _ in 0..7 {
+            dev.write(BlockAddr::new(9), Block::zeroed());
+        }
+        assert_eq!(dev.writes_to(BlockAddr::new(9)), 7);
+        assert_eq!(dev.stats().max_writes_to_one_block(), 7);
+    }
+}

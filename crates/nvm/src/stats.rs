@@ -1,0 +1,104 @@
+//! Device access statistics.
+
+use crate::addr::BlockAddr;
+use std::collections::BTreeMap;
+
+/// Counters for device-level reads and writes, broken down by region label.
+///
+/// Used for the paper's endurance discussion (§6.2: strict persistence
+/// costs "at least an additional ten writes per memory write operation",
+/// ASIT only one) and for write-amplification experiments.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NvmStats {
+    reads: u64,
+    writes: u64,
+    reads_by_region: BTreeMap<&'static str, u64>,
+    writes_by_region: BTreeMap<&'static str, u64>,
+    max_writes_to_one_block: u64,
+}
+
+impl NvmStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total block reads served by the device.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total block writes applied to the device.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Reads attributed to the region labeled `name` (0 if never seen).
+    pub fn reads_in(&self, name: &str) -> u64 {
+        self.reads_by_region.get(name).copied().unwrap_or(0)
+    }
+
+    /// Writes attributed to the region labeled `name` (0 if never seen).
+    pub fn writes_in(&self, name: &str) -> u64 {
+        self.writes_by_region.get(name).copied().unwrap_or(0)
+    }
+
+    /// The largest number of writes any single block has received —
+    /// a simple wear-leveling/endurance indicator.
+    pub fn max_writes_to_one_block(&self) -> u64 {
+        self.max_writes_to_one_block
+    }
+
+    /// Iterates `(region, writes)` pairs in region-name order.
+    pub fn writes_by_region(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.writes_by_region.iter().map(|(k, v)| (*k, *v))
+    }
+
+    pub(crate) fn record_read(&mut self, region: Option<&'static str>) {
+        self.reads += 1;
+        if let Some(r) = region {
+            *self.reads_by_region.entry(r).or_insert(0) += 1;
+        }
+    }
+
+    pub(crate) fn record_write(
+        &mut self,
+        region: Option<&'static str>,
+        writes_to_block: u64,
+        _addr: BlockAddr,
+    ) {
+        self.writes += 1;
+        if let Some(r) = region {
+            *self.writes_by_region.entry(r).or_insert(0) += 1;
+        }
+        self.max_writes_to_one_block = self.max_writes_to_one_block.max(writes_to_block);
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_resets() {
+        let mut s = NvmStats::new();
+        s.record_read(Some("data"));
+        s.record_read(None);
+        s.record_write(Some("data"), 1, BlockAddr::new(0));
+        s.record_write(Some("ctr"), 5, BlockAddr::new(1));
+        assert_eq!(s.reads(), 2);
+        assert_eq!(s.writes(), 2);
+        assert_eq!(s.reads_in("data"), 1);
+        assert_eq!(s.writes_in("ctr"), 1);
+        assert_eq!(s.writes_in("nope"), 0);
+        assert_eq!(s.max_writes_to_one_block(), 5);
+        assert_eq!(s.writes_by_region().count(), 2);
+        s.reset();
+        assert_eq!(s, NvmStats::new());
+    }
+}

@@ -1,0 +1,127 @@
+//! Endurance and energy estimation — quantifying the paper's §6.2
+//! lifetime argument ("at least an additional ten writes per memory
+//! write ... can significantly reduce the lifetime of NVMs").
+
+use crate::engine::RunResult;
+
+/// Cell endurance and energy constants for a PCM-class device.
+///
+/// Defaults use commonly cited PCM figures: 10⁸ writes of cell endurance,
+/// ~2 pJ/bit write energy, ~0.05 pJ/bit read energy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EnduranceModel {
+    /// Writes a cell tolerates before wear-out.
+    pub cell_endurance: f64,
+    /// Energy per 64-byte block write (nJ).
+    pub write_energy_nj: f64,
+    /// Energy per 64-byte block read (nJ).
+    pub read_energy_nj: f64,
+    /// Energy per hash/MAC computation (nJ).
+    pub hash_energy_nj: f64,
+}
+
+impl EnduranceModel {
+    /// Representative PCM constants.
+    pub fn pcm() -> Self {
+        EnduranceModel {
+            cell_endurance: 1e8,
+            write_energy_nj: 1.024, // 2 pJ/bit × 512 bit
+            read_energy_nj: 0.026,  // 0.05 pJ/bit × 512 bit
+            hash_energy_nj: 0.05,
+        }
+    }
+
+    /// Estimated device lifetime in years under perfect wear-leveling,
+    /// given a run's write traffic extrapolated to steady state.
+    ///
+    /// `capacity_blocks` is the device size; the run's write rate (writes
+    /// per simulated nanosecond) is assumed to continue forever and to be
+    /// spread uniformly (ideal wear-leveling — an upper bound).
+    pub fn ideal_lifetime_years(&self, result: &RunResult, capacity_blocks: u64) -> f64 {
+        if result.total_ns <= 0.0 || result.nvm_writes == 0 {
+            return f64::INFINITY;
+        }
+        let writes_per_ns = result.nvm_writes as f64 / result.total_ns;
+        let total_budget = self.cell_endurance * capacity_blocks as f64;
+        let ns = total_budget / writes_per_ns;
+        ns / 1e9 / 3600.0 / 24.0 / 365.25
+    }
+
+    /// Worst-case lifetime in years with **no** wear-leveling: the
+    /// hottest block (max single-block wear over the run) dies first.
+    pub fn unleveled_lifetime_years(&self, max_wear: u64, total_ns: f64) -> f64 {
+        if total_ns <= 0.0 || max_wear == 0 {
+            return f64::INFINITY;
+        }
+        let wear_per_ns = max_wear as f64 / total_ns;
+        let ns = self.cell_endurance / wear_per_ns;
+        ns / 1e9 / 3600.0 / 24.0 / 365.25
+    }
+
+    /// Total memory-system energy for a run, in millijoules.
+    pub fn energy_mj(&self, result: &RunResult, hash_ops: u64) -> f64 {
+        let nj = result.nvm_reads as f64 * self.read_energy_nj
+            + result.nvm_writes as f64 * self.write_energy_nj
+            + hash_ops as f64 * self.hash_energy_nj;
+        nj * 1e-6
+    }
+}
+
+impl Default for EnduranceModel {
+    fn default() -> Self {
+        EnduranceModel::pcm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(writes: u64, reads: u64, total_ns: f64) -> RunResult {
+        RunResult {
+            scheme: "test",
+            workload: "w".into(),
+            total_ns,
+            read_stall_ns: 0.0,
+            write_stall_ns: 0.0,
+            ops: 100,
+            nvm_reads: reads,
+            nvm_writes: writes,
+            writes_per_data_write: 1.0,
+        }
+    }
+
+    #[test]
+    fn more_writes_mean_shorter_life() {
+        let m = EnduranceModel::pcm();
+        let light = m.ideal_lifetime_years(&result(1_000, 0, 1e9), 1 << 20);
+        let heavy = m.ideal_lifetime_years(&result(10_000, 0, 1e9), 1 << 20);
+        assert!(light > heavy);
+        assert!((light / heavy - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_writes_live_forever() {
+        let m = EnduranceModel::pcm();
+        assert!(m.ideal_lifetime_years(&result(0, 5, 1e9), 1024).is_infinite());
+        assert!(m.unleveled_lifetime_years(0, 1e9).is_infinite());
+    }
+
+    #[test]
+    fn unleveled_is_shorter_than_ideal_for_hot_blocks() {
+        let m = EnduranceModel::pcm();
+        // 1000 writes total but one block took 500 of them.
+        let ideal = m.ideal_lifetime_years(&result(1_000, 0, 1e9), 1 << 20);
+        let unleveled = m.unleveled_lifetime_years(500, 1e9);
+        assert!(unleveled < ideal);
+    }
+
+    #[test]
+    fn energy_scales_with_traffic() {
+        let m = EnduranceModel::pcm();
+        let e1 = m.energy_mj(&result(100, 100, 1e9), 50);
+        let e2 = m.energy_mj(&result(200, 200, 1e9), 100);
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+        assert!(e1 > 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Trace-driven timing simulation and experiment harness.
+//!
+//! This crate converts the per-operation [`anubis::OpCost`]s reported by
+//! the memory controllers into wall-clock execution time, standing in for
+//! the cycle-level gem5 simulation the paper used. The model
+//! (see [`TimingModel`]) is a single PCM channel with the paper's Table 1
+//! latencies (read 60 ns, write 150 ns): reads stall the CPU, writes are
+//! posted through a bounded write queue whose back-pressure stalls the
+//! CPU only when full — exactly the mechanism that makes write-amplifying
+//! schemes (strict persistence) slow and shadow-table schemes (Anubis)
+//! nearly free.
+//!
+//! What is deliberately *not* modeled: bank-level parallelism, row
+//! buffers, on-chip cache hierarchy above the LLC (traces are LLC-miss
+//! streams), and instruction-level overlap. Figures 10/11/13 report
+//! overheads *normalized to the write-back baseline on the same trace*,
+//! which this level of abstraction preserves (see DESIGN.md).
+//!
+//! # Example
+//!
+//! ```
+//! use anubis::{AnubisConfig, BonsaiController, BonsaiScheme};
+//! use anubis_sim::{run_trace, TimingModel};
+//! use anubis_workloads::{spec2006, TraceGenerator};
+//!
+//! let config = AnubisConfig::small_test();
+//! let trace = TraceGenerator::new(spec2006::xalancbmk(), config.capacity_bytes)
+//!     .generate(2_000, 7);
+//! let mut ctrl = BonsaiController::new(BonsaiScheme::AgitPlus, &config);
+//! let result = run_trace(&mut ctrl, &trace, &TimingModel::paper()).unwrap();
+//! assert!(result.total_ns > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod endurance;
+mod engine;
+mod report;
+mod timing;
+
+pub mod experiments;
+
+pub use endurance::EnduranceModel;
+pub use engine::{payload, run_trace, RunResult};
+pub use report::Table;
+pub use timing::TimingModel;

@@ -1,0 +1,185 @@
+//! The single-channel PCM timing model.
+
+use anubis::OpCost;
+
+/// Latency parameters and queue geometry for the memory channel.
+///
+/// Defaults follow the paper's Table 1 (PCM read 60 ns, write 150 ns).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimingModel {
+    /// PCM array read latency per 64-byte block (ns).
+    pub read_ns: f64,
+    /// PCM array write latency per 64-byte block (ns).
+    pub write_ns: f64,
+    /// Latency of one hash/MAC/pad computation (ns). Metadata hash checks
+    /// largely overlap with data fetch in real engines; a small serial
+    /// component remains on the critical path.
+    pub hash_ns: f64,
+    /// Write-queue depth: posted writes stall the CPU only when the
+    /// channel backlog exceeds this many writes (WPQ back-pressure).
+    pub write_queue_depth: usize,
+    /// Bank-level parallelism: the device sustains this many overlapped
+    /// array accesses, so channel *occupancy* per access is
+    /// `latency / banks` while the first access of an op still pays full
+    /// latency on the critical path.
+    pub banks: u32,
+}
+
+impl TimingModel {
+    /// The paper's Table 1 configuration (read 60 ns, write 150 ns) with
+    /// four banks and a pipelined hash engine.
+    pub fn paper() -> Self {
+        TimingModel {
+            read_ns: 60.0,
+            write_ns: 150.0,
+            hash_ns: 5.0,
+            write_queue_depth: 32,
+            banks: 4,
+        }
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel::paper()
+    }
+}
+
+/// Channel state threaded through a trace replay.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Channel {
+    /// CPU-visible clock (ns).
+    pub now: f64,
+    /// Time at which all scheduled channel work completes (ns).
+    pub chan_free: f64,
+    /// Total stall time attributable to write-queue back-pressure (ns).
+    pub write_stall_ns: f64,
+    /// Total stall time waiting on reads (ns).
+    pub read_stall_ns: f64,
+}
+
+impl Channel {
+    /// Advances the CPU clock by the trace's compute gap.
+    pub fn advance(&mut self, gap_ns: f64) {
+        self.now += gap_ns;
+    }
+
+    /// Executes one operation's memory-controller work and returns the
+    /// op's critical-path latency.
+    pub fn execute(&mut self, cost: OpCost, model: &TimingModel) -> f64 {
+        let begin = self.now;
+        let banks = model.banks.max(1) as f64;
+        // Reads stall the CPU: the first pays full array latency behind
+        // whatever the channel has scheduled; further reads of the same op
+        // pipeline across banks.
+        if cost.nvm_reads > 0 {
+            let start = self.chan_free.max(self.now);
+            let latency =
+                model.read_ns + (cost.nvm_reads as f64 - 1.0) * model.read_ns / banks;
+            self.chan_free = start + cost.nvm_reads as f64 * model.read_ns / banks;
+            let done = start + latency;
+            let stall = done - self.now;
+            self.read_stall_ns += stall.max(0.0);
+            self.now = done.max(self.now);
+        }
+        // Serial hash component.
+        self.now += cost.hash_ops as f64 * model.hash_ns;
+        // Writes are posted: they consume channel occupancy but the CPU
+        // only stalls when the backlog exceeds the queue depth.
+        if cost.nvm_writes > 0 {
+            self.chan_free =
+                self.chan_free.max(self.now) + cost.nvm_writes as f64 * model.write_ns / banks;
+            let backlog_limit = model.write_queue_depth as f64 * model.write_ns / banks;
+            if self.chan_free - self.now > backlog_limit {
+                let target = self.chan_free - backlog_limit;
+                self.write_stall_ns += target - self.now;
+                self.now = target;
+            }
+        }
+        self.now - begin
+    }
+
+    /// Wall-clock end of the run: CPU done and channel drained.
+    pub fn finish(&self) -> f64 {
+        self.now.max(self.chan_free)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(r: u32, w: u32, h: u32) -> OpCost {
+        OpCost { nvm_reads: r, nvm_writes: w, hash_ops: h, bg_hash_ops: 0 }
+    }
+
+    fn serial() -> TimingModel {
+        TimingModel { banks: 1, ..TimingModel::paper() }
+    }
+
+    #[test]
+    fn reads_stall_cpu() {
+        let m = serial();
+        let mut ch = Channel::default();
+        let lat = ch.execute(cost(2, 0, 0), &m);
+        assert!((lat - 120.0).abs() < 1e-9);
+        assert!((ch.now - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn banks_pipeline_extra_reads() {
+        let m = TimingModel { banks: 4, ..serial() };
+        let mut ch = Channel::default();
+        let lat = ch.execute(cost(5, 0, 0), &m);
+        assert!((lat - (60.0 + 4.0 * 15.0)).abs() < 1e-9, "got {lat}");
+    }
+
+    #[test]
+    fn writes_are_posted_until_queue_fills() {
+        let m = TimingModel { write_queue_depth: 2, ..serial() };
+        let mut ch = Channel::default();
+        // Two writes fit in the queue: no stall.
+        let lat = ch.execute(cost(0, 2, 0), &m);
+        assert_eq!(lat, 0.0);
+        assert_eq!(ch.write_stall_ns, 0.0);
+        // Two more exceed the depth: CPU stalls for the excess.
+        let lat = ch.execute(cost(0, 2, 0), &m);
+        assert!(lat > 0.0);
+        assert!(ch.write_stall_ns > 0.0);
+    }
+
+    #[test]
+    fn reads_wait_behind_scheduled_writes() {
+        let m = serial();
+        let mut ch = Channel::default();
+        ch.execute(cost(0, 4, 0), &m); // 600 ns of channel work, posted
+        let lat = ch.execute(cost(1, 0, 0), &m);
+        assert!((lat - 660.0).abs() < 1e-9, "read waits for drain: {lat}");
+    }
+
+    #[test]
+    fn idle_gaps_let_writes_drain() {
+        let m = serial();
+        let mut ch = Channel::default();
+        ch.execute(cost(0, 4, 0), &m);
+        ch.advance(10_000.0); // long compute gap
+        let lat = ch.execute(cost(1, 0, 0), &m);
+        assert!((lat - 60.0).abs() < 1e-9, "channel drained during gap: {lat}");
+    }
+
+    #[test]
+    fn hash_ops_add_serial_latency() {
+        let m = serial();
+        let mut ch = Channel::default();
+        let lat = ch.execute(cost(1, 0, 3), &m);
+        assert!((lat - (60.0 + 3.0 * m.hash_ns)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finish_includes_pending_writes() {
+        let m = serial();
+        let mut ch = Channel::default();
+        ch.execute(cost(0, 3, 0), &m);
+        assert!((ch.finish() - 450.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,166 @@
+//! Plain-text trace serialization.
+//!
+//! Format, one op per line after a header:
+//!
+//! ```text
+//! #anubis-trace v1 <name>
+//! R <block-index> <gap-ns>
+//! W <block-index> <gap-ns>
+//! ```
+//!
+//! Lets an experiment pin its exact trace to disk (or feed in a trace
+//! captured elsewhere) rather than relying on generator determinism.
+
+use crate::trace::{MemOp, OpKind, Trace};
+use anubis_nvm::BlockAddr;
+use std::io::{self, BufRead, Write};
+
+/// Magic header prefix.
+const HEADER: &str = "#anubis-trace v1";
+
+/// Errors from parsing a trace file.
+#[derive(Debug)]
+pub enum ParseTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The header line is missing or malformed.
+    BadHeader,
+    /// A body line failed to parse (1-based line number included).
+    BadLine(usize),
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseTraceError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseTraceError::BadHeader => write!(f, "missing or malformed trace header"),
+            ParseTraceError::BadLine(n) => write!(f, "malformed trace line {n}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseTraceError {
+    fn from(e: io::Error) -> Self {
+        ParseTraceError::Io(e)
+    }
+}
+
+/// Writes `trace` to `writer` in the v1 text format.
+///
+/// A mutable reference works as the writer: `write_trace(&mut file, ..)`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(mut writer: W, trace: &Trace) -> io::Result<()> {
+    writeln!(writer, "{HEADER} {}", trace.name())?;
+    for op in trace.iter() {
+        let k = if op.is_write() { 'W' } else { 'R' };
+        writeln!(writer, "{k} {} {}", op.addr.index(), op.gap_ns)?;
+    }
+    Ok(())
+}
+
+/// Reads a trace in the v1 text format.
+///
+/// A mutable reference works as the reader: `read_trace(&mut file)`.
+///
+/// # Errors
+///
+/// [`ParseTraceError`] on I/O failure or malformed input.
+pub fn read_trace<R: BufRead>(reader: R) -> Result<Trace, ParseTraceError> {
+    let mut lines = reader.lines();
+    let header = lines.next().ok_or(ParseTraceError::BadHeader)??;
+    let name = header
+        .strip_prefix(HEADER)
+        .map(str::trim)
+        .filter(|n| !n.is_empty())
+        .ok_or(ParseTraceError::BadHeader)?
+        .to_string();
+    let mut ops = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let parsed = (|| {
+            let kind = match parts.next()? {
+                "R" => OpKind::Read,
+                "W" => OpKind::Write,
+                _ => return None,
+            };
+            let addr: u64 = parts.next()?.parse().ok()?;
+            let gap: u32 = parts.next()?.parse().ok()?;
+            Some(MemOp { kind, addr: BlockAddr::new(addr), gap_ns: gap })
+        })();
+        match parsed {
+            Some(op) => ops.push(op),
+            None => return Err(ParseTraceError::BadLine(i + 2)),
+        }
+    }
+    Ok(Trace::new(name, ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{spec2006, TraceGenerator};
+    use std::io::BufReader;
+
+    #[test]
+    fn roundtrip() {
+        let trace = TraceGenerator::new(spec2006::astar(), 1 << 30).generate(500, 7);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let back = read_trace(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn tolerates_comments_and_blank_lines() {
+        let text = "#anubis-trace v1 demo\nR 5 10\n\n# comment\nW 7 20\n";
+        let t = read_trace(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(t.name(), "demo");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.write_count(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let r = read_trace(BufReader::new("not a trace\nR 1 1\n".as_bytes()));
+        assert!(matches!(r, Err(ParseTraceError::BadHeader)));
+        let r = read_trace(BufReader::new("#anubis-trace v1 \n".as_bytes()));
+        assert!(matches!(r, Err(ParseTraceError::BadHeader)));
+    }
+
+    #[test]
+    fn rejects_bad_lines_with_position() {
+        let text = "#anubis-trace v1 demo\nR 5 10\nX 7 20\n";
+        match read_trace(BufReader::new(text.as_bytes())) {
+            Err(ParseTraceError::BadLine(3)) => {}
+            other => panic!("expected BadLine(3), got {other:?}"),
+        }
+        let text = "#anubis-trace v1 demo\nW notanumber 20\n";
+        assert!(matches!(
+            read_trace(BufReader::new(text.as_bytes())),
+            Err(ParseTraceError::BadLine(2))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ParseTraceError::BadHeader.to_string().contains("header"));
+        assert!(ParseTraceError::BadLine(9).to_string().contains('9'));
+    }
+}

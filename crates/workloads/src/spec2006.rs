@@ -1,0 +1,203 @@
+//! SPEC CPU2006-like workload profiles.
+//!
+//! Eleven memory-intensive applications, parameterized from the paper's
+//! qualitative descriptions (§6.1) and standard published memory
+//! characterizations of the suite:
+//!
+//! * **mcf** — the read-intensive extreme: pointer-chasing over a large
+//!   sparse network, very high read MPKI, few stores reach memory.
+//! * **lbm** — write-intensive fluid-dynamics streaming: almost every
+//!   miss is a writeback sweep over the lattice.
+//! * **libquantum** — "the most write-intensive application we have
+//!   tested", and second only to mcf in reads: dense sequential sweeps
+//!   that rewrite the state vector repeatedly (pushing counters past the
+//!   stop-loss limit).
+//! * the remaining eight are moderate mixes with varying locality.
+//!
+//! These are *synthetic stand-ins*: the absolute numbers are not SPEC, but
+//! the inter-application ordering (which scheme hurts which app) follows
+//! the paper's reported behaviour.
+
+use crate::generator::WorkloadSpec;
+
+/// mcf — read-intensive, poor locality, large footprint.
+pub fn mcf() -> WorkloadSpec {
+    WorkloadSpec::new("mcf")
+        .read_fraction(0.92)
+        .footprint_bytes(512 << 20)
+        .zipf(0.6)
+        .sequential(0.05)
+        .rewrites(0.05)
+        .gap_ns(60.0)
+}
+
+/// lbm — write-intensive streaming, few reads.
+pub fn lbm() -> WorkloadSpec {
+    WorkloadSpec::new("lbm")
+        .read_fraction(0.22)
+        .footprint_bytes(384 << 20)
+        .zipf(0.3)
+        .sequential(0.75)
+        .rewrites(0.35)
+        .gap_ns(80.0)
+}
+
+/// libquantum — the most write-intensive; heavy reads too; dense rewrites.
+pub fn libquantum() -> WorkloadSpec {
+    WorkloadSpec::new("libquantum")
+        .read_fraction(0.45)
+        .footprint_bytes(64 << 20)
+        .zipf(0.8)
+        .sequential(0.6)
+        .rewrites(0.6)
+        .gap_ns(45.0)
+}
+
+/// milc — lattice QCD; moderate writes, streaming with some reuse.
+pub fn milc() -> WorkloadSpec {
+    WorkloadSpec::new("milc")
+        .read_fraction(0.62)
+        .footprint_bytes(256 << 20)
+        .zipf(0.7)
+        .sequential(0.45)
+        .rewrites(0.2)
+        .gap_ns(90.0)
+}
+
+/// soplex — LP solver; read-leaning with skewed reuse.
+pub fn soplex() -> WorkloadSpec {
+    WorkloadSpec::new("soplex")
+        .read_fraction(0.75)
+        .footprint_bytes(128 << 20)
+        .zipf(1.0)
+        .sequential(0.25)
+        .rewrites(0.15)
+        .gap_ns(110.0)
+}
+
+/// GemsFDTD — finite-difference time-domain; streaming, balanced mix.
+pub fn gems() -> WorkloadSpec {
+    WorkloadSpec::new("gems")
+        .read_fraction(0.55)
+        .footprint_bytes(512 << 20)
+        .zipf(0.4)
+        .sequential(0.65)
+        .rewrites(0.25)
+        .gap_ns(85.0)
+}
+
+/// leslie3d — CFD; streaming, moderate writes.
+pub fn leslie3d() -> WorkloadSpec {
+    WorkloadSpec::new("leslie3d")
+        .read_fraction(0.60)
+        .footprint_bytes(192 << 20)
+        .zipf(0.5)
+        .sequential(0.6)
+        .rewrites(0.2)
+        .gap_ns(95.0)
+}
+
+/// astar — path-finding; read-leaning, pointer-chasing, low locality.
+pub fn astar() -> WorkloadSpec {
+    WorkloadSpec::new("astar")
+        .read_fraction(0.80)
+        .footprint_bytes(96 << 20)
+        .zipf(0.75)
+        .sequential(0.1)
+        .rewrites(0.1)
+        .gap_ns(140.0)
+}
+
+/// omnetpp — discrete-event simulation; read-leaning with good reuse.
+pub fn omnetpp() -> WorkloadSpec {
+    WorkloadSpec::new("omnetpp")
+        .read_fraction(0.72)
+        .footprint_bytes(160 << 20)
+        .zipf(1.1)
+        .sequential(0.15)
+        .rewrites(0.15)
+        .gap_ns(120.0)
+}
+
+/// xalancbmk — XML transformation; read-heavy, strong locality.
+pub fn xalancbmk() -> WorkloadSpec {
+    WorkloadSpec::new("xalancbmk")
+        .read_fraction(0.85)
+        .footprint_bytes(64 << 20)
+        .zipf(1.2)
+        .sequential(0.2)
+        .rewrites(0.1)
+        .gap_ns(130.0)
+}
+
+/// bwaves — blast-wave CFD; streaming read-heavy with periodic writes.
+pub fn bwaves() -> WorkloadSpec {
+    WorkloadSpec::new("bwaves")
+        .read_fraction(0.68)
+        .footprint_bytes(448 << 20)
+        .zipf(0.35)
+        .sequential(0.7)
+        .rewrites(0.15)
+        .gap_ns(75.0)
+}
+
+/// All eleven profiles in the order the paper's figures list them.
+pub fn all() -> Vec<WorkloadSpec> {
+    vec![
+        astar(),
+        bwaves(),
+        gems(),
+        lbm(),
+        leslie3d(),
+        libquantum(),
+        mcf(),
+        milc(),
+        omnetpp(),
+        soplex(),
+        xalancbmk(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceGenerator;
+
+    #[test]
+    fn eleven_distinct_profiles() {
+        let specs = all();
+        assert_eq!(specs.len(), 11);
+        let mut names: Vec<_> = specs.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn paper_ordering_of_write_intensity() {
+        // libquantum must be the most write-intensive, mcf the least.
+        let wf = |s: WorkloadSpec| {
+            let t = TraceGenerator::new(s, 16 << 30).generate(20_000, 1);
+            1.0 - t.read_fraction()
+        };
+        let lq = wf(libquantum());
+        let m = wf(mcf());
+        let l = wf(lbm());
+        assert!(lq > 0.5 && l > 0.5, "libquantum/lbm are write-heavy ({lq}, {l})");
+        assert!(m < 0.12, "mcf writes rarely ({m})");
+        for s in all() {
+            if s.name != "lbm" {
+                assert!(wf(s.clone()) <= l + 0.02, "{} out-writes lbm", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn traces_generate_for_all() {
+        for s in all() {
+            let t = TraceGenerator::new(s, 16 << 30).generate(1000, 99);
+            assert_eq!(t.len(), 1000);
+            assert!(t.footprint_blocks() > 10);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Memory operation traces.
+
+use anubis_nvm::BlockAddr;
+
+/// The kind of a memory operation arriving at the memory controller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// An LLC read miss: fetch a 64-byte line from NVM.
+    Read,
+    /// An LLC writeback: store a 64-byte line to NVM.
+    Write,
+}
+
+/// One memory operation at LLC-miss granularity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemOp {
+    /// Read or write.
+    pub kind: OpKind,
+    /// The 64-byte line touched.
+    pub addr: BlockAddr,
+    /// CPU compute time (ns) separating this op from the previous one —
+    /// the inter-arrival gap the timing model uses to overlap latencies.
+    pub gap_ns: u32,
+}
+
+impl MemOp {
+    /// A read op.
+    pub fn read(addr: BlockAddr, gap_ns: u32) -> Self {
+        MemOp { kind: OpKind::Read, addr, gap_ns }
+    }
+
+    /// A write op.
+    pub fn write(addr: BlockAddr, gap_ns: u32) -> Self {
+        MemOp { kind: OpKind::Write, addr, gap_ns }
+    }
+
+    /// Whether this is a write.
+    pub fn is_write(&self) -> bool {
+        self.kind == OpKind::Write
+    }
+}
+
+/// A named sequence of memory operations.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Trace {
+    name: String,
+    ops: Vec<MemOp>,
+}
+
+impl Trace {
+    /// Creates a trace from parts.
+    pub fn new(name: impl Into<String>, ops: Vec<MemOp>) -> Self {
+        Trace { name: name.into(), ops }
+    }
+
+    /// The workload name (e.g. `"mcf"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The operations in program order.
+    pub fn ops(&self) -> &[MemOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of writes.
+    pub fn write_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_write()).count()
+    }
+
+    /// Number of reads.
+    pub fn read_count(&self) -> usize {
+        self.len() - self.write_count()
+    }
+
+    /// Fraction of operations that are reads (0 for an empty trace).
+    pub fn read_fraction(&self) -> f64 {
+        if self.ops.is_empty() {
+            0.0
+        } else {
+            self.read_count() as f64 / self.len() as f64
+        }
+    }
+
+    /// Number of distinct blocks touched.
+    pub fn footprint_blocks(&self) -> usize {
+        let mut set: Vec<u64> = self.ops.iter().map(|o| o.addr.index()).collect();
+        set.sort_unstable();
+        set.dedup();
+        set.len()
+    }
+
+    /// Iterates the operations.
+    pub fn iter(&self) -> impl Iterator<Item = &MemOp> + '_ {
+        self.ops.iter()
+    }
+}
+
+impl Extend<MemOp> for Trace {
+    fn extend<T: IntoIterator<Item = MemOp>>(&mut self, iter: T) {
+        self.ops.extend(iter);
+    }
+}
+
+impl FromIterator<MemOp> for Trace {
+    fn from_iter<T: IntoIterator<Item = MemOp>>(iter: T) -> Self {
+        Trace::new("anonymous", iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting() {
+        let t = Trace::new(
+            "t",
+            vec![
+                MemOp::read(BlockAddr::new(1), 10),
+                MemOp::write(BlockAddr::new(2), 10),
+                MemOp::read(BlockAddr::new(1), 10),
+            ],
+        );
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.read_count(), 2);
+        assert_eq!(t.write_count(), 1);
+        assert_eq!(t.footprint_blocks(), 2);
+        assert!((t.read_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.name(), "t");
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.read_fraction(), 0.0);
+        assert_eq!(t.footprint_blocks(), 0);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut t: Trace = (0..5).map(|i| MemOp::read(BlockAddr::new(i), 1)).collect();
+        t.extend([MemOp::write(BlockAddr::new(9), 1)]);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.write_count(), 1);
+    }
+}
+
+#[cfg(test)]
+mod stat_tests {
+    use super::*;
+
+    #[test]
+    fn iterator_traits_compose() {
+        let ops: Vec<MemOp> = (0..10).map(|i| MemOp::write(BlockAddr::new(i), 5)).collect();
+        let t = Trace::new("x", ops);
+        let gaps: u64 = t.iter().map(|o| o.gap_ns as u64).sum();
+        assert_eq!(gaps, 50);
+        assert!(t.iter().all(|o| o.is_write()));
+    }
+
+    #[test]
+    fn footprint_counts_distinct_blocks_only() {
+        let t = Trace::new(
+            "x",
+            vec![
+                MemOp::read(BlockAddr::new(5), 0),
+                MemOp::write(BlockAddr::new(5), 0),
+                MemOp::write(BlockAddr::new(6), 0),
+            ],
+        );
+        assert_eq!(t.footprint_blocks(), 2);
+    }
+}

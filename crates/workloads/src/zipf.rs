@@ -1,0 +1,144 @@
+//! Zipf-distributed sampling for page-popularity locality.
+
+use rand::Rng;
+
+/// A Zipf(α) sampler over ranks `0..n` via a precomputed CDF.
+///
+/// Page popularity in memory traces is heavily skewed; a Zipf exponent
+/// around 0.8–1.2 reproduces the hot-page reuse that gives metadata caches
+/// their hit rates. The CDF table is capped at 2^17 buckets: for larger
+/// supports, ranks map onto buckets of equal width (keeping the skew shape
+/// while bounding memory).
+///
+/// # Example
+///
+/// ```
+/// use anubis_workloads::Zipf;
+/// use rand::SeedableRng;
+/// let z = Zipf::new(1000, 1.0);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let r = z.sample(&mut rng);
+/// assert!(r < 1000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    buckets: u64,
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Maximum CDF table size.
+    const MAX_BUCKETS: u64 = 1 << 17;
+
+    /// Creates a sampler over `0..n` with exponent `alpha >= 0`
+    /// (`alpha == 0` is uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is negative or non-finite.
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf support must be nonempty");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and >= 0");
+        let buckets = n.min(Self::MAX_BUCKETS);
+        let mut cdf = Vec::with_capacity(buckets as usize);
+        let mut acc = 0.0f64;
+        for rank in 0..buckets {
+            acc += 1.0 / ((rank + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { n, buckets, cdf }
+    }
+
+    /// Support size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one rank in `0..n`, lower ranks being more popular.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let bucket = match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1) as u64,
+        };
+        if self.n == self.buckets {
+            bucket
+        } else {
+            // Spread the bucket over its share of the support.
+            let lo = bucket * self.n / self.buckets;
+            let hi = ((bucket + 1) * self.n / self.buckets).max(lo + 1);
+            rng.gen_range(lo..hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn skew_favors_low_ranks() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut low = 0u32;
+        let total = 20_000;
+        for _ in 0..total {
+            if z.sample(&mut rng) < 10 {
+                low += 1;
+            }
+        }
+        // Top-10 ranks of Zipf(1.0, n=1000) carry ~39% of the mass.
+        assert!(low as f64 / total as f64 > 0.25, "got {low}/{total}");
+    }
+
+    #[test]
+    fn alpha_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.3, "counts spread too wide: {counts:?}");
+    }
+
+    #[test]
+    fn large_support_uses_buckets() {
+        let n = 1u64 << 22;
+        let z = Zipf::new(n, 0.9);
+        assert_eq!(z.n(), n);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_alpha_panics() {
+        let _ = Zipf::new(10, -1.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! A tiny persistent key-value store on top of the secure memory — the
+//! paper's motivating scenario (§1): "an in-memory database system, where
+//! a crash occurs right after a transaction is committed. The whole
+//! Merkle Tree must be recovered first to verify integrity before
+//! completing any new transactions."
+//!
+//! The store keeps fixed-size records in data lines and commits each put
+//! before acknowledging. We crash it mid-workload and show that every
+//! acknowledged put survives — and that recovery takes O(cache), not
+//! O(memory).
+//!
+//! ```sh
+//! cargo run --example persistent_kv
+//! ```
+
+use anubis::{AnubisConfig, BonsaiController, BonsaiScheme, DataAddr, MemError, MemoryController};
+use anubis_nvm::Block;
+
+/// A record: 8-byte key, 48-byte value, 8-byte checksum-ish tag.
+struct KvStore {
+    memory: BonsaiController,
+    slots: u64,
+}
+
+impl KvStore {
+    fn new(memory: BonsaiController) -> Self {
+        let slots = memory.layout().data_blocks();
+        KvStore { memory, slots }
+    }
+
+    fn slot_of(&self, key: u64) -> DataAddr {
+        // Open addressing would need probes; for the demo, direct-map.
+        DataAddr::new(key % self.slots)
+    }
+
+    /// Stores `value` under `key`. When this returns, the put is durable:
+    /// the data line, its counter and the tree update all committed
+    /// atomically through the persistent registers.
+    fn put(&mut self, key: u64, value: &[u8; 48]) -> Result<(), MemError> {
+        let mut block = Block::zeroed();
+        block.set_word(0, key);
+        block.as_bytes_mut()[8..56].copy_from_slice(value);
+        block.set_word(7, key.wrapping_mul(0x9E37_79B9_7F4A_7C15)); // tag
+        self.memory.write(self.slot_of(key), block)
+    }
+
+    /// Fetches the value for `key`, verifying decryption, the data MAC
+    /// and the counter's Merkle path.
+    fn get(&mut self, key: u64) -> Result<Option<[u8; 48]>, MemError> {
+        let block = self.memory.read(self.slot_of(key))?;
+        if block.word(0) != key
+            || block.word(7) != key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        {
+            return Ok(None);
+        }
+        let mut out = [0u8; 48];
+        out.copy_from_slice(&block.as_bytes()[8..56]);
+        Ok(Some(out))
+    }
+}
+
+fn value_for(i: u64) -> [u8; 48] {
+    let mut v = [0u8; 48];
+    for (j, b) in v.iter_mut().enumerate() {
+        *b = (i as u8).wrapping_add(j as u8);
+    }
+    v
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = AnubisConfig::small_test();
+    let mut store = KvStore::new(BonsaiController::new(BonsaiScheme::AgitPlus, &config));
+
+    // Commit 500 transactions.
+    for i in 0..500u64 {
+        store.put(i * 31, &value_for(i))?;
+    }
+    println!("committed 500 puts");
+
+    // Power cord yanked.
+    store.memory.crash();
+    println!("power failure");
+
+    // Availability math (§1): with Osiris the whole tree would need
+    // rebuilding — hours at real capacities. Anubis recovers in O(cache).
+    let report = store.memory.recover()?;
+    println!(
+        "recovered in {} ops (≈ {:.6} s at 100 ns/op); counters fixed: {}",
+        report.total_ops(),
+        report.estimated_secs(),
+        report.counters_fixed
+    );
+    let osiris_8tb = anubis::recovery::time::osiris_full_secs(8 << 40, 4);
+    println!(
+        "for scale: Osiris-style full recovery of an 8 TB server ≈ {:.0} s ({:.1} h)",
+        osiris_8tb,
+        osiris_8tb / 3600.0
+    );
+
+    // Every acknowledged transaction is there, integrity-verified.
+    for i in 0..500u64 {
+        let got = store.get(i * 31)?.expect("committed put must survive");
+        assert_eq!(got, value_for(i), "value for key {}", i * 31);
+    }
+    println!("all 500 committed transactions verified after crash ✓");
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Quickstart: encrypted, integrity-protected, *recoverable* NVM in a few
+//! lines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use anubis::{AnubisConfig, BonsaiController, BonsaiScheme, DataAddr, MemoryController};
+use anubis_nvm::Block;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small configuration so the demo runs instantly; `paper()` gives
+    // the ISCA'19 Table 1 system (16 GiB PCM, 256 KiB metadata caches).
+    let config = AnubisConfig::small_test();
+
+    // AGIT-Plus: Osiris stop-loss counters + shadow tables updated on
+    // first modification — the paper's best general-tree scheme.
+    let mut memory = BonsaiController::new(BonsaiScheme::AgitPlus, &config);
+
+    // Writes are encrypted (counter mode, split counters), MACed, and the
+    // 8-ary Merkle tree over the counters is updated up to the on-chip
+    // root. All of it crash-atomically via the persistent registers.
+    for i in 0..100u64 {
+        memory.write(DataAddr::new(i), Block::filled(i as u8))?;
+    }
+    println!("wrote 100 lines; root = {:?}", memory.root());
+
+    // Power failure! Caches (counters + tree nodes) are volatile and lost.
+    memory.crash();
+    println!("crash: metadata caches lost, WPQ flushed by ADR");
+
+    // Recovery, Algorithm 1: scan the shadow tables, Osiris-fix only the
+    // tracked counters, rebuild only the tracked tree nodes, verify the
+    // root. O(cache size), not O(memory size).
+    let report = memory.recover()?;
+    println!(
+        "recovered: {} counters fixed, {} nodes rebuilt, {} ops -> {:.6} s at 100 ns/op",
+        report.counters_fixed,
+        report.nodes_fixed,
+        report.total_ops(),
+        report.estimated_secs()
+    );
+
+    // Everything reads back, decrypted and verified.
+    for i in 0..100u64 {
+        assert_eq!(memory.read(DataAddr::new(i))?, Block::filled(i as u8));
+    }
+    println!("all 100 lines verified after recovery ✓");
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the Anubis (ISCA'19) reproduction workspace.
+//!
+//! This root package exists to host the workspace-level `examples/` and
+//! `tests/` directories; its library target simply re-exports the member
+//! crates so examples can `use anubis_repro::...` or the crates directly.
+
+pub use anubis;
+pub use anubis_cache;
+pub use anubis_crypto;
+pub use anubis_itree;
+pub use anubis_nvm;
+pub use anubis_sim;
+pub use anubis_workloads;

@@ -1,0 +1,191 @@
+//! Tamper matrix: flip bits in every NVM region (data, side, counters,
+//! tree nodes, shadow tables) under every scheme, and check the threat
+//! model holds — every attack is detected, at read time or recovery time.
+
+use anubis::{
+    AnubisConfig, BonsaiController, BonsaiScheme, DataAddr, MemError, MemoryController,
+    RecoveryError, SgxController, SgxScheme,
+};
+use anubis_nvm::Block;
+
+fn cfg() -> AnubisConfig {
+    AnubisConfig::small_test()
+}
+
+fn warmed_bonsai(scheme: BonsaiScheme) -> BonsaiController {
+    let mut c = BonsaiController::new(scheme, &cfg());
+    for i in 0..50u64 {
+        c.write(DataAddr::new(i * 3), Block::filled(i as u8)).unwrap();
+    }
+    c.shutdown_flush().unwrap();
+    c
+}
+
+fn warmed_sgx(scheme: SgxScheme) -> SgxController {
+    let mut c = SgxController::new(scheme, &cfg());
+    for i in 0..50u64 {
+        c.write(DataAddr::new(i * 3), Block::filled(i as u8)).unwrap();
+    }
+    c.shutdown_flush().unwrap();
+    c
+}
+
+/// Fresh controller sharing the tampered device state, to force re-fetch
+/// and re-verification (caches would otherwise mask NVM contents).
+fn cold_read_bonsai(c: &mut BonsaiController, addr: DataAddr) -> Result<Block, MemError> {
+    // Crash + recover re-cold-starts caches while keeping device state.
+    c.crash();
+    c.recover().map_err(|_| MemError::Crypto(anubis_crypto::CryptoError::DataMacMismatch))?;
+    c.read(addr)
+}
+
+#[test]
+fn data_region_tamper_detected_all_bonsai_schemes() {
+    for scheme in BonsaiScheme::all() {
+        let mut c = warmed_bonsai(scheme);
+        let dev = c.layout().data_addr(DataAddr::new(3));
+        c.domain_mut().device_mut().tamper_flip_bit(dev, 77);
+        assert!(
+            c.read(DataAddr::new(3)).is_err(),
+            "{}: tampered data read must fail",
+            scheme.name()
+        );
+    }
+}
+
+#[test]
+fn side_region_tamper_detected() {
+    let mut c = warmed_bonsai(BonsaiScheme::AgitPlus);
+    let side = c.layout().side_addr(DataAddr::new(6));
+    c.domain_mut().device_mut().tamper_flip_bit(side, 5);
+    assert!(c.read(DataAddr::new(6)).is_err(), "tampered ECC/MAC must fail");
+}
+
+#[test]
+fn counter_region_tamper_detected_after_recovery() {
+    let mut c = warmed_bonsai(BonsaiScheme::AgitPlus);
+    let (leaf, _) = c.layout().counter_of(DataAddr::new(3));
+    let addr = c.layout().node_addr(leaf);
+    c.domain_mut().device_mut().tamper_flip_bit(addr, 10);
+    // Either recovery notices (root mismatch) or the read's path check does.
+    let r = cold_read_bonsai(&mut c, DataAddr::new(3));
+    assert!(r.is_err(), "tampered counter must be detected");
+}
+
+#[test]
+fn tree_region_tamper_never_yields_wrong_data() {
+    // Interior nodes are pure functions of the leaves, so a full rebuild
+    // (write-back/Osiris recovery) *heals* interior tampering rather than
+    // detecting it — the attack only matters if it could smuggle wrong
+    // data past verification. Assert it cannot: after tamper + crash +
+    // recovery, either recovery errors or every line reads back intact.
+    let mut c = warmed_bonsai(BonsaiScheme::WriteBack);
+    let node = anubis_itree::NodeId::new(1, 0);
+    let addr = c.layout().node_addr(node);
+    c.domain_mut().device_mut().tamper_flip_bit(addr, 444);
+    match c.crash_recover_err() {
+        Some(_) => {} // detected — fine
+        None => {
+            for i in 0..50u64 {
+                assert_eq!(
+                    c.read(DataAddr::new(i * 3)).unwrap(),
+                    Block::filled(i as u8),
+                    "healed tree must still serve correct data"
+                );
+            }
+        }
+    }
+}
+
+trait CrashRecoverErr {
+    fn crash_recover_err(&mut self) -> Option<RecoveryError>;
+}
+
+impl CrashRecoverErr for BonsaiController {
+    fn crash_recover_err(&mut self) -> Option<RecoveryError> {
+        self.crash();
+        self.recover().err()
+    }
+}
+
+#[test]
+fn data_replay_attack_detected() {
+    // Record a sealed line, overwrite it, then replay the old ciphertext:
+    // the counter has moved on, so ECC/MAC must fail.
+    let mut c = warmed_bonsai(BonsaiScheme::Osiris);
+    let a = DataAddr::new(9);
+    c.write(a, Block::filled(1)).unwrap();
+    c.domain_mut().drain_wpq();
+    let dev = c.layout().data_addr(a);
+    let side = c.layout().side_addr(a);
+    let old_data = c.domain().device().peek(dev);
+    let old_side = c.domain().device().peek(side);
+    c.write(a, Block::filled(2)).unwrap();
+    c.domain_mut().drain_wpq();
+    c.domain_mut().device_mut().tamper_replay(dev, old_data);
+    c.domain_mut().device_mut().tamper_replay(side, old_side);
+    assert!(c.read(a).is_err(), "replayed stale data must fail");
+}
+
+#[test]
+fn sgx_data_and_node_tampering_detected() {
+    for scheme in SgxScheme::all() {
+        let mut c = warmed_sgx(scheme);
+        let dev = c.layout().data_addr(DataAddr::new(3));
+        c.domain_mut().device_mut().tamper_flip_bit(dev, 123);
+        assert!(c.read(DataAddr::new(3)).is_err(), "{}", scheme.name());
+    }
+    // Interior node tamper, checked on cold fetch.
+    let mut c = warmed_sgx(SgxScheme::WriteBack);
+    c.crash();
+    c.recover().expect("clean crash after flush recovers");
+    let node = anubis_itree::NodeId::new(1, 0);
+    let addr = c.layout().node_addr(node);
+    c.domain_mut().device_mut().tamper_flip_bit(addr, 50);
+    assert!(c.read(DataAddr::new(0)).is_err());
+}
+
+#[test]
+fn asit_shadow_table_attacks_detected() {
+    // (a) bit flip in an ST entry; (b) wholesale replay of an old ST
+    // image; both must fail SHADOW_TREE_ROOT verification.
+    let mut c = SgxController::new(SgxScheme::Asit, &cfg());
+    for i in 0..40u64 {
+        c.write(DataAddr::new(i), Block::filled(i as u8)).unwrap();
+    }
+    // Snapshot the ST region early.
+    c.domain_mut().drain_wpq();
+    let snapshot: Vec<(u64, Block)> = (0..c.layout().st_slots())
+        .map(|s| {
+            let a = c.layout().st_slot(s);
+            (s, c.domain().device().peek(a))
+        })
+        .collect();
+    for i in 40..80u64 {
+        c.write(DataAddr::new(i), Block::filled(i as u8)).unwrap();
+    }
+    c.crash();
+    // Replay the old ST image.
+    for (s, b) in snapshot {
+        let a = c.layout().st_slot(s);
+        c.domain_mut().device_mut().tamper_replay(a, b);
+    }
+    assert_eq!(c.recover(), Err(RecoveryError::ShadowTableTampered));
+}
+
+#[test]
+fn agit_shadow_table_lies_caught_by_root() {
+    // AGIT's shadow tables are *not* separately protected; lying in them
+    // misdirects recovery, which the final root check must catch.
+    let mut c = BonsaiController::new(BonsaiScheme::AgitRead, &cfg());
+    for i in 0..30u64 {
+        c.write(DataAddr::new(i * 64), Block::filled(i as u8)).unwrap();
+    }
+    c.crash();
+    // Zero out the whole SCT: recovery will "fix" nothing.
+    for s in 0..c.layout().sct_slots() {
+        let a = c.layout().sct_slot(s);
+        c.domain_mut().device_mut().poke(a, Block::zeroed());
+    }
+    assert_eq!(c.recover(), Err(RecoveryError::RootMismatch));
+}

@@ -1,0 +1,157 @@
+//! End-to-end integration: every scheme replays the same synthetic
+//! workloads through the timing engine, produces equivalent memory
+//! contents, and (where applicable) survives a crash afterwards.
+
+use anubis::{
+    AnubisConfig, BonsaiController, BonsaiScheme, DataAddr, MemoryController, SgxController,
+    SgxScheme,
+};
+use anubis_sim::experiments::{bonsai_row, geomean, sgx_row, Scale};
+use anubis_sim::{run_trace, TimingModel};
+use anubis_workloads::{spec2006, OpKind, TraceGenerator};
+
+fn cfg() -> AnubisConfig {
+    AnubisConfig::small_test()
+}
+
+#[test]
+fn all_schemes_agree_on_memory_contents() {
+    // Replay one trace through every controller; then read back every
+    // written address on each and compare against the model.
+    let trace = TraceGenerator::new(spec2006::milc(), cfg().capacity_bytes).generate(2_000, 5);
+    let model: std::collections::HashMap<u64, anubis_nvm::Block> = trace
+        .iter()
+        .filter(|o| o.kind == OpKind::Write)
+        .map(|o| (o.addr.index(), anubis_sim::payload(o.addr.index())))
+        .collect();
+
+    for scheme in BonsaiScheme::all() {
+        let mut ctrl = BonsaiController::new(scheme, &cfg());
+        run_trace(&mut ctrl, &trace, &TimingModel::paper()).unwrap();
+        for (addr, expect) in &model {
+            assert_eq!(
+                ctrl.read(DataAddr::new(*addr)).unwrap(),
+                *expect,
+                "{} at {addr}",
+                scheme.name()
+            );
+        }
+    }
+    for scheme in SgxScheme::all() {
+        let mut ctrl = SgxController::new(scheme, &cfg());
+        run_trace(&mut ctrl, &trace, &TimingModel::paper()).unwrap();
+        for (addr, expect) in &model {
+            assert_eq!(
+                ctrl.read(DataAddr::new(*addr)).unwrap(),
+                *expect,
+                "{} at {addr}",
+                scheme.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn figure10_ordering_reproduces() {
+    // The paper's qualitative result at reduced scale: strict persistence
+    // is by far the slowest; Osiris is nearly free; AGIT-Plus is between
+    // Osiris and AGIT-Read.
+    let scale = Scale { ops: 4_000, warmup_ops: 500, seed: 11 };
+    let model = TimingModel::paper();
+    let mut norms: Vec<Vec<f64>> = vec![Vec::new(); 5];
+    for spec in [spec2006::mcf(), spec2006::lbm(), spec2006::libquantum()] {
+        let row = bonsai_row(&spec, &cfg(), &model, scale).unwrap();
+        for (i, n) in row.normalized().into_iter().enumerate() {
+            norms[i].push(n);
+        }
+    }
+    let avg: Vec<f64> = norms.iter().map(|v| geomean(v)).collect();
+    assert!(avg[1] > avg[2], "strict {} > osiris {}", avg[1], avg[2]);
+    assert!(avg[1] > avg[3], "strict {} > agit-read {}", avg[1], avg[3]);
+    assert!(avg[1] > avg[4], "strict {} > agit-plus {}", avg[1], avg[4]);
+    assert!(avg[2] < 1.1, "osiris near baseline: {}", avg[2]);
+    assert!(avg[4] <= avg[3] + 0.02, "plus {} <= read {}", avg[4], avg[3]);
+}
+
+#[test]
+fn figure11_ordering_reproduces() {
+    let scale = Scale { ops: 4_000, warmup_ops: 500, seed: 11 };
+    let model = TimingModel::paper();
+    let row = sgx_row(&spec2006::libquantum(), &cfg(), &model, scale).unwrap();
+    let n = row.normalized();
+    assert!(n[1] > n[3], "sgx-strict {} > asit {}", n[1], n[3]);
+    assert!(n[3] > 1.0, "asit has nonzero overhead: {}", n[3]);
+}
+
+#[test]
+fn mcf_penalizes_agit_read_most() {
+    // Figure 10's signature data point: AGIT-Read's shadow-on-fill policy
+    // hurts exactly the read-intensive workload.
+    let scale = Scale { ops: 6_000, warmup_ops: 500, seed: 3 };
+    let model = TimingModel::paper();
+    let mcf = bonsai_row(&spec2006::mcf(), &cfg(), &model, scale).unwrap();
+    let n = mcf.normalized();
+    let read_overhead = n[3] - 1.0;
+    let plus_overhead = n[4] - 1.0;
+    assert!(
+        read_overhead > 2.0 * plus_overhead,
+        "mcf: agit-read overhead {read_overhead:.3} must dwarf agit-plus {plus_overhead:.3}"
+    );
+}
+
+#[test]
+fn recovery_after_full_trace_replay() {
+    // The complete life-cycle at once: replay, crash, recover, audit.
+    let trace = TraceGenerator::new(spec2006::soplex(), cfg().capacity_bytes).generate(3_000, 9);
+    let model: std::collections::HashMap<u64, anubis_nvm::Block> = trace
+        .iter()
+        .filter(|o| o.kind == OpKind::Write)
+        .map(|o| (o.addr.index(), anubis_sim::payload(o.addr.index())))
+        .collect();
+    for recoverable in [true, false] {
+        if recoverable {
+            let mut ctrl = BonsaiController::new(BonsaiScheme::AgitPlus, &cfg());
+            run_trace(&mut ctrl, &trace, &TimingModel::paper()).unwrap();
+            ctrl.crash();
+            let report = ctrl.recover().expect("AGIT-Plus recovers");
+            assert!(report.total_ops() > 0);
+            for (addr, expect) in &model {
+                assert_eq!(ctrl.read(DataAddr::new(*addr)).unwrap(), *expect);
+            }
+        } else {
+            let mut ctrl = SgxController::new(SgxScheme::Asit, &cfg());
+            run_trace(&mut ctrl, &trace, &TimingModel::paper()).unwrap();
+            ctrl.crash();
+            ctrl.recover().expect("ASIT recovers");
+            for (addr, expect) in &model {
+                assert_eq!(ctrl.read(DataAddr::new(*addr)).unwrap(), *expect);
+            }
+        }
+    }
+}
+
+#[test]
+fn write_amplification_ordering_matches_section_6_2() {
+    let trace =
+        TraceGenerator::new(spec2006::libquantum(), cfg().capacity_bytes).generate(3_000, 2);
+    let model = TimingModel::paper();
+    let amp = |r: &anubis_sim::RunResult| r.writes_per_data_write;
+    let mut results = Vec::new();
+    for scheme in BonsaiScheme::all() {
+        let mut ctrl = BonsaiController::new(scheme, &cfg());
+        results.push(run_trace(&mut ctrl, &trace, &model).unwrap());
+    }
+    let wb = amp(&results[0]);
+    let strict = amp(&results[1]);
+    assert!(strict >= wb + 3.0, "strict adds the whole tree path: {strict} vs {wb}");
+    let mut sgx_results = Vec::new();
+    for scheme in SgxScheme::all() {
+        let mut ctrl = SgxController::new(scheme, &cfg());
+        sgx_results.push(run_trace(&mut ctrl, &trace, &model).unwrap());
+    }
+    let sgx_wb = amp(&sgx_results[0]);
+    let sgx_strict = amp(&sgx_results[1]);
+    let asit = amp(&sgx_results[3]);
+    assert!(sgx_strict > asit, "strict {sgx_strict} > asit {asit}");
+    assert!(asit > sgx_wb, "asit {asit} > write-back {sgx_wb}");
+}

@@ -1,0 +1,94 @@
+//! System-level property tests: random operation scripts with random
+//! crash points against a plain HashMap model.
+
+use anubis::{
+    AnubisConfig, BonsaiController, BonsaiScheme, DataAddr, MemoryController, SgxController,
+    SgxScheme,
+};
+use anubis_nvm::Block;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn block_strategy() -> impl Strategy<Value = Block> {
+    prop::array::uniform8(any::<u64>()).prop_map(Block::from_words)
+}
+
+#[derive(Clone, Debug)]
+enum SysOp {
+    Write(u64, Block),
+    Read(u64),
+    CrashRecover,
+}
+
+fn sys_op() -> impl Strategy<Value = SysOp> {
+    prop_oneof![
+        4 => ((0u64..400), block_strategy()).prop_map(|(a, b)| SysOp::Write(a, b)),
+        3 => (0u64..400).prop_map(SysOp::Read),
+        1 => Just(SysOp::CrashRecover),
+    ]
+}
+
+fn check_script<C: MemoryController>(mut ctrl: C, script: Vec<SysOp>) -> Result<(), TestCaseError> {
+    let mut model: HashMap<u64, Block> = HashMap::new();
+    for op in script {
+        match op {
+            SysOp::Write(a, b) => {
+                ctrl.write(DataAddr::new(a), b)
+                    .map_err(|e| TestCaseError::fail(format!("write: {e}")))?;
+                model.insert(a, b);
+            }
+            SysOp::Read(a) => {
+                let got = ctrl
+                    .read(DataAddr::new(a))
+                    .map_err(|e| TestCaseError::fail(format!("read: {e}")))?;
+                let expect = model.get(&a).copied().unwrap_or_default();
+                prop_assert_eq!(got, expect, "read {} mid-script", a);
+            }
+            SysOp::CrashRecover => {
+                ctrl.crash();
+                ctrl.recover()
+                    .map_err(|e| TestCaseError::fail(format!("recover: {e}")))?;
+            }
+        }
+    }
+    for (a, b) in &model {
+        let got = ctrl
+            .read(DataAddr::new(*a))
+            .map_err(|e| TestCaseError::fail(format!("final read: {e}")))?;
+        prop_assert_eq!(got, *b, "final read {}", a);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// AGIT-Plus behaves exactly like a plain map under arbitrary scripts
+    /// with crashes anywhere.
+    #[test]
+    fn agit_plus_is_a_crash_consistent_map(script in prop::collection::vec(sys_op(), 1..80)) {
+        let ctrl = BonsaiController::new(BonsaiScheme::AgitPlus, &AnubisConfig::small_test());
+        check_script(ctrl, script)?;
+    }
+
+    /// Same for AGIT-Read.
+    #[test]
+    fn agit_read_is_a_crash_consistent_map(script in prop::collection::vec(sys_op(), 1..60)) {
+        let ctrl = BonsaiController::new(BonsaiScheme::AgitRead, &AnubisConfig::small_test());
+        check_script(ctrl, script)?;
+    }
+
+    /// Same for ASIT on the SGX-style tree.
+    #[test]
+    fn asit_is_a_crash_consistent_map(script in prop::collection::vec(sys_op(), 1..80)) {
+        let ctrl = SgxController::new(SgxScheme::Asit, &AnubisConfig::small_test());
+        check_script(ctrl, script)?;
+    }
+
+    /// Osiris too (O(memory) recovery, but still correct).
+    #[test]
+    fn osiris_is_a_crash_consistent_map(script in prop::collection::vec(sys_op(), 1..40)) {
+        let ctrl = BonsaiController::new(BonsaiScheme::Osiris, &AnubisConfig::small_test());
+        check_script(ctrl, script)?;
+    }
+}
