@@ -1,64 +1,49 @@
-//! Criterion micro-benchmarks for the memory-controller data paths: the
+//! Micro-benchmarks for the memory-controller data paths: the
 //! simulator-side cost of one read/write per scheme (not the modeled NVM
-//! time — the host cost of simulating it).
+//! time — the host cost of simulating it). Run with
+//! `cargo bench -p anubis-bench`.
 
 use anubis::{
     AnubisConfig, BonsaiController, BonsaiScheme, DataAddr, MemoryController, SgxController,
     SgxScheme,
 };
+use anubis_bench::time_case;
 use anubis_nvm::Block;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
-fn bench_bonsai_write(c: &mut Criterion) {
+fn main() {
     let config = AnubisConfig::small_test();
-    let mut group = c.benchmark_group("bonsai_write");
+
     for scheme in BonsaiScheme::all() {
         let mut ctrl = BonsaiController::new(scheme, &config);
         let mut i = 0u64;
-        group.bench_function(scheme.name(), |b| {
-            b.iter(|| {
-                i = (i + 97) % 4000;
-                ctrl.write(DataAddr::new(black_box(i)), Block::filled(i as u8)).unwrap();
-            })
+        time_case(&format!("bonsai_write/{}", scheme.name()), 20_000, || {
+            i = (i + 97) % 4000;
+            ctrl.write(DataAddr::new(black_box(i)), Block::filled(i as u8))
+                .unwrap();
         });
     }
-    group.finish();
-}
 
-fn bench_bonsai_read(c: &mut Criterion) {
-    let config = AnubisConfig::small_test();
-    let mut group = c.benchmark_group("bonsai_read");
     for scheme in [BonsaiScheme::WriteBack, BonsaiScheme::AgitPlus] {
         let mut ctrl = BonsaiController::new(scheme, &config);
         for i in 0..1000u64 {
-            ctrl.write(DataAddr::new(i), Block::filled(i as u8)).unwrap();
+            ctrl.write(DataAddr::new(i), Block::filled(i as u8))
+                .unwrap();
         }
         let mut i = 0u64;
-        group.bench_function(scheme.name(), |b| {
-            b.iter(|| {
-                i = (i + 131) % 1000;
-                ctrl.read(DataAddr::new(black_box(i))).unwrap();
-            })
+        time_case(&format!("bonsai_read/{}", scheme.name()), 20_000, || {
+            i = (i + 131) % 1000;
+            ctrl.read(DataAddr::new(black_box(i))).unwrap();
         });
     }
-    group.finish();
-}
 
-fn bench_sgx_write(c: &mut Criterion) {
-    let config = AnubisConfig::small_test();
-    let mut group = c.benchmark_group("sgx_write");
     for scheme in SgxScheme::all() {
         let mut ctrl = SgxController::new(scheme, &config);
         let mut i = 0u64;
-        group.bench_function(scheme.name(), |b| {
-            b.iter(|| {
-                i = (i + 97) % 4000;
-                ctrl.write(DataAddr::new(black_box(i)), Block::filled(i as u8)).unwrap();
-            })
+        time_case(&format!("sgx_write/{}", scheme.name()), 20_000, || {
+            i = (i + 97) % 4000;
+            ctrl.write(DataAddr::new(black_box(i)), Block::filled(i as u8))
+                .unwrap();
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_bonsai_write, bench_bonsai_read, bench_sgx_write);
-criterion_main!(benches);

@@ -1,58 +1,55 @@
-//! Criterion micro-benchmarks for the cryptographic substrate: the
-//! per-operation primitives whose latencies the timing model abstracts
-//! as `read_ns`/`hash_ns` constants.
+//! Micro-benchmarks for the cryptographic substrate: the per-operation
+//! primitives whose latencies the timing model abstracts as
+//! `read_ns`/`hash_ns` constants. Run with `cargo bench -p anubis-bench`.
 
+use anubis_bench::time_case;
 use anubis_crypto::{ecc, hash::Hasher64, otp, DataCodec, Key, SplitCounterBlock};
 use anubis_nvm::{Block, BlockAddr};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
-fn bench_speck_pad(c: &mut Criterion) {
+fn main() {
     let key = Key([1, 2]).derive("encryption");
-    c.bench_function("otp_pad_64B", |b| {
-        b.iter(|| otp::pad(black_box(key), BlockAddr::new(1234), otp::IvCounter::split(7, 9)))
+    time_case("otp_pad_64B", 100_000, || {
+        black_box(otp::pad(
+            black_box(key),
+            BlockAddr::new(1234),
+            otp::IvCounter::split(7, 9),
+        ));
     });
-}
 
-fn bench_hash(c: &mut Criterion) {
     let h = Hasher64::new(Key([3, 4]));
     let block = Block::filled(0x5A);
-    c.bench_function("hash64_64B", |b| b.iter(|| h.hash(black_box(block.as_bytes()))));
-}
+    time_case("hash64_64B", 100_000, || {
+        black_box(h.hash(black_box(block.as_bytes())));
+    });
 
-fn bench_ecc(c: &mut Criterion) {
-    let block = Block::filled(0xA5);
-    c.bench_function("ecc_block_64B", |b| b.iter(|| ecc::ecc_block(black_box(&block))));
-}
+    let ecc_in = Block::filled(0xA5);
+    time_case("ecc_block_64B", 100_000, || {
+        black_box(ecc::ecc_block(black_box(&ecc_in)));
+    });
 
-fn bench_seal_open(c: &mut Criterion) {
     let codec = DataCodec::new(Key([5, 6]));
     let addr = BlockAddr::new(42);
     let ctr = otp::IvCounter::split(1, 3);
     let pt = Block::filled(0x33);
     let sealed = codec.seal(addr, ctr, &pt);
-    c.bench_function("codec_seal", |b| b.iter(|| codec.seal(addr, ctr, black_box(&pt))));
-    c.bench_function("codec_open", |b| b.iter(|| codec.open(addr, ctr, black_box(&sealed))));
-    c.bench_function("osiris_probe_miss", |b| {
-        b.iter(|| codec.probe(addr, otp::IvCounter::split(1, 4), black_box(&sealed)))
+    time_case("codec_seal", 100_000, || {
+        black_box(codec.seal(addr, ctr, black_box(&pt)));
     });
-}
+    time_case("codec_open", 100_000, || {
+        black_box(codec.open(addr, ctr, black_box(&sealed)).unwrap());
+    });
+    time_case("osiris_probe_miss", 100_000, || {
+        black_box(codec.probe(addr, otp::IvCounter::split(1, 4), black_box(&sealed)));
+    });
 
-fn bench_counter_pack(c: &mut Criterion) {
-    let mut ctr = SplitCounterBlock::new();
+    let mut ctr_block = SplitCounterBlock::new();
     for i in 0..64 {
-        ctr.increment(i);
+        ctr_block.increment(i);
     }
-    c.bench_function("split_counter_pack_unpack", |b| {
-        b.iter(|| SplitCounterBlock::from_block(black_box(&ctr.to_block())))
+    time_case("split_counter_pack_unpack", 100_000, || {
+        black_box(SplitCounterBlock::from_block(black_box(
+            &ctr_block.to_block(),
+        )));
     });
 }
-
-criterion_group!(
-    benches,
-    bench_speck_pad,
-    bench_hash,
-    bench_ecc,
-    bench_seal_open,
-    bench_counter_pack
-);
-criterion_main!(benches);

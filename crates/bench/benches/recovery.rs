@@ -1,21 +1,22 @@
-//! Criterion benchmarks for the recovery paths themselves: simulate a
-//! crash after a fixed workload and measure host-side recovery cost per
-//! scheme (the modeled 100 ns/op figures come from the harness binaries;
-//! this tracks the simulator's own efficiency and the relative op
-//! counts).
+//! Benchmarks for the recovery paths themselves: simulate a crash after a
+//! fixed workload and measure host-side recovery cost per scheme (the
+//! modeled 100 ns/op figures come from the harness binaries; this tracks
+//! the simulator's own efficiency and the relative op counts). Run with
+//! `cargo bench -p anubis-bench`.
 
 use anubis::{
     AnubisConfig, BonsaiController, BonsaiScheme, DataAddr, MemoryController, SgxController,
     SgxScheme,
 };
+use anubis_bench::time_case_batched;
 use anubis_nvm::Block;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 fn dirty_bonsai(scheme: BonsaiScheme) -> BonsaiController {
     let config = AnubisConfig::small_test();
     let mut c = BonsaiController::new(scheme, &config);
     for i in 0..200u64 {
-        c.write(DataAddr::new(i * 13 % 2000), Block::filled(i as u8)).unwrap();
+        c.write(DataAddr::new(i * 13 % 2000), Block::filled(i as u8))
+            .unwrap();
     }
     c.crash();
     c
@@ -25,33 +26,29 @@ fn dirty_sgx() -> SgxController {
     let config = AnubisConfig::small_test();
     let mut c = SgxController::new(SgxScheme::Asit, &config);
     for i in 0..200u64 {
-        c.write(DataAddr::new(i * 13 % 2000), Block::filled(i as u8)).unwrap();
+        c.write(DataAddr::new(i * 13 % 2000), Block::filled(i as u8))
+            .unwrap();
     }
     c.crash();
     c
 }
 
-fn bench_recovery(c: &mut Criterion) {
-    let mut group = c.benchmark_group("recovery");
-    group.sample_size(20);
-    for scheme in [BonsaiScheme::Osiris, BonsaiScheme::AgitRead, BonsaiScheme::AgitPlus] {
-        group.bench_function(scheme.name(), |b| {
-            b.iter_batched(
-                || dirty_bonsai(scheme),
-                |mut ctrl| ctrl.recover().expect("recovers"),
-                BatchSize::SmallInput,
-            )
-        });
+fn main() {
+    for scheme in [
+        BonsaiScheme::Osiris,
+        BonsaiScheme::AgitRead,
+        BonsaiScheme::AgitPlus,
+    ] {
+        time_case_batched(
+            &format!("recovery/{}", scheme.name()),
+            20,
+            || dirty_bonsai(scheme),
+            |mut ctrl| {
+                ctrl.recover().expect("recovers");
+            },
+        );
     }
-    group.bench_function("asit", |b| {
-        b.iter_batched(
-            dirty_sgx,
-            |mut ctrl| ctrl.recover().expect("recovers"),
-            BatchSize::SmallInput,
-        )
+    time_case_batched("recovery/asit", 20, dirty_sgx, |mut ctrl| {
+        ctrl.recover().expect("recovers");
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_recovery);
-criterion_main!(benches);

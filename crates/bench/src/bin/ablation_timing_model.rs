@@ -22,11 +22,41 @@ fn main() {
     let config = AnubisConfig::paper();
     let variants: Vec<(&str, TimingModel)> = vec![
         ("paper (4 banks)", TimingModel::paper()),
-        ("serial channel", TimingModel { banks: 1, ..TimingModel::paper() }),
-        ("8 banks", TimingModel { banks: 8, ..TimingModel::paper() }),
-        ("slow hash 20ns", TimingModel { hash_ns: 20.0, ..TimingModel::paper() }),
-        ("tiny WPQ (8)", TimingModel { write_queue_depth: 8, ..TimingModel::paper() }),
-        ("fast writes 90ns", TimingModel { write_ns: 90.0, ..TimingModel::paper() }),
+        (
+            "serial channel",
+            TimingModel {
+                banks: 1,
+                ..TimingModel::paper()
+            },
+        ),
+        (
+            "8 banks",
+            TimingModel {
+                banks: 8,
+                ..TimingModel::paper()
+            },
+        ),
+        (
+            "slow hash 20ns",
+            TimingModel {
+                hash_ns: 20.0,
+                ..TimingModel::paper()
+            },
+        ),
+        (
+            "tiny WPQ (8)",
+            TimingModel {
+                write_queue_depth: 8,
+                ..TimingModel::paper()
+            },
+        ),
+        (
+            "fast writes 90ns",
+            TimingModel {
+                write_ns: 90.0,
+                ..TimingModel::paper()
+            },
+        ),
     ];
     // A representative workload triplet spanning the intensity range.
     let specs = [spec2006::mcf(), spec2006::libquantum(), spec2006::milc()];
@@ -55,11 +85,8 @@ fn main() {
         // The paper's qualitative conclusions:
         //   strict is worst; osiris ~free; agit-plus <= agit-read;
         //   asit well below strict.
-        let order_ok = g[0] > g[2]
-            && g[0] > g[3]
-            && g[1] < 1.1
-            && g[3] <= g[2] + 0.02
-            && g[4] < g[0];
+        let order_ok =
+            g[0] > g[2] && g[0] > g[3] && g[1] < 1.1 && g[3] <= g[2] + 0.02 && g[4] < g[0];
         table.row(vec![
             name.to_string(),
             format!("{:.3}", g[0]),

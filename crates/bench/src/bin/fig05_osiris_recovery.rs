@@ -39,8 +39,11 @@ fn main() {
     let config = AnubisConfig::small_test();
     let mut ctrl = BonsaiController::new(BonsaiScheme::Osiris, &config);
     for i in 0..200u64 {
-        ctrl.write(DataAddr::new(i * 37 % 4000), anubis_nvm::Block::filled(i as u8))
-            .expect("write");
+        ctrl.write(
+            DataAddr::new(i * 37 % 4000),
+            anubis_nvm::Block::filled(i as u8),
+        )
+        .expect("write");
     }
     ctrl.crash();
     let report = ctrl.recover().expect("osiris recovery at miniature scale");

@@ -16,11 +16,7 @@ fn main() {
         scale,
     );
     let config = AnubisConfig::paper();
-    let mut table = Table::new(vec![
-        "workload".into(),
-        "clean %".into(),
-        "dirty %".into(),
-    ]);
+    let mut table = Table::new(vec!["workload".into(), "clean %".into(), "dirty %".into()]);
     let mut fractions = Vec::new();
     for spec in spec2006::all() {
         let f = clean_eviction_fraction(&spec, &config, scale)
@@ -33,9 +29,17 @@ fn main() {
             format!("{:.1}", (1.0 - f) * 100.0),
         ]);
     }
-    let avg = fractions.iter().copied().filter(|f| f.is_finite()).sum::<f64>()
+    let avg = fractions
+        .iter()
+        .copied()
+        .filter(|f| f.is_finite())
+        .sum::<f64>()
         / fractions.len() as f64;
-    table.row(vec!["AVERAGE".into(), format!("{:.1}", avg * 100.0), format!("{:.1}", (1.0 - avg) * 100.0)]);
+    table.row(vec![
+        "AVERAGE".into(),
+        format!("{:.1}", avg * 100.0),
+        format!("{:.1}", (1.0 - avg) * 100.0),
+    ]);
     println!("{table}");
     println!(
         "paper reference: \"most applications evict a large number of cache-blocks \

@@ -52,7 +52,10 @@ fn main() {
 
     // Executed cross-check: real crash + recovery at miniature scale.
     let spec = spec2006::milc();
-    let smoke = Scale { ops: scale.ops.min(20_000), ..scale };
+    let smoke = Scale {
+        ops: scale.ops.min(20_000),
+        ..scale
+    };
     for kb in [4usize, 8, 16] {
         let config = AnubisConfig::small_test().with_cache_bytes(kb << 10);
         let agit = measured_recovery(&spec, &config, smoke, true).expect("agit recovery");

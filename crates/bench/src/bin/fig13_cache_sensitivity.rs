@@ -26,8 +26,7 @@ fn main() {
     // spanning the intensity range.
     for spec in [spec2006::mcf(), spec2006::libquantum(), spec2006::milc()] {
         println!("workload: {}", spec.name);
-        let points =
-            cache_sensitivity(&spec, &config, &sizes, &model, scale).expect("sweep");
+        let points = cache_sensitivity(&spec, &config, &sizes, &model, scale).expect("sweep");
         let mut table = Table::new(vec![
             "cache".into(),
             "agit-read".into(),

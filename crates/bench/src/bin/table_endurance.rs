@@ -34,19 +34,19 @@ fn main() {
         "life (no WL) h".into(),
         "energy mJ".into(),
     ]);
-    let push = |name: &str,
-                    r: &anubis_sim::RunResult,
-                    max_wear: u64,
-                    hash_ops: u64,
-                    table: &mut Table| {
-        table.row(vec![
-            name.to_string(),
-            format!("{:.2}", r.writes_per_data_write),
-            format!("{:.1}", endurance.ideal_lifetime_years(r, capacity_blocks)),
-            format!("{:.1}", endurance.unleveled_lifetime_years(max_wear, r.total_ns) * 365.25 * 24.0),
-            format!("{:.2}", endurance.energy_mj(r, hash_ops)),
-        ]);
-    };
+    let push =
+        |name: &str, r: &anubis_sim::RunResult, max_wear: u64, hash_ops: u64, table: &mut Table| {
+            table.row(vec![
+                name.to_string(),
+                format!("{:.2}", r.writes_per_data_write),
+                format!("{:.1}", endurance.ideal_lifetime_years(r, capacity_blocks)),
+                format!(
+                    "{:.1}",
+                    endurance.unleveled_lifetime_years(max_wear, r.total_ns) * 365.25 * 24.0
+                ),
+                format!("{:.2}", endurance.energy_mj(r, hash_ops)),
+            ]);
+        };
     for scheme in BonsaiScheme::all_with_extras() {
         let mut c = BonsaiController::new(scheme, &config);
         let r = run_trace(&mut c, &trace, &model).expect("replay");

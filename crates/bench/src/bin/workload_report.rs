@@ -26,8 +26,8 @@ fn main() {
         "clean-ev %".into(),
     ]);
     for spec in spec2006::all() {
-        let trace =
-            TraceGenerator::new(spec.clone(), config.capacity_bytes).generate(scale.ops, scale.seed);
+        let trace = TraceGenerator::new(spec.clone(), config.capacity_bytes)
+            .generate(scale.ops, scale.seed);
         let mut ctrl = BonsaiController::new(BonsaiScheme::WriteBack, &config);
         run_trace(&mut ctrl, &trace, &TimingModel::paper()).expect("replay");
         let cs = ctrl.counter_cache_stats();
@@ -36,7 +36,10 @@ fn main() {
             spec.name.to_string(),
             format!("{:.1}", trace.read_fraction() * 100.0),
             format!("{:.1}", trace.footprint_blocks() as f64 * 64.0 / 1e6),
-            format!("{:.3}", trace.footprint_blocks() as f64 / trace.len() as f64),
+            format!(
+                "{:.3}",
+                trace.footprint_blocks() as f64 / trace.len() as f64
+            ),
             format!("{:.1}", cs.hit_rate().unwrap_or(0.0) * 100.0),
             format!("{:.1}", ts.hit_rate().unwrap_or(0.0) * 100.0),
             format!("{:.1}", cs.clean_eviction_fraction().unwrap_or(0.0) * 100.0),

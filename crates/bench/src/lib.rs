@@ -17,7 +17,9 @@ use anubis_sim::experiments::Scale;
 pub fn scale_from_args() -> Scale {
     let args: Vec<String> = std::env::args().collect();
     let mut scale = if args.iter().any(|a| a == "--smoke")
-        || std::env::var("ANUBIS_SMOKE").map(|v| v == "1").unwrap_or(false)
+        || std::env::var("ANUBIS_SMOKE")
+            .map(|v| v == "1")
+            .unwrap_or(false)
     {
         Scale::smoke()
     } else {
@@ -35,7 +37,45 @@ pub fn scale_from_args() -> Scale {
 pub fn banner(figure: &str, what: &str, scale: Scale) {
     println!("== Anubis reproduction :: {figure} ==");
     println!("{what}");
-    println!("(trace length: {} ops per run, seed {})\n", scale.ops, scale.seed);
+    println!(
+        "(trace length: {} ops per run, seed {})\n",
+        scale.ops, scale.seed
+    );
+}
+
+/// A minimal wall-clock micro-benchmark: warm up, time `iters` calls of
+/// `f`, and print ns/op. Used by the `benches/` targets so the workspace
+/// needs no external benchmark framework (the repo must build offline).
+pub fn time_case(name: &str, iters: u32, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 {
+        f();
+    }
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ns = start.elapsed().as_nanos() as f64 / f64::from(iters.max(1));
+    println!("{name:<32} {ns:>12.1} ns/op");
+}
+
+/// Like [`time_case`] but rebuilds fresh state before every timed call via
+/// `setup` (for one-shot operations such as crash recovery); setup time is
+/// excluded from the reported figure.
+pub fn time_case_batched<S>(
+    name: &str,
+    iters: u32,
+    mut setup: impl FnMut() -> S,
+    mut f: impl FnMut(S),
+) {
+    let mut total = std::time::Duration::ZERO;
+    for _ in 0..iters {
+        let state = setup();
+        let start = std::time::Instant::now();
+        f(state);
+        total += start.elapsed();
+    }
+    let ns = total.as_nanos() as f64 / f64::from(iters.max(1));
+    println!("{name:<32} {ns:>12.1} ns/op");
 }
 
 #[cfg(test)]

@@ -163,7 +163,9 @@ impl<T> MetadataCache<T> {
         );
         let num_sets = capacity_bytes / BLOCK_BYTES / ways;
         MetadataCache {
-            sets: (0..num_sets).map(|_| (0..ways).map(|_| None).collect()).collect(),
+            sets: (0..num_sets)
+                .map(|_| (0..ways).map(|_| None).collect())
+                .collect(),
             ways,
             tick: 0,
             stats: CacheStats::default(),
@@ -209,11 +211,7 @@ impl<T> MetadataCache<T> {
         self.tick += 1;
         let tick = self.tick;
         let set = self.set_index(addr);
-        match self.sets[set]
-            .iter_mut()
-            .flatten()
-            .find(|s| s.tag == addr)
-        {
+        match self.sets[set].iter_mut().flatten().find(|s| s.tag == addr) {
             Some(slot) => {
                 slot.last_use = tick;
                 self.stats.hits += 1;
@@ -228,7 +226,10 @@ impl<T> MetadataCache<T> {
 
     /// Whether `addr` is resident. Does not touch LRU or statistics.
     pub fn contains(&self, addr: BlockAddr) -> bool {
-        self.sets[self.set_index(addr)].iter().flatten().any(|s| s.tag == addr)
+        self.sets[self.set_index(addr)]
+            .iter()
+            .flatten()
+            .any(|s| s.tag == addr)
     }
 
     /// Reads a resident value without perturbing LRU or statistics.
@@ -254,9 +255,10 @@ impl<T> MetadataCache<T> {
     pub fn slot_of(&self, addr: BlockAddr) -> Option<SlotId> {
         let set = self.set_index(addr);
         self.sets[set].iter().enumerate().find_map(|(way, s)| {
-            s.as_ref()
-                .filter(|s| s.tag == addr)
-                .map(|_| SlotId { set: set as u32, way: way as u32 })
+            s.as_ref().filter(|s| s.tag == addr).map(|_| SlotId {
+                set: set as u32,
+                way: way as u32,
+            })
         })
     }
 
@@ -287,16 +289,27 @@ impl<T> MetadataCache<T> {
             slot.value = value;
             slot.last_use = tick;
             return InsertOutcome {
-                slot: SlotId { set: set as u32, way: way as u32 },
+                slot: SlotId {
+                    set: set as u32,
+                    way: way as u32,
+                },
                 evicted: None,
             };
         }
 
         // Free way?
         if let Some(way) = self.sets[set].iter().position(Option::is_none) {
-            self.sets[set][way] = Some(Slot { tag: addr, value, dirty: false, last_use: tick });
+            self.sets[set][way] = Some(Slot {
+                tag: addr,
+                value,
+                dirty: false,
+                last_use: tick,
+            });
             return InsertOutcome {
-                slot: SlotId { set: set as u32, way: way as u32 },
+                slot: SlotId {
+                    set: set as u32,
+                    way: way as u32,
+                },
                 evicted: None,
             };
         }
@@ -308,9 +321,17 @@ impl<T> MetadataCache<T> {
             .min_by_key(|(_, s)| s.as_ref().map(|s| s.last_use).unwrap_or(0))
             .map(|(w, _)| w)
             .expect("nonzero associativity");
-        let slot_id = SlotId { set: set as u32, way: way as u32 };
+        let slot_id = SlotId {
+            set: set as u32,
+            way: way as u32,
+        };
         let victim = self.sets[set][way]
-            .replace(Slot { tag: addr, value, dirty: false, last_use: tick })
+            .replace(Slot {
+                tag: addr,
+                value,
+                dirty: false,
+                last_use: tick,
+            })
             .expect("set was full");
         if victim.dirty {
             self.stats.dirty_evictions += 1;
@@ -379,7 +400,10 @@ impl<T> MetadataCache<T> {
                     addr: slot.tag,
                     value: slot.value,
                     dirty: slot.dirty,
-                    slot: SlotId { set: set as u32, way: way as u32 },
+                    slot: SlotId {
+                        set: set as u32,
+                        way: way as u32,
+                    },
                 });
             }
         }
@@ -392,7 +416,15 @@ impl<T> MetadataCache<T> {
         self.sets.iter().enumerate().flat_map(move |(set, ways)| {
             ways.iter().enumerate().filter_map(move |(way, s)| {
                 s.as_ref().map(|s| {
-                    (SlotId { set: set as u32, way: way as u32 }, s.tag, &s.value, s.dirty)
+                    (
+                        SlotId {
+                            set: set as u32,
+                            way: way as u32,
+                        },
+                        s.tag,
+                        &s.value,
+                        s.dirty,
+                    )
                 })
             })
         })
@@ -553,7 +585,9 @@ mod tests {
         c.mark_dirty(BlockAddr::new(2));
         let resident: Vec<_> = c.iter_resident().collect();
         assert_eq!(resident.len(), 2);
-        assert!(resident.iter().any(|(_, a, v, d)| *a == BlockAddr::new(2) && **v == 2 && *d));
+        assert!(resident
+            .iter()
+            .any(|(_, a, v, d)| *a == BlockAddr::new(2) && **v == 2 && *d));
         assert_eq!(c.len(), 2);
         c.invalidate_all();
         assert!(c.is_empty());

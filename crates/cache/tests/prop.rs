@@ -1,9 +1,10 @@
-//! Property tests: the set-associative cache against a straightforward
+//! Randomized tests: the set-associative cache against a straightforward
 //! reference model, plus the stable-slot invariant Anubis depends on.
+//! Driven by the in-tree [`SplitMix64`] generator; failure messages carry
+//! the seed.
 
 use anubis_cache::MetadataCache;
-use anubis_nvm::{BlockAddr, BLOCK_BYTES};
-use proptest::prelude::*;
+use anubis_nvm::{BlockAddr, SplitMix64, BLOCK_BYTES};
 use std::collections::HashMap;
 
 /// A reference model: per-set LRU lists over (addr, value, dirty).
@@ -14,7 +15,10 @@ struct RefModel {
 
 impl RefModel {
     fn new(num_sets: usize, ways: usize) -> Self {
-        RefModel { sets: vec![Vec::new(); num_sets], ways }
+        RefModel {
+            sets: vec![Vec::new(); num_sets],
+            ways,
+        }
     }
 
     fn set_of(&self, addr: u64) -> usize {
@@ -64,29 +68,33 @@ enum Op {
     MarkDirty(u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..64).prop_map(Op::Lookup),
-        ((0u64..64), any::<u64>()).prop_map(|(a, v)| Op::Insert(a, v)),
-        (0u64..64).prop_map(Op::MarkDirty),
-    ]
+fn rand_ops(rng: &mut SplitMix64, max_len: u64) -> Vec<Op> {
+    let len = rng.gen_range(1..max_len) as usize;
+    (0..len)
+        .map(|_| match rng.gen_range(0..3) {
+            0 => Op::Lookup(rng.gen_range(0..64)),
+            1 => Op::Insert(rng.gen_range(0..64), rng.next_u64()),
+            _ => Op::MarkDirty(rng.gen_range(0..64)),
+        })
+        .collect()
 }
 
-proptest! {
-    /// The cache agrees with the reference model on every lookup result
-    /// and every eviction (victim identity and dirtiness).
-    #[test]
-    fn agrees_with_reference_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+/// The cache agrees with the reference model on every lookup result
+/// and every eviction (victim identity and dirtiness).
+#[test]
+fn agrees_with_reference_model() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::new(seed);
+        let ops = rand_ops(&mut rng, 200);
         let num_sets = 4;
         let ways = 2;
-        let mut cache: MetadataCache<u64> =
-            MetadataCache::new(num_sets * ways * BLOCK_BYTES, ways);
+        let mut cache: MetadataCache<u64> = MetadataCache::new(num_sets * ways * BLOCK_BYTES, ways);
         let mut model = RefModel::new(num_sets, ways);
         for op in ops {
             match op {
                 Op::Lookup(a) => {
                     let got = cache.lookup(BlockAddr::new(a)).map(|v| *v);
-                    prop_assert_eq!(got, model.lookup(a));
+                    assert_eq!(got, model.lookup(a), "seed {seed}");
                 }
                 Op::Insert(a, v) => {
                     let out = cache.insert(BlockAddr::new(a), v);
@@ -94,11 +102,11 @@ proptest! {
                     match (out.evicted, expect) {
                         (None, None) => {}
                         (Some(ev), Some((ma, mv, md))) => {
-                            prop_assert_eq!(ev.addr, BlockAddr::new(ma));
-                            prop_assert_eq!(ev.value, mv);
-                            prop_assert_eq!(ev.dirty, md);
+                            assert_eq!(ev.addr, BlockAddr::new(ma), "seed {seed}");
+                            assert_eq!(ev.value, mv, "seed {seed}");
+                            assert_eq!(ev.dirty, md, "seed {seed}");
                         }
-                        (a, b) => prop_assert!(false, "eviction mismatch: {a:?} vs {b:?}"),
+                        (a, b) => panic!("eviction mismatch (seed {seed}): {a:?} vs {b:?}"),
                     }
                 }
                 Op::MarkDirty(a) => {
@@ -110,11 +118,15 @@ proptest! {
             }
         }
     }
+}
 
-    /// The Anubis invariant: a block's slot never changes while resident,
-    /// no matter what other traffic the cache sees.
-    #[test]
-    fn slots_are_stable_for_residents(ops in prop::collection::vec(op_strategy(), 1..300)) {
+/// The Anubis invariant: a block's slot never changes while resident,
+/// no matter what other traffic the cache sees.
+#[test]
+fn slots_are_stable_for_residents() {
+    for seed in 0..48u64 {
+        let mut rng = SplitMix64::new(seed ^ 0x510);
+        let ops = rand_ops(&mut rng, 300);
         let mut cache: MetadataCache<u64> = MetadataCache::new(8 * 4 * BLOCK_BYTES, 4);
         let mut pinned: HashMap<u64, anubis_cache::SlotId> = HashMap::new();
         for op in ops {
@@ -129,7 +141,7 @@ proptest! {
                     }
                     // Residents keep their recorded slot; new blocks pin it.
                     match pinned.get(&a) {
-                        Some(slot) => prop_assert_eq!(*slot, out.slot),
+                        Some(slot) => assert_eq!(*slot, out.slot, "seed {seed}"),
                         None => {
                             pinned.insert(a, out.slot);
                         }
@@ -142,15 +154,23 @@ proptest! {
                 }
             }
             for (addr, slot) in &pinned {
-                prop_assert_eq!(cache.slot_of(BlockAddr::new(*addr)), Some(*slot));
+                assert_eq!(
+                    cache.slot_of(BlockAddr::new(*addr)),
+                    Some(*slot),
+                    "seed {seed}"
+                );
             }
         }
     }
+}
 
-    /// Eviction accounting: clean + dirty evictions equals fills minus
-    /// residents (every filled block either evicted once or still here).
-    #[test]
-    fn eviction_accounting_balances(ops in prop::collection::vec(op_strategy(), 1..300)) {
+/// Eviction accounting: clean + dirty evictions equals fills minus
+/// residents (every filled block either evicted once or still here).
+#[test]
+fn eviction_accounting_balances() {
+    for seed in 0..48u64 {
+        let mut rng = SplitMix64::new(seed ^ 0xACC);
+        let ops = rand_ops(&mut rng, 300);
         let mut cache: MetadataCache<u64> = MetadataCache::new(4 * 2 * BLOCK_BYTES, 2);
         let mut distinct_fills = 0u64;
         for op in ops {
@@ -172,10 +192,10 @@ proptest! {
             }
         }
         let s = cache.stats();
-        prop_assert_eq!(
+        assert_eq!(
             s.evictions() + cache.len() as u64,
             distinct_fills,
-            "stats: {:?}", s
+            "seed {seed}, stats: {s:?}"
         );
     }
 }

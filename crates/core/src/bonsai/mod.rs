@@ -106,7 +106,10 @@ impl BonsaiScheme {
     }
 
     fn uses_stop_loss(self) -> bool {
-        matches!(self, BonsaiScheme::Osiris | BonsaiScheme::AgitRead | BonsaiScheme::AgitPlus)
+        matches!(
+            self,
+            BonsaiScheme::Osiris | BonsaiScheme::AgitRead | BonsaiScheme::AgitPlus
+        )
     }
 
     fn shadows_on_fill(self) -> bool {
@@ -168,6 +171,8 @@ pub struct BonsaiController {
     edge: Vec<Block>,
     /// On-chip persistent register: interrupted page re-encryption.
     reenc_log: Option<ReencLog>,
+    /// Words repaired by the SEC-DED decoder on the data read path.
+    ecc_corrections: u64,
     cost: OpCost,
     totals: CostAccum,
     pending: Vec<WriteOp>,
@@ -206,6 +211,7 @@ impl BonsaiController {
             canon,
             edge,
             reenc_log: None,
+            ecc_corrections: 0,
             cost: OpCost::zero(),
             totals: CostAccum::default(),
             pending: Vec::new(),
@@ -312,6 +318,12 @@ impl BonsaiController {
     /// Read-only access to the persistence domain.
     pub fn domain(&self) -> &PersistenceDomain {
         &self.domain
+    }
+
+    /// Total data words repaired by the SEC-DED decoder (correctable
+    /// bit-flip faults absorbed on the read path).
+    pub fn ecc_corrections(&self) -> u64 {
+        self.ecc_corrections
     }
 
     // ------------------------------------------------------------------
@@ -474,7 +486,11 @@ impl BonsaiController {
         debug_assert!(node.level >= 1, "counter blocks use ensure_counter");
         // One lookup records the hit/miss; retries use `contains` so a
         // thrash-retry doesn't double-count.
-        if self.tree_cache.lookup(self.layout.node_addr(node)).is_some() {
+        if self
+            .tree_cache
+            .lookup(self.layout.node_addr(node))
+            .is_some()
+        {
             return Ok(());
         }
         for _attempt in 0..8 {
@@ -607,10 +623,7 @@ impl BonsaiController {
             let p_addr = self.layout.node_addr(parent);
             let slot = g.child_slot(child);
             {
-                let p_block = self
-                    .tree_cache
-                    .peek_mut(p_addr)
-                    .expect("ensured above");
+                let p_block = self.tree_cache.peek_mut(p_addr).expect("ensured above");
                 p_block.set_word(slot, child_digest);
             }
             let first_mod = self.tree_cache.mark_dirty(p_addr);
@@ -674,7 +687,10 @@ impl BonsaiController {
                     .iter_resident()
                     .filter(|(_, _, _, dirty)| *dirty)
                     .min_by_key(|(_, addr, _, _)| {
-                        self.layout.node_of_addr(*addr).map(|n| n.level).unwrap_or(usize::MAX)
+                        self.layout
+                            .node_of_addr(*addr)
+                            .map(|n| n.level)
+                            .unwrap_or(usize::MAX)
                     })
                     .map(|(_, addr, block, _)| (addr, *block))
             });
@@ -713,7 +729,11 @@ impl BonsaiController {
         // counter block. If the commit group is lost, recovery REDOes it
         // from the log.
         let fresh = SplitCounterBlock::with_major(old.major() + 1);
-        self.reenc_log = Some(ReencLog { leaf: leaf.index, old, next_line: 0 });
+        self.reenc_log = Some(ReencLog {
+            leaf: leaf.index,
+            old,
+            next_line: 0,
+        });
         {
             let entry = self
                 .counter_cache
@@ -780,9 +800,7 @@ impl BonsaiController {
                     match self.codec.probe(dev, new_ctr, &sealed) {
                         Some(_) => return Ok(()),
                         None => {
-                            return Err(MemError::Crypto(
-                                anubis_crypto::CryptoError::EccMismatch,
-                            ))
+                            return Err(MemError::Crypto(anubis_crypto::CryptoError::EccMismatch))
                         }
                     }
                 }
@@ -806,7 +824,10 @@ impl BonsaiController {
         if addr.index() < self.layout.data_blocks() {
             Ok(())
         } else {
-            Err(MemError::OutOfRange { addr, capacity_blocks: self.layout.data_blocks() })
+            Err(MemError::OutOfRange {
+                addr,
+                capacity_blocks: self.layout.data_blocks(),
+            })
         }
     }
 
@@ -819,6 +840,14 @@ impl BonsaiController {
 impl MemoryController for BonsaiController {
     fn scheme_name(&self) -> &'static str {
         self.scheme.name()
+    }
+
+    fn domain(&self) -> &PersistenceDomain {
+        &self.domain
+    }
+
+    fn domain_mut(&mut self) -> &mut PersistenceDomain {
+        &mut self.domain
     }
 
     fn read(&mut self, addr: DataAddr) -> Result<Block, MemError> {
@@ -838,7 +867,9 @@ impl MemoryController for BonsaiController {
             if stored.is_zeroed() && side.is_zeroed() {
                 Ok(Block::zeroed())
             } else {
-                Err(MemError::Crypto(anubis_crypto::CryptoError::DataMacMismatch))
+                Err(MemError::Crypto(
+                    anubis_crypto::CryptoError::DataMacMismatch,
+                ))
             }
         } else {
             let ciphertext = self.nvm_read(dev)?;
@@ -850,7 +881,13 @@ impl MemoryController for BonsaiController {
             };
             self.cost.hash_ops += 2; // pad + MAC verify
             let iv = IvCounter::split(ctr.major(), ctr.minor(line) as u64);
-            self.codec.open(dev, iv, &sealed).map_err(MemError::from)
+            match self.codec.open_correcting(dev, iv, &sealed) {
+                Ok((pt, fixed)) => {
+                    self.ecc_corrections += u64::from(fixed);
+                    Ok(pt)
+                }
+                Err(e) => Err(MemError::from(e)),
+            }
         };
         let value = result?;
         self.commit()?; // persist any shadow/eviction traffic from fills
@@ -886,8 +923,8 @@ impl MemoryController for BonsaiController {
             let outcome = entry.ctr.increment(line);
             debug_assert_eq!(outcome, anubis_crypto::CounterIncrement::Minor);
             entry.since_persist = entry.since_persist.saturating_add(1);
-            let persist = self.scheme.uses_stop_loss()
-                && entry.since_persist >= self.config.stop_loss;
+            let persist =
+                self.scheme.uses_stop_loss() && entry.since_persist >= self.config.stop_loss;
             if persist {
                 entry.since_persist = 0;
             }
@@ -898,7 +935,12 @@ impl MemoryController for BonsaiController {
         };
         self.counter_cache.mark_dirty(leaf_addr);
         if persist_now {
-            let block = self.counter_cache.peek(leaf_addr).expect("resident").ctr.to_block();
+            let block = self
+                .counter_cache
+                .peek(leaf_addr)
+                .expect("resident")
+                .ctr
+                .to_block();
             self.stage(leaf_addr, block);
             self.counter_cache.mark_clean(leaf_addr);
         }
@@ -906,7 +948,12 @@ impl MemoryController for BonsaiController {
             self.scheme,
             BonsaiScheme::StrictPersist | BonsaiScheme::CounterWriteThrough
         ) {
-            let block = self.counter_cache.peek(leaf_addr).expect("resident").ctr.to_block();
+            let block = self
+                .counter_cache
+                .peek(leaf_addr)
+                .expect("resident")
+                .ctr
+                .to_block();
             self.stage(leaf_addr, block);
             self.counter_cache.mark_clean(leaf_addr);
         }

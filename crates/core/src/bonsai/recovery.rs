@@ -107,7 +107,12 @@ fn complete_reencryption(
     c: &mut BonsaiController,
     t: &mut Tally,
 ) -> Result<Option<NodeId>, RecoveryError> {
-    let Some(ReencLog { leaf, old, next_line }) = c.reenc_log else {
+    let Some(ReencLog {
+        leaf,
+        old,
+        next_line,
+    }) = c.reenc_log
+    else {
         return Ok(None);
     };
     let leaf_node = NodeId::new(0, leaf);
@@ -120,12 +125,18 @@ fn complete_reencryption(
     // have landed between the line commit and the log bump.
     let start = next_line.saturating_sub(1) as usize;
     for line in start..LINES_PER_COUNTER_BLOCK as usize {
-        let Some(data_addr) = c.layout.line_of(leaf, line) else { break };
+        let Some(data_addr) = c.layout.line_of(leaf, line) else {
+            break;
+        };
         let dev = c.layout.data_addr(data_addr);
         let side_addr = c.layout.side_addr(data_addr);
         let ciphertext = dev_read(c, dev, t);
         let side = c.domain.device_mut().read(side_addr);
-        let sealed = SealedBlock { ciphertext, ecc: side.word(0), mac: side.word(1) };
+        let sealed = SealedBlock {
+            ciphertext,
+            ecc: side.word(0),
+            mac: side.word(1),
+        };
         let new_iv = IvCounter::split(new_major, 0);
         let plaintext = if old.major() == 0 && old.minor(line) == 0 {
             Block::zeroed()
@@ -167,12 +178,18 @@ fn fix_counter_block(
     let mut fixed = stale;
     let mut changed = false;
     for line in 0..LINES_PER_COUNTER_BLOCK as usize {
-        let Some(data_addr) = c.layout.line_of(leaf.index, line) else { break };
+        let Some(data_addr) = c.layout.line_of(leaf.index, line) else {
+            break;
+        };
         let dev = c.layout.data_addr(data_addr);
         let side_addr = c.layout.side_addr(data_addr);
         let ciphertext = dev_read(c, dev, t);
         let side = c.domain.device_mut().read(side_addr);
-        let sealed = SealedBlock { ciphertext, ecc: side.word(0), mac: side.word(1) };
+        let sealed = SealedBlock {
+            ciphertext,
+            ecc: side.word(0),
+            mac: side.word(1),
+        };
         let base_minor = stale.minor(line) as u64;
         // Candidate 0: the zero state (never-written line).
         if stale.major() == 0 && base_minor == 0 && ciphertext.is_zeroed() && side.is_zeroed() {

@@ -64,14 +64,30 @@ fn out_of_range_rejected() {
 }
 
 #[test]
-fn data_tamper_detected_on_read() {
+fn single_bit_data_flip_corrected_on_read() {
+    // One flipped ciphertext bit is within SEC-DED reach: the read path
+    // repairs it, re-verifies the MAC, and serves the original data.
     let mut c = controller(BonsaiScheme::Osiris);
     let a = DataAddr::new(7);
     c.write(a, pattern(1)).unwrap();
     c.domain_mut().drain_wpq();
     let dev = c.layout().data_addr(a);
     c.domain_mut().device_mut().tamper_flip_bit(dev, 100);
+    assert_eq!(c.read(a).unwrap(), pattern(1));
+    assert_eq!(c.ecc_corrections(), 1);
+}
+
+#[test]
+fn multi_bit_data_tamper_detected_on_read() {
+    let mut c = controller(BonsaiScheme::Osiris);
+    let a = DataAddr::new(7);
+    c.write(a, pattern(1)).unwrap();
+    c.domain_mut().drain_wpq();
+    let dev = c.layout().data_addr(a);
+    c.domain_mut().device_mut().tamper_flip_bit(dev, 100);
+    c.domain_mut().device_mut().tamper_flip_bit(dev, 101); // same word
     assert!(matches!(c.read(a), Err(MemError::Crypto(_))));
+    assert_eq!(c.ecc_corrections(), 0);
 }
 
 #[test]
@@ -99,7 +115,10 @@ fn tree_node_tamper_detected() {
     let node = NodeId::new(1, 0);
     let addr = c.layout().node_addr(node);
     c.domain_mut().device_mut().tamper_flip_bit(addr, 3);
-    assert!(matches!(c.read(DataAddr::new(0)), Err(MemError::Integrity { .. })));
+    assert!(matches!(
+        c.read(DataAddr::new(0)),
+        Err(MemError::Integrity { .. })
+    ));
 }
 
 #[test]
@@ -124,20 +143,31 @@ fn graceful_shutdown_then_recover_for_all_schemes() {
         let report = c.recover();
         assert!(report.is_ok(), "{}: {report:?}", scheme.name());
         for i in 0..30u64 {
-            assert_eq!(c.read(DataAddr::new(i)).unwrap(), pattern(i), "{}", scheme.name());
+            assert_eq!(
+                c.read(DataAddr::new(i)).unwrap(),
+                pattern(i),
+                "{}",
+                scheme.name()
+            );
         }
     }
 }
 
 #[test]
 fn crash_recover_osiris_and_agit() {
-    for scheme in [BonsaiScheme::Osiris, BonsaiScheme::AgitRead, BonsaiScheme::AgitPlus] {
+    for scheme in [
+        BonsaiScheme::Osiris,
+        BonsaiScheme::AgitRead,
+        BonsaiScheme::AgitPlus,
+    ] {
         let mut c = controller(scheme);
         for i in 0..60u64 {
             c.write(DataAddr::new(i * 13 % 500), pattern(i)).unwrap();
         }
         c.crash(); // no flush: dirty metadata in caches is lost
-        let report = c.recover().unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
+        let report = c
+            .recover()
+            .unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
         assert!(report.total_ops() > 0);
         for i in 0..60u64 {
             // Later writes to the same address win; recompute expectation.
@@ -234,9 +264,10 @@ fn stop_loss_bounds_counter_drift() {
     }
     c.domain_mut().drain_wpq();
     let (leaf, line) = c.layout().counter_of(a);
-    let nvm_ctr = SplitCounterBlock::from_block(
-        &{ let a = c.layout().node_addr(leaf); c.domain_mut().device_mut().read(a) },
-    );
+    let nvm_ctr = SplitCounterBlock::from_block(&{
+        let a = c.layout().node_addr(leaf);
+        c.domain_mut().device_mut().read(a)
+    });
     let cached = c
         .counter_cache
         .peek(c.layout().node_addr(leaf))
@@ -260,7 +291,10 @@ fn minor_overflow_reencrypts_page_and_stays_readable() {
     }
     // Major counter must have advanced.
     let (leaf, line) = c.layout().counter_of(a);
-    let entry = c.counter_cache.peek(c.layout().node_addr(leaf)).expect("resident");
+    let entry = c
+        .counter_cache
+        .peek(c.layout().node_addr(leaf))
+        .expect("resident");
     assert_eq!(entry.ctr.major(), 1, "major bumped after overflow");
     assert!(entry.ctr.minor(line) >= 1);
     // Both the hot line and its neighbor survive re-encryption.
@@ -270,7 +304,11 @@ fn minor_overflow_reencrypts_page_and_stays_readable() {
 
 #[test]
 fn overflow_then_crash_recovers() {
-    for scheme in [BonsaiScheme::Osiris, BonsaiScheme::AgitPlus, BonsaiScheme::AgitRead] {
+    for scheme in [
+        BonsaiScheme::Osiris,
+        BonsaiScheme::AgitPlus,
+        BonsaiScheme::AgitRead,
+    ] {
         let mut c = controller(scheme);
         let a = DataAddr::new(130);
         let neighbor = DataAddr::new(140);
@@ -279,8 +317,14 @@ fn overflow_then_crash_recovers() {
             c.write(a, pattern(i)).unwrap();
         }
         c.crash();
-        c.recover().unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
-        assert_eq!(c.read(a).unwrap(), pattern(MINOR_MAX as u64 + 2), "{}", scheme.name());
+        c.recover()
+            .unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
+        assert_eq!(
+            c.read(a).unwrap(),
+            pattern(MINOR_MAX as u64 + 2),
+            "{}",
+            scheme.name()
+        );
         assert_eq!(c.read(neighbor).unwrap(), pattern(1), "{}", scheme.name());
     }
 }
@@ -400,7 +444,11 @@ fn flushed_nvm_tree_matches_reference_model() {
         })
         .collect();
     let reference = ReferenceTree::build(cfg().key, leaves);
-    assert_eq!(reference.root(), c.root(), "root register equals model root");
+    assert_eq!(
+        reference.root(),
+        c.root(),
+        "root register equals model root"
+    );
     // Every *written* interior node in NVM matches the model node.
     for level in 1..g.num_levels() {
         for index in 0..g.nodes_at(level) {
@@ -427,7 +475,11 @@ fn agit_recovery_root_matches_reference_after_crash() {
     // equality independently).
     let g = c.layout().geometry().clone();
     let leaves: Vec<Block> = (0..g.num_leaves())
-        .map(|i| c.domain().device().peek(c.layout().node_addr(NodeId::new(0, i))))
+        .map(|i| {
+            c.domain()
+                .device()
+                .peek(c.layout().node_addr(NodeId::new(0, i)))
+        })
         .collect();
     let reference = ReferenceTree::build(cfg().key, leaves);
     assert_eq!(reference.root(), c.root());
@@ -445,11 +497,17 @@ fn single_page_memory_works() {
             c.write(DataAddr::new(i), pattern(i)).unwrap();
         }
         for i in 0..64u64 {
-            assert_eq!(c.read(DataAddr::new(i)).unwrap(), pattern(i), "{}", scheme.name());
+            assert_eq!(
+                c.read(DataAddr::new(i)).unwrap(),
+                pattern(i),
+                "{}",
+                scheme.name()
+            );
         }
         if scheme != BonsaiScheme::WriteBack {
             c.crash();
-            c.recover().unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
+            c.recover()
+                .unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
             assert_eq!(c.read(DataAddr::new(5)).unwrap(), pattern(5));
         }
     }
@@ -487,7 +545,10 @@ fn recovery_is_idempotent() {
     c.crash();
     let r2 = c.recover().unwrap();
     assert!(r1.counters_fixed >= r2.counters_fixed);
-    assert_eq!(r2.counters_fixed, 0, "first recovery already persisted the fixes");
+    assert_eq!(
+        r2.counters_fixed, 0,
+        "first recovery already persisted the fixes"
+    );
     assert_eq!(c.read(DataAddr::new(0)).unwrap(), pattern(0));
 }
 
@@ -501,7 +562,10 @@ fn counter_write_through_recovers_without_probing() {
     }
     c.crash();
     let report = c.recover().unwrap();
-    assert_eq!(report.counters_fixed, 0, "write-through needs no counter fixes");
+    assert_eq!(
+        report.counters_fixed, 0,
+        "write-through needs no counter fixes"
+    );
     assert!(
         report.nodes_fixed >= c.layout().geometry().interior_blocks(),
         "recovery is still O(memory): the whole tree is rebuilt"
@@ -525,9 +589,16 @@ fn counter_write_through_amplification_between_wb_and_strict() {
     let wb = amp(BonsaiScheme::WriteBack);
     let wt = amp(BonsaiScheme::CounterWriteThrough);
     let strict = amp(BonsaiScheme::StrictPersist);
-    assert!(wt > wb, "write-through adds the counter write: {wt} vs {wb}");
+    assert!(
+        wt > wb,
+        "write-through adds the counter write: {wt} vs {wb}"
+    );
     assert!(wt < strict, "but not the whole tree path: {wt} vs {strict}");
-    assert!((wt - wb - 1.0).abs() < 0.3, "≈ +1 write per data write: {}", wt - wb);
+    assert!(
+        (wt - wb - 1.0).abs() < 0.3,
+        "≈ +1 write per data write: {}",
+        wt - wb
+    );
 }
 
 #[test]
@@ -550,7 +621,11 @@ fn recovery_completes_reencryption_interrupted_at_any_line() {
         // --- faithful replay of reencrypt_page steps 1–2 ---
         c.ensure_counter(leaf).unwrap();
         let fresh = SplitCounterBlock::with_major(old.major() + 1);
-        c.reenc_log = Some(ReencLog { leaf: leaf.index, old, next_line: 0 });
+        c.reenc_log = Some(ReencLog {
+            leaf: leaf.index,
+            old,
+            next_line: 0,
+        });
         {
             let entry = c.counter_cache.peek_mut(leaf_addr).unwrap();
             entry.ctr = fresh;
@@ -564,7 +639,8 @@ fn recovery_completes_reencryption_interrupted_at_any_line() {
         c.commit().unwrap();
         // --- step 3, interrupted after k lines ---
         for line in 0..k {
-            c.reencrypt_line(leaf.index, &old, old.major() + 1, line).unwrap();
+            c.reencrypt_line(leaf.index, &old, old.major() + 1, line)
+                .unwrap();
             c.commit().unwrap();
             c.reenc_log.as_mut().unwrap().next_line = line as u8 + 1;
         }
@@ -673,7 +749,11 @@ fn lazy_eviction_cascade_keeps_tree_verifiable() {
     for i in 0..500u64 {
         let addr = i * 67 % 8000;
         let last = (0..500u64).filter(|j| j * 67 % 8000 == addr).max().unwrap();
-        assert_eq!(c.read(DataAddr::new(addr)).unwrap(), pattern(last), "addr {addr}");
+        assert_eq!(
+            c.read(DataAddr::new(addr)).unwrap(),
+            pattern(last),
+            "addr {addr}"
+        );
     }
 }
 

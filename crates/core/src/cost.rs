@@ -94,11 +94,26 @@ mod tests {
 
     #[test]
     fn add_assign_accumulates() {
-        let mut a = OpCost { nvm_reads: 1, nvm_writes: 2, hash_ops: 3, bg_hash_ops: 1 };
-        a += OpCost { nvm_reads: 10, nvm_writes: 20, hash_ops: 30, bg_hash_ops: 4 };
+        let mut a = OpCost {
+            nvm_reads: 1,
+            nvm_writes: 2,
+            hash_ops: 3,
+            bg_hash_ops: 1,
+        };
+        a += OpCost {
+            nvm_reads: 10,
+            nvm_writes: 20,
+            hash_ops: 30,
+            bg_hash_ops: 4,
+        };
         assert_eq!(
             a,
-            OpCost { nvm_reads: 11, nvm_writes: 22, hash_ops: 33, bg_hash_ops: 5 }
+            OpCost {
+                nvm_reads: 11,
+                nvm_writes: 22,
+                hash_ops: 33,
+                bg_hash_ops: 5
+            }
         );
         assert_eq!(a.nvm_ops(), 33);
         assert_eq!(OpCost::zero(), OpCost::default());
@@ -108,9 +123,33 @@ mod tests {
     fn accum_records_and_ratios() {
         let mut acc = CostAccum::default();
         assert_eq!(acc.writes_per_data_write(), None);
-        acc.record(true, OpCost { nvm_reads: 0, nvm_writes: 3, hash_ops: 1, bg_hash_ops: 0 });
-        acc.record(true, OpCost { nvm_reads: 0, nvm_writes: 1, hash_ops: 1, bg_hash_ops: 2 });
-        acc.record(false, OpCost { nvm_reads: 2, nvm_writes: 0, hash_ops: 1, bg_hash_ops: 0 });
+        acc.record(
+            true,
+            OpCost {
+                nvm_reads: 0,
+                nvm_writes: 3,
+                hash_ops: 1,
+                bg_hash_ops: 0,
+            },
+        );
+        acc.record(
+            true,
+            OpCost {
+                nvm_reads: 0,
+                nvm_writes: 1,
+                hash_ops: 1,
+                bg_hash_ops: 2,
+            },
+        );
+        acc.record(
+            false,
+            OpCost {
+                nvm_reads: 2,
+                nvm_writes: 0,
+                hash_ops: 1,
+                bg_hash_ops: 0,
+            },
+        );
         assert_eq!(acc.reads, 1);
         assert_eq!(acc.writes, 2);
         assert_eq!(acc.nvm_writes, 4);

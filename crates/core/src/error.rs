@@ -54,8 +54,14 @@ impl fmt::Display for MemError {
                 };
                 write!(f, "integrity violation at {node} (checked against {w})")
             }
-            MemError::OutOfRange { addr, capacity_blocks } => {
-                write!(f, "data address {addr} beyond capacity of {capacity_blocks} blocks")
+            MemError::OutOfRange {
+                addr,
+                capacity_blocks,
+            } => {
+                write!(
+                    f,
+                    "data address {addr} beyond capacity of {capacity_blocks} blocks"
+                )
             }
         }
     }
@@ -68,6 +74,22 @@ impl std::error::Error for MemError {
             MemError::Crypto(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl MemError {
+    /// True when the op was cut short by a (simulated) power loss: the
+    /// write is unacknowledged and the machine must crash and recover
+    /// before touching the controller again.
+    pub fn is_power_loss(&self) -> bool {
+        matches!(self, MemError::Nvm(NvmError::PowerLost))
+    }
+
+    /// True when the error is a *detected* integrity/corruption failure —
+    /// the typed outcomes the fault-injection harness accepts in place of
+    /// correct data (never silent wrong data).
+    pub fn is_detected_corruption(&self) -> bool {
+        matches!(self, MemError::Crypto(_) | MemError::Integrity { .. })
     }
 }
 
@@ -119,7 +141,10 @@ impl fmt::Display for RecoveryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RecoveryError::RootMismatch => {
-                write!(f, "rebuilt tree root does not match the on-chip root register")
+                write!(
+                    f,
+                    "rebuilt tree root does not match the on-chip root register"
+                )
             }
             RecoveryError::ShadowTableTampered => {
                 write!(f, "shadow table failed SHADOW_TREE_ROOT verification")
@@ -128,7 +153,10 @@ impl fmt::Display for RecoveryError {
                 write!(f, "recovered node at {addr} failed MAC verification")
             }
             RecoveryError::CounterNotRecovered { addr } => {
-                write!(f, "no counter candidate passed the ECC check for data line {addr}")
+                write!(
+                    f,
+                    "no counter candidate passed the ECC check for data line {addr}"
+                )
             }
             RecoveryError::SchemeCannotRecover { reason } => {
                 write!(f, "scheme cannot recover: {reason}")
@@ -165,7 +193,9 @@ mod tests {
         };
         assert!(e.to_string().contains("L2#5"));
         assert!(RecoveryError::RootMismatch.to_string().contains("root"));
-        let e = RecoveryError::NodeMacMismatch { addr: BlockAddr::new(0x40) };
+        let e = RecoveryError::NodeMacMismatch {
+            addr: BlockAddr::new(0x40),
+        };
         assert!(e.to_string().contains("0x40"));
     }
 

@@ -75,7 +75,17 @@ impl BonsaiLayout {
         let sct = alloc.alloc("sct", sct_slots);
         let smt = alloc.alloc("smt", smt_slots);
         let total_blocks = alloc.total_blocks();
-        BonsaiLayout { data, side, counters, tree, sct, smt, geometry, total_blocks, regions: alloc }
+        BonsaiLayout {
+            data,
+            side,
+            counters,
+            tree,
+            sct,
+            smt,
+            geometry,
+            total_blocks,
+            regions: alloc,
+        }
     }
 
     /// Total device size needed, in bytes.
@@ -202,7 +212,16 @@ impl SgxLayout {
         let tree = alloc.alloc("tree", interior_wo_top.max(1));
         let st = alloc.alloc("st", st_slots);
         let total_blocks = alloc.total_blocks();
-        SgxLayout { data, side, leaves, tree, st, geometry, total_blocks, regions: alloc }
+        SgxLayout {
+            data,
+            side,
+            leaves,
+            tree,
+            st,
+            geometry,
+            total_blocks,
+            regions: alloc,
+        }
     }
 
     /// Total device size needed, in bytes.
@@ -253,7 +272,10 @@ impl SgxLayout {
     ///
     /// Panics if `node` is the on-chip top node.
     pub fn node_addr(&self, node: NodeId) -> BlockAddr {
-        assert!(!self.is_on_chip(node), "the top node lives on-chip, not in NVM");
+        assert!(
+            !self.is_on_chip(node),
+            "the top node lives on-chip, not in NVM"
+        );
         if node.level == 0 {
             self.leaves.nth(node.index)
         } else {
@@ -299,7 +321,10 @@ mod tests {
         // 1 MiB data = 16384 lines, 256 counter blocks.
         assert_eq!(l.data_blocks(), 16384);
         assert_eq!(l.geometry().num_leaves(), 256);
-        assert_eq!(l.device_bytes() / 64, 16384 + 16384 + 256 + l.geometry().interior_blocks() + 128);
+        assert_eq!(
+            l.device_bytes() / 64,
+            16384 + 16384 + 256 + l.geometry().interior_blocks() + 128
+        );
     }
 
     #[test]

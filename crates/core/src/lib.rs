@@ -66,7 +66,7 @@ pub use recovery::RecoveryReport;
 pub use sgx::{SgxController, SgxScheme};
 pub use shadow::{ShadowAddrEntry, StEntry};
 
-use anubis_nvm::Block;
+use anubis_nvm::{Block, PersistenceDomain};
 
 /// The uniform controller surface shared by every scheme.
 ///
@@ -117,6 +117,16 @@ pub trait MemoryController {
     ///
     /// [`MemError::Nvm`] on device errors.
     fn shutdown_flush(&mut self) -> Result<(), MemError>;
+
+    /// Read-only access to the controller's persistence domain — used by
+    /// fault-injection campaigns to inspect the lifetime persist-write
+    /// counter and by experiments to read device statistics.
+    fn domain(&self) -> &PersistenceDomain;
+
+    /// Mutable access to the persistence domain — the hook through which
+    /// fault-injection campaigns arm [`anubis_nvm::FaultPlan`]s and
+    /// tamper experiments corrupt NVM contents.
+    fn domain_mut(&mut self) -> &mut PersistenceDomain;
 
     /// Cost of the most recent `read`/`write` call, for the timing model.
     fn last_cost(&self) -> OpCost;

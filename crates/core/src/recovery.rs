@@ -66,7 +66,7 @@ pub mod time {
         // paper's ≈2 ops/block that reproduces its 7.8 h @ 8 TB).
         let _ = stop_loss;
         let counter_fix = n_data * 2 + n_ctr * 2; // read+probe, read+write ctr blocks
-        // Tree rebuild: hash every node's children once and write it.
+                                                  // Tree rebuild: hash every node's children once and write it.
         let interior = g.interior_blocks();
         let tree_rebuild = interior * 2 + g.num_leaves(); // leaf digests + node writes/hashes
         counter_fix + tree_rebuild
@@ -81,11 +81,7 @@ pub mod time {
     /// tables, Osiris-fix the 64 counters of every tracked counter block
     /// (one data read + one probe each), and recompute every tracked tree
     /// node from its 8 children.
-    pub fn agit_ops(
-        counter_cache_bytes: u64,
-        tree_cache_bytes: u64,
-        capacity_bytes: u64,
-    ) -> u64 {
+    pub fn agit_ops(counter_cache_bytes: u64, tree_cache_bytes: u64, capacity_bytes: u64) -> u64 {
         let sct_slots = counter_cache_bytes / 64;
         let smt_slots = tree_cache_bytes / 64;
         let n_ctr = (capacity_bytes / 64).div_ceil(64);

@@ -117,6 +117,8 @@ pub struct SgxController {
     /// Root value to install at commit time (keeps the register update
     /// atomic with the ST write group).
     pending_shadow_root: Option<Root>,
+    /// Words repaired by the SEC-DED decoder on the data read path.
+    ecc_corrections: u64,
     cost: OpCost,
     totals: CostAccum,
     pending: Vec<WriteOp>,
@@ -154,6 +156,7 @@ impl SgxController {
             shadow_tree,
             shadow_root,
             pending_shadow_root: None,
+            ecc_corrections: 0,
             cost: OpCost::zero(),
             totals: CostAccum::default(),
             pending: Vec::new(),
@@ -196,6 +199,12 @@ impl SgxController {
         self.shadow_root
     }
 
+    /// Total data words repaired by the SEC-DED decoder (correctable
+    /// bit-flip faults absorbed on the read path).
+    pub fn ecc_corrections(&self) -> u64 {
+        self.ecc_corrections
+    }
+
     /// Test/debug hook: every resident metadata node as
     /// `(device address, node, dirty)`.
     #[doc(hidden)]
@@ -209,7 +218,9 @@ impl SgxController {
     /// Test/debug hook: the slot a resident node occupies.
     #[doc(hidden)]
     pub fn debug_slot_of(&self, addr: BlockAddr) -> Option<u64> {
-        self.cache.slot_of(addr).map(|s| s.linear(self.cache.ways()) as u64)
+        self.cache
+            .slot_of(addr)
+            .map(|s| s.linear(self.cache.ways()) as u64)
     }
 
     // ------------------------------------------------------------------
@@ -244,16 +255,27 @@ impl SgxController {
     }
 
     fn commit(&mut self) -> Result<(), MemError> {
-        if !self.pending.is_empty() {
+        let result = if self.pending.is_empty() {
+            Ok(())
+        } else {
             let ops = std::mem::take(&mut self.pending);
-            self.domain.commit_group(ops)?;
-        }
+            self.domain.commit_group(ops).map_err(MemError::from)
+        };
         // The SHADOW_TREE_ROOT register update rides the commit: atomic
-        // with the ST writes from the hardware's perspective.
-        if let Some(root) = self.pending_shadow_root.take() {
-            self.shadow_root = root;
+        // with the ST writes from the hardware's perspective. A power cut
+        // mid-drain leaves the group in the persistent REDO registers, so
+        // its ST writes are replayed at power-up — the on-chip root must
+        // move with them (a torn group that discards the REDO log instead
+        // surfaces at recovery as ShadowTableTampered).
+        match &result {
+            Ok(()) | Err(MemError::Nvm(anubis_nvm::NvmError::PowerLost)) => {
+                if let Some(root) = self.pending_shadow_root.take() {
+                    self.shadow_root = root;
+                }
+            }
+            Err(_) => {}
         }
-        Ok(())
+        result
     }
 
     // ------------------------------------------------------------------
@@ -414,8 +436,8 @@ impl SgxController {
         let lsb_mask = (1u64 << self.config.st_lsb_bits) - 1;
         let wrapped = {
             let entry = self.cache.peek(addr).expect("resident");
-            (0..SGX_COUNTERS_PER_NODE).any(|i| entry.node.counter(i) & lsb_mask == 0
-                && entry.node.counter(i) != 0)
+            (0..SGX_COUNTERS_PER_NODE)
+                .any(|i| entry.node.counter(i) & lsb_mask == 0 && entry.node.counter(i) != 0)
         };
         if wrapped {
             self.writeback_node(node)?;
@@ -430,7 +452,10 @@ impl SgxController {
         let addr = self.layout.node_addr(node);
         let pc = self.bump_parent_counter(node)?;
         let sealed = {
-            let entry = self.cache.peek_mut(addr).expect("resident during writeback");
+            let entry = self
+                .cache
+                .peek_mut(addr)
+                .expect("resident during writeback");
             entry.node.seal(&self.mac_key, pc);
             entry.node
         };
@@ -450,7 +475,10 @@ impl SgxController {
     /// Ensures `node` is resident and MAC-verified, fetching the missing
     /// chain up to the first cached ancestor (or the on-chip top node).
     fn ensure_node(&mut self, node: NodeId) -> Result<(), MemError> {
-        debug_assert!(!self.layout.is_on_chip(node), "the top node is always on-chip");
+        debug_assert!(
+            !self.layout.is_on_chip(node),
+            "the top node is always on-chip"
+        );
         // One lookup records the hit/miss; retries use `contains` so a
         // thrash-retry doesn't double-count.
         if self.cache.lookup(self.layout.node_addr(node)).is_some() {
@@ -492,7 +520,10 @@ impl SgxController {
             let pc = self.parent_counter(n)?;
             self.cost.hash_ops += 1;
             if !fetched.verify(&self.mac_key, pc) {
-                return Err(MemError::Integrity { node: n, against: IntegrityWitness::NodeMac });
+                return Err(MemError::Integrity {
+                    node: n,
+                    against: IntegrityWitness::NodeMac,
+                });
             }
             self.insert_node(n, fetched)?;
         }
@@ -504,7 +535,13 @@ impl SgxController {
     /// back, and refresh their ST entry).
     fn insert_node(&mut self, node: NodeId, value: SgxCounterNode) -> Result<(), MemError> {
         let addr = self.layout.node_addr(node);
-        let outcome = self.cache.insert(addr, SgxEntry { node: value, since_persist: 0 });
+        let outcome = self.cache.insert(
+            addr,
+            SgxEntry {
+                node: value,
+                since_persist: 0,
+            },
+        );
         if let Some(ev) = outcome.evicted {
             if ev.dirty {
                 let victim = self
@@ -552,7 +589,10 @@ impl SgxController {
         if addr.index() < self.layout.data_blocks() {
             Ok(())
         } else {
-            Err(MemError::OutOfRange { addr, capacity_blocks: self.layout.data_blocks() })
+            Err(MemError::OutOfRange {
+                addr,
+                capacity_blocks: self.layout.data_blocks(),
+            })
         }
     }
 
@@ -616,12 +656,19 @@ impl SgxController {
         }
         Ok(())
     }
-
 }
 
 impl MemoryController for SgxController {
     fn scheme_name(&self) -> &'static str {
         self.scheme.name()
+    }
+
+    fn domain(&self) -> &PersistenceDomain {
+        &self.domain
+    }
+
+    fn domain_mut(&mut self) -> &mut PersistenceDomain {
+        &mut self.domain
     }
 
     fn read(&mut self, addr: DataAddr) -> Result<Block, MemError> {
@@ -647,7 +694,9 @@ impl MemoryController for SgxController {
             if stored.is_zeroed() && side.is_zeroed() {
                 Ok(Block::zeroed())
             } else {
-                Err(MemError::Crypto(anubis_crypto::CryptoError::DataMacMismatch))
+                Err(MemError::Crypto(
+                    anubis_crypto::CryptoError::DataMacMismatch,
+                ))
             }
         } else {
             let ciphertext = self.nvm_read(dev)?;
@@ -658,9 +707,16 @@ impl MemoryController for SgxController {
                 mac: side.word(1),
             };
             self.cost.hash_ops += 2;
-            self.codec
-                .open(dev, IvCounter::monolithic(ctr), &sealed)
-                .map_err(MemError::from)
+            match self
+                .codec
+                .open_correcting(dev, IvCounter::monolithic(ctr), &sealed)
+            {
+                Ok((pt, fixed)) => {
+                    self.ecc_corrections += u64::from(fixed);
+                    Ok(pt)
+                }
+                Err(e) => Err(MemError::from(e)),
+            }
         };
         let value = result?;
         self.commit()?;
@@ -712,10 +768,7 @@ impl MemoryController for SgxController {
 
     fn crash(&mut self) {
         self.domain.power_fail();
-        self.lost_dirty_metadata = self
-            .cache
-            .iter_resident()
-            .any(|(_, _, _, dirty)| dirty);
+        self.lost_dirty_metadata = self.cache.iter_resident().any(|(_, _, _, dirty)| dirty);
         self.cache.invalidate_all();
         self.pending.clear();
         self.pending_shadow_root = None;

@@ -83,7 +83,9 @@ fn recover_asit(c: &mut SgxController, t: &mut Tally) -> Result<(), RecoveryErro
     let lsb_bits = c.config.st_lsb_bits;
     let mut by_addr: HashMap<BlockAddr, StEntry> = HashMap::new();
     for block in &st_blocks {
-        let Some(entry) = StEntry::from_block(block) else { continue };
+        let Some(entry) = StEntry::from_block(block) else {
+            continue;
+        };
         // Ignore entries pointing outside the metadata regions (possible
         // only through tampering that also defeated the shadow root — but
         // stay defensive).
@@ -116,7 +118,13 @@ fn recover_asit(c: &mut SgxController, t: &mut Tally) -> Result<(), RecoveryErro
         recovered.push((addr, node));
     }
     for (addr, node) in &recovered {
-        let outcome = c.cache.insert(*addr, SgxEntry { node: *node, since_persist: 0 });
+        let outcome = c.cache.insert(
+            *addr,
+            SgxEntry {
+                node: *node,
+                since_persist: 0,
+            },
+        );
         assert!(
             outcome.evicted.is_none(),
             "recovered nodes co-resided before the crash and must fit"
@@ -176,7 +184,9 @@ fn recover_asit(c: &mut SgxController, t: &mut Tally) -> Result<(), RecoveryErro
         }
         let entry = StEntry::new(*addr, node.mac(), lsbs);
         t.writes += 1;
-        c.domain.device_mut().write(c.layout.st_slot(slot), entry.to_block());
+        c.domain
+            .device_mut()
+            .write(c.layout.st_slot(slot), entry.to_block());
         fresh_tree.update(slot, entry.to_block());
         occupied[slot as usize] = true;
     }

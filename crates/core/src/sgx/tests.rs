@@ -12,14 +12,28 @@ fn controller(scheme: SgxScheme) -> SgxController {
 }
 
 fn pattern(i: u64) -> Block {
-    Block::from_words([i, !i, i * 5, i + 1, i << 4, i ^ 0xF0F0, i.rotate_right(9), 7])
+    Block::from_words([
+        i,
+        !i,
+        i * 5,
+        i + 1,
+        i << 4,
+        i ^ 0xF0F0,
+        i.rotate_right(9),
+        7,
+    ])
 }
 
 #[test]
 fn fresh_memory_reads_zero() {
     for scheme in SgxScheme::all() {
         let mut c = controller(scheme);
-        assert_eq!(c.read(DataAddr::new(0)).unwrap(), Block::zeroed(), "{}", scheme.name());
+        assert_eq!(
+            c.read(DataAddr::new(0)).unwrap(),
+            Block::zeroed(),
+            "{}",
+            scheme.name()
+        );
         assert_eq!(c.read(DataAddr::new(9999)).unwrap(), Block::zeroed());
     }
 }
@@ -48,17 +62,26 @@ fn write_read_roundtrip_all_schemes() {
 fn out_of_range_rejected() {
     let mut c = controller(SgxScheme::Asit);
     let cap = c.layout().data_blocks();
-    assert!(matches!(c.read(DataAddr::new(cap)), Err(MemError::OutOfRange { .. })));
+    assert!(matches!(
+        c.read(DataAddr::new(cap)),
+        Err(MemError::OutOfRange { .. })
+    ));
 }
 
 #[test]
-fn data_tamper_detected() {
+fn single_bit_data_flip_corrected() {
+    // One flipped ciphertext bit is repaired by the SEC-DED decoder and
+    // the MAC re-verifies; multi-bit damage in one word stays detected.
     let mut c = controller(SgxScheme::Asit);
     let a = DataAddr::new(3);
     c.write(a, pattern(1)).unwrap();
     c.domain_mut().drain_wpq();
     let dev = c.layout().data_addr(a);
     c.domain_mut().device_mut().tamper_flip_bit(dev, 17);
+    assert_eq!(c.read(a).unwrap(), pattern(1));
+    assert_eq!(c.ecc_corrections(), 1);
+    c.domain_mut().device_mut().tamper_flip_bit(dev, 18);
+    c.domain_mut().device_mut().tamper_flip_bit(dev, 19);
     assert!(matches!(c.read(a), Err(MemError::Crypto(_))));
 }
 
@@ -90,7 +113,10 @@ fn interior_node_tamper_detected() {
     let node = anubis_itree::NodeId::new(1, 0);
     let addr = c.layout().node_addr(node);
     c.domain_mut().device_mut().tamper_flip_bit(addr, 100);
-    assert!(matches!(c.read(DataAddr::new(0)), Err(MemError::Integrity { .. })));
+    assert!(matches!(
+        c.read(DataAddr::new(0)),
+        Err(MemError::Integrity { .. })
+    ));
 }
 
 #[test]
@@ -105,7 +131,12 @@ fn graceful_shutdown_then_recover_all_schemes() {
         let r = c.recover();
         assert!(r.is_ok(), "{}: {r:?}", scheme.name());
         for i in 0..40u64 {
-            assert_eq!(c.read(DataAddr::new(i * 3)).unwrap(), pattern(i), "{}", scheme.name());
+            assert_eq!(
+                c.read(DataAddr::new(i * 3)).unwrap(),
+                pattern(i),
+                "{}",
+                scheme.name()
+            );
         }
     }
 }
@@ -123,7 +154,11 @@ fn asit_crash_recovery_restores_cache_state() {
     for i in 0..80u64 {
         let addr = i * 17 % 900;
         let last = (0..80u64).filter(|j| j * 17 % 900 == addr).max().unwrap();
-        assert_eq!(c.read(DataAddr::new(addr)).unwrap(), pattern(last), "addr {addr}");
+        assert_eq!(
+            c.read(DataAddr::new(addr)).unwrap(),
+            pattern(last),
+            "addr {addr}"
+        );
     }
 }
 
@@ -225,11 +260,15 @@ fn lsb_overflow_forces_node_persistence() {
     }
     c.domain_mut().drain_wpq();
     let (leaf, slot) = c.layout().leaf_of(a);
-    let nvm = anubis_crypto::SgxCounterNode::from_block(
-        &{ let a = c.layout().node_addr(leaf); c.domain_mut().device_mut().read(a) },
-    );
+    let nvm = anubis_crypto::SgxCounterNode::from_block(&{
+        let a = c.layout().node_addr(leaf);
+        c.domain_mut().device_mut().read(a)
+    });
     // NVM MSBs must be current: counter 40 has MSB part 32 (wrap at 32).
-    assert!(nvm.counter(slot) >= 32, "persist on LSB wrap keeps MSBs fresh");
+    assert!(
+        nvm.counter(slot) >= 32,
+        "persist on LSB wrap keeps MSBs fresh"
+    );
     // And the full cycle still recovers.
     c.crash();
     c.recover().unwrap();
@@ -269,7 +308,8 @@ fn repeated_crash_recover_cycles() {
     let mut c = controller(SgxScheme::Asit);
     for round in 0..4u64 {
         for i in 0..25u64 {
-            c.write(DataAddr::new(i * 5), pattern(round * 100 + i)).unwrap();
+            c.write(DataAddr::new(i * 5), pattern(round * 100 + i))
+                .unwrap();
         }
         c.crash();
         c.recover().unwrap_or_else(|e| panic!("round {round}: {e}"));
@@ -381,7 +421,10 @@ fn lazy_propagation_reaches_top_register_on_flush() {
     }
     c.shutdown_flush().unwrap();
     let top_sum: u64 = (0..8).map(|i| c.top.counter(i)).sum();
-    assert!(top_sum > 0, "writebacks must have propagated to the on-chip top node");
+    assert!(
+        top_sum > 0,
+        "writebacks must have propagated to the on-chip top node"
+    );
     // And the fully-persisted tree verifies from a cold cache.
     c.cache.invalidate_all();
     for i in [0u64, 1111, 3999] {
@@ -405,6 +448,10 @@ fn parent_fetch_evicting_own_child_keeps_parent_tracked() {
     for i in 0..185u64 {
         let addr = i * 7 % 1000;
         let last = (0..185u64).filter(|j| j * 7 % 1000 == addr).max().unwrap();
-        assert_eq!(c.read(DataAddr::new(addr)).unwrap(), pattern(last), "addr {addr}");
+        assert_eq!(
+            c.read(DataAddr::new(addr)).unwrap(),
+            pattern(last),
+            "addr {addr}"
+        );
     }
 }

@@ -103,7 +103,10 @@ impl StEntry {
     /// Panics if `addr` is 0 (reserved as the invalid marker), `mac`
     /// exceeds 56 bits, or any LSB field exceeds 49 bits.
     pub fn new(addr: BlockAddr, mac: u64, lsbs: [u64; 8]) -> Self {
-        assert!(addr.index() != 0, "address 0 is reserved as the invalid ST marker");
+        assert!(
+            addr.index() != 0,
+            "address 0 is reserved as the invalid ST marker"
+        );
         assert!(mac < (1 << 56), "ST MAC must fit 56 bits");
         for l in lsbs {
             assert!(l < (1 << ST_LSB_FIELD_BITS), "LSB field must fit 49 bits");
@@ -155,7 +158,11 @@ impl StEntry {
             let start_bit = i as u32 * ST_LSB_FIELD_BITS;
             *l = read_bits(&bytes[15..], start_bit, ST_LSB_FIELD_BITS);
         }
-        Some(StEntry { addr: BlockAddr::new(addr), mac, lsbs })
+        Some(StEntry {
+            addr: BlockAddr::new(addr),
+            mac,
+            lsbs,
+        })
     }
 }
 
@@ -203,7 +210,10 @@ mod tests {
     fn zero_block_is_invalid() {
         assert_eq!(ShadowAddrEntry::from_block(&Block::zeroed()), None);
         assert_eq!(StEntry::from_block(&Block::zeroed()), None);
-        assert_eq!(ShadowAddrEntry::from_block(&ShadowAddrEntry::invalid_block()), None);
+        assert_eq!(
+            ShadowAddrEntry::from_block(&ShadowAddrEntry::invalid_block()),
+            None
+        );
     }
 
     #[test]
@@ -264,7 +274,11 @@ mod tests {
         write_bits(&mut buf, 3, 49, 0x1_2345_6789_ABCD);
         assert_eq!(read_bits(&buf, 3, 49), 0x1_2345_6789_ABCD);
         write_bits(&mut buf, 52, 49, 0xFFFF);
-        assert_eq!(read_bits(&buf, 3, 49), 0x1_2345_6789_ABCD, "neighbor untouched");
+        assert_eq!(
+            read_bits(&buf, 3, 49),
+            0x1_2345_6789_ABCD,
+            "neighbor untouched"
+        );
         assert_eq!(read_bits(&buf, 52, 49), 0xFFFF);
     }
 }

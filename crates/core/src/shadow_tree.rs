@@ -37,7 +37,10 @@ impl ShadowTree {
     /// Rebuilds from an ST image read back from NVM (recovery path) and
     /// returns the recomputed root for comparison with the register.
     pub fn rebuild(master: Key, st_blocks: Vec<Block>) -> Self {
-        assert!(!st_blocks.is_empty(), "shadow table must have at least one slot");
+        assert!(
+            !st_blocks.is_empty(),
+            "shadow table must have at least one slot"
+        );
         let tree = ReferenceTree::build(master.derive("shadow-table-tree"), st_blocks);
         let levels = tree.geometry().num_levels() as u32;
         ShadowTree { tree, levels }

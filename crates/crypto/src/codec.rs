@@ -85,18 +85,63 @@ impl DataCodec {
         counter: IvCounter,
         sealed: &SealedBlock,
     ) -> Result<Block, CryptoError> {
-        let plaintext = self.probe(addr, counter, sealed).ok_or(CryptoError::EccMismatch)?;
+        let plaintext = self
+            .probe(addr, counter, sealed)
+            .ok_or(CryptoError::EccMismatch)?;
         if sealed.mac != self.data_mac(addr, counter, &plaintext) {
             return Err(CryptoError::DataMacMismatch);
         }
         Ok(plaintext)
     }
 
+    /// Decrypts like [`open`](Self::open), but runs the SEC-DED decoder
+    /// when the strict check fails: because the cipher is a counter-mode
+    /// XOR, a flipped ciphertext bit is a flipped plaintext bit, so the
+    /// per-word Hamming(72,64) code can repair one flip per word and the
+    /// MAC then re-verifies the repaired plaintext end to end.
+    ///
+    /// Returns the plaintext and the number of repaired words (0 for a
+    /// clean block — the common case takes the same fast path as `open`).
+    ///
+    /// # Errors
+    ///
+    /// * [`CryptoError::UncorrectableEcc`] — multi-bit corruption the
+    ///   code can detect but not repair. The caller must not serve data.
+    /// * [`CryptoError::DataMacMismatch`] — the (possibly repaired)
+    ///   plaintext fails authentication: the stored counter is stale or
+    ///   the block was tampered with rather than randomly flipped.
+    pub fn open_correcting(
+        &self,
+        addr: BlockAddr,
+        counter: IvCounter,
+        sealed: &SealedBlock,
+    ) -> Result<(Block, u32), CryptoError> {
+        match self.open(addr, counter, sealed) {
+            Ok(pt) => Ok((pt, 0)),
+            Err(CryptoError::EccMismatch) => {
+                let plaintext = otp::decrypt(self.enc_key, addr, counter, &sealed.ciphertext);
+                let side_pad = otp::pad_word(self.enc_key, addr, counter);
+                let decoded = ecc::correct_block(&plaintext, sealed.ecc ^ side_pad)
+                    .ok_or(CryptoError::UncorrectableEcc)?;
+                if sealed.mac != self.data_mac(addr, counter, &decoded.data) {
+                    return Err(CryptoError::DataMacMismatch);
+                }
+                Ok((decoded.data, decoded.corrected_words))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     /// The Osiris primitive: attempts decryption with `counter` and returns
     /// the plaintext only if the decrypted ECC sanity check passes. Does
     /// *not* check the data MAC — recovery verifies integrity via the tree
     /// root afterwards.
-    pub fn probe(&self, addr: BlockAddr, counter: IvCounter, sealed: &SealedBlock) -> Option<Block> {
+    pub fn probe(
+        &self,
+        addr: BlockAddr,
+        counter: IvCounter,
+        sealed: &SealedBlock,
+    ) -> Option<Block> {
         let plaintext = otp::decrypt(self.enc_key, addr, counter, &sealed.ciphertext);
         let side_pad = otp::pad_word(self.enc_key, addr, counter);
         ecc::check_block(&plaintext, sealed.ecc ^ side_pad).then_some(plaintext)
@@ -158,7 +203,10 @@ mod tests {
     fn wrong_counter_fails_ecc() {
         let c = codec();
         let sealed = c.seal(BlockAddr::new(5), ctr(1), &Block::filled(9));
-        assert_eq!(c.open(BlockAddr::new(5), ctr(2), &sealed), Err(CryptoError::EccMismatch));
+        assert_eq!(
+            c.open(BlockAddr::new(5), ctr(2), &sealed),
+            Err(CryptoError::EccMismatch)
+        );
     }
 
     #[test]
@@ -195,7 +243,9 @@ mod tests {
         let pt = Block::filled(0xCD);
         let sealed = c.seal(BlockAddr::new(9), ctr(6), &pt);
         let candidates = (4..8).map(ctr);
-        let (idx, recovered) = c.osiris_recover(BlockAddr::new(9), candidates, &sealed).unwrap();
+        let (idx, recovered) = c
+            .osiris_recover(BlockAddr::new(9), candidates, &sealed)
+            .unwrap();
         assert_eq!(idx, 2); // 4, 5, then 6 matches
         assert_eq!(recovered, pt);
     }
@@ -208,6 +258,49 @@ mod tests {
         assert_eq!(
             c.osiris_recover(BlockAddr::new(9), candidates, &sealed),
             Err(CryptoError::CounterNotRecovered { trials: 4 })
+        );
+    }
+
+    #[test]
+    fn open_correcting_repairs_single_ciphertext_flips() {
+        let c = codec();
+        let pt = Block::from_words([9, 8, 7, 6, 5, 4, 3, 2]);
+        let mut sealed = c.seal(BlockAddr::new(5), ctr(1), &pt);
+        sealed.ciphertext.flip_bit(130); // one flip, word 2
+        assert!(c.open(BlockAddr::new(5), ctr(1), &sealed).is_err());
+        let (opened, fixed) = c
+            .open_correcting(BlockAddr::new(5), ctr(1), &sealed)
+            .unwrap();
+        assert_eq!(opened, pt);
+        assert_eq!(fixed, 1);
+    }
+
+    #[test]
+    fn open_correcting_reports_multi_bit_damage() {
+        let c = codec();
+        let mut sealed = c.seal(BlockAddr::new(5), ctr(1), &Block::filled(9));
+        sealed.ciphertext.flip_bit(0);
+        sealed.ciphertext.flip_bit(1); // two flips in the same word
+        assert_eq!(
+            c.open_correcting(BlockAddr::new(5), ctr(1), &sealed),
+            Err(CryptoError::UncorrectableEcc)
+        );
+    }
+
+    #[test]
+    fn open_correcting_never_launders_a_wrong_counter() {
+        // A stale counter produces a pseudorandom plaintext; the decoder
+        // must not "repair" it into something served as data — the MAC
+        // (or multi-bit detection) must fire.
+        let c = codec();
+        let sealed = c.seal(BlockAddr::new(5), ctr(6), &Block::filled(9));
+        let out = c.open_correcting(BlockAddr::new(5), ctr(2), &sealed);
+        assert!(
+            matches!(
+                out,
+                Err(CryptoError::UncorrectableEcc) | Err(CryptoError::DataMacMismatch)
+            ),
+            "stale counter must be a typed failure, got {out:?}"
         );
     }
 

@@ -41,7 +41,10 @@ pub struct SplitCounterBlock {
 
 impl Default for SplitCounterBlock {
     fn default() -> Self {
-        SplitCounterBlock { major: 0, minors: [0; MINOR_COUNTERS_PER_BLOCK] }
+        SplitCounterBlock {
+            major: 0,
+            minors: [0; MINOR_COUNTERS_PER_BLOCK],
+        }
     }
 }
 
@@ -54,7 +57,10 @@ impl SplitCounterBlock {
     /// A counter block with the given major counter and all minors zero —
     /// the state of a page right after re-encryption.
     pub fn with_major(major: u64) -> Self {
-        SplitCounterBlock { major, minors: [0; MINOR_COUNTERS_PER_BLOCK] }
+        SplitCounterBlock {
+            major,
+            minors: [0; MINOR_COUNTERS_PER_BLOCK],
+        }
     }
 
     /// The page's major counter.
@@ -101,7 +107,9 @@ impl SplitCounterBlock {
     /// recovery never needs to cross an overflow boundary (the stop-loss
     /// write happens before it).
     pub fn advance_minor(&mut self, line: usize, n: u8) {
-        let v = self.minors[line].checked_add(n).expect("minor overflow during advance");
+        let v = self.minors[line]
+            .checked_add(n)
+            .expect("minor overflow during advance");
         assert!(v <= MINOR_MAX, "minor counter advanced past overflow");
         self.minors[line] = v;
     }

@@ -77,6 +77,103 @@ pub fn check_block(block: &Block, ecc: u64) -> bool {
     ecc_block(block) == ecc
 }
 
+/// Codeword-position → data-bit-index table for syndrome decoding:
+/// position `p` (1..=72) maps to its data bit, or `NOT_DATA` when `p` is
+/// a power of two (a check-bit position).
+const NOT_DATA: u8 = 0xFF;
+const POS_TO_DATA: [u8; 73] = build_pos_to_data();
+
+const fn build_pos_to_data() -> [u8; 73] {
+    let mut table = [NOT_DATA; 73];
+    let mut data_index = 0u8;
+    let mut cw_pos = 1usize;
+    while cw_pos <= 72 {
+        if !(cw_pos as u64).is_power_of_two() {
+            table[cw_pos] = data_index;
+            data_index += 1;
+        }
+        cw_pos += 1;
+    }
+    table
+}
+
+/// Outcome of SEC-DED decoding one 72-bit codeword.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WordDecode {
+    /// Codeword was consistent; data returned unmodified.
+    Clean,
+    /// A single-bit error (in the data or the check bits) was corrected.
+    Corrected,
+    /// Two or more bit errors: detected but not correctable.
+    Uncorrectable,
+}
+
+/// SEC-DED syndrome decode of one data word against its check byte.
+///
+/// Returns the (possibly corrected) data word and what happened. A
+/// single flipped bit anywhere in the 72-bit codeword is repaired; an
+/// even number of flips is reported as [`WordDecode::Uncorrectable`].
+pub fn correct_word(data: u64, check: u8) -> (u64, WordDecode) {
+    let recomputed = ecc_word(data);
+    // Syndrome over the seven Hamming groups; the extended bit gives the
+    // overall parity of the received 72-bit codeword.
+    let syndrome = (recomputed ^ check) & 0x7F;
+    let overall_odd =
+        (data.count_ones() + (check & 0x7F).count_ones() + u32::from(check >> 7)) & 1 == 1;
+    match (syndrome, overall_odd) {
+        (0, false) => (data, WordDecode::Clean),
+        // Overall parity flipped but no group disagrees: the error is in
+        // the extended parity bit itself. Data is intact.
+        (0, true) => (data, WordDecode::Corrected),
+        (s, true) => {
+            let pos = s as usize;
+            if pos > 72 {
+                return (data, WordDecode::Uncorrectable);
+            }
+            match POS_TO_DATA[pos] {
+                NOT_DATA => (data, WordDecode::Corrected), // flipped check bit
+                bit => (data ^ (1u64 << bit), WordDecode::Corrected),
+            }
+        }
+        // Nonzero syndrome with even overall parity: double error.
+        (_, false) => (data, WordDecode::Uncorrectable),
+    }
+}
+
+/// Outcome of SEC-DED decoding a 64-byte block against its packed ECC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockDecode {
+    /// The block with any single-bit-per-word errors repaired.
+    pub data: Block,
+    /// How many of the eight words needed a correction.
+    pub corrected_words: u32,
+}
+
+/// Decodes a whole block word-by-word, repairing one flipped bit per
+/// 72-bit codeword. Returns `None` if any word is uncorrectable (≥2
+/// flips in one codeword); callers map that to their own typed error.
+#[must_use]
+pub fn correct_block(block: &Block, ecc: u64) -> Option<BlockDecode> {
+    let checks = ecc.to_le_bytes();
+    let mut words = block.words();
+    let mut corrected_words = 0u32;
+    for (i, w) in words.iter_mut().enumerate() {
+        let (fixed, status) = correct_word(*w, checks[i]);
+        match status {
+            WordDecode::Clean => {}
+            WordDecode::Corrected => {
+                *w = fixed;
+                corrected_words += 1;
+            }
+            WordDecode::Uncorrectable => return None,
+        }
+    }
+    Some(BlockDecode {
+        data: Block::from_words(words),
+        corrected_words,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +222,56 @@ mod tests {
         tampered.flip_bit(200);
         assert!(!check_block(&tampered, code));
         assert!(!check_block(&b, code ^ 1));
+    }
+
+    #[test]
+    fn every_single_bit_error_is_corrected() {
+        let base = 0xFACE_B00C_1234_5678u64;
+        let check = ecc_word(base);
+        // Data-bit flips.
+        for bit in 0..64 {
+            let (fixed, status) = correct_word(base ^ (1u64 << bit), check);
+            assert_eq!(status, WordDecode::Corrected, "bit {bit}");
+            assert_eq!(fixed, base, "bit {bit}");
+        }
+        // Check-bit flips (including the extended parity bit): data is
+        // returned untouched.
+        for bit in 0..8 {
+            let (fixed, status) = correct_word(base, check ^ (1 << bit));
+            assert_eq!(status, WordDecode::Corrected, "check bit {bit}");
+            assert_eq!(fixed, base, "check bit {bit}");
+        }
+        // Clean codeword decodes clean.
+        assert_eq!(correct_word(base, check), (base, WordDecode::Clean));
+    }
+
+    #[test]
+    fn double_bit_errors_are_uncorrectable_not_miscorrected() {
+        let base = 0x0123_4567_89AB_CDEFu64;
+        let check = ecc_word(base);
+        for (a, b) in [(0usize, 1usize), (3, 40), (62, 63), (0, 63), (17, 18)] {
+            let garbled = base ^ (1u64 << a) ^ (1u64 << b);
+            let (_, status) = correct_word(garbled, check);
+            assert_eq!(status, WordDecode::Uncorrectable, "pair ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn block_correction_repairs_one_flip_per_word() {
+        let b = Block::from_words([11, 22, 33, 44, 55, 66, 77, 88]);
+        let code = ecc_block(&b);
+        let mut hit = b;
+        hit.flip_bit(5); // word 0
+        hit.flip_bit(64 + 9); // word 1
+        hit.flip_bit(7 * 64 + 63); // word 7
+        let decoded = correct_block(&hit, code).expect("correctable");
+        assert_eq!(decoded.data, b);
+        assert_eq!(decoded.corrected_words, 3);
+
+        let mut dead = b;
+        dead.flip_bit(0);
+        dead.flip_bit(1); // two flips in word 0
+        assert!(correct_block(&dead, code).is_none());
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub enum CryptoError {
         /// Number of candidate counters tried.
         trials: u32,
     },
+    /// The SEC-DED decoder found a multi-bit error it cannot repair —
+    /// the stored block is corrupted beyond the code's reach and must
+    /// not be served as data.
+    UncorrectableEcc,
 }
 
 impl fmt::Display for CryptoError {
@@ -27,7 +31,13 @@ impl fmt::Display for CryptoError {
             CryptoError::EccMismatch => write!(f, "plaintext failed ECC sanity check"),
             CryptoError::DataMacMismatch => write!(f, "data MAC verification failed"),
             CryptoError::CounterNotRecovered { trials } => {
-                write!(f, "no counter candidate passed the ECC check after {trials} trials")
+                write!(
+                    f,
+                    "no counter candidate passed the ECC check after {trials} trials"
+                )
+            }
+            CryptoError::UncorrectableEcc => {
+                write!(f, "multi-bit corruption beyond SEC-DED correction")
             }
         }
     }
@@ -43,6 +53,11 @@ mod tests {
     fn display_is_informative() {
         assert!(CryptoError::EccMismatch.to_string().contains("ECC"));
         assert!(CryptoError::DataMacMismatch.to_string().contains("MAC"));
-        assert!(CryptoError::CounterNotRecovered { trials: 4 }.to_string().contains('4'));
+        assert!(CryptoError::CounterNotRecovered { trials: 4 }
+            .to_string()
+            .contains('4'));
+        assert!(CryptoError::UncorrectableEcc
+            .to_string()
+            .contains("SEC-DED"));
     }
 }

@@ -30,7 +30,10 @@ impl IvCounter {
 
     /// An IV counter from a single monolithic counter (SGX style).
     pub fn monolithic(counter: u64) -> Self {
-        IvCounter { major: 0, minor: counter }
+        IvCounter {
+            major: 0,
+            minor: counter,
+        }
     }
 }
 
@@ -100,7 +103,10 @@ mod tests {
     fn encrypt_decrypt_roundtrip() {
         let pt = Block::from_words([1, 2, 3, 4, 5, 6, 7, 8]);
         let ct = encrypt(key(), BlockAddr::new(7), IvCounter::split(3, 9), &pt);
-        assert_eq!(decrypt(key(), BlockAddr::new(7), IvCounter::split(3, 9), &ct), pt);
+        assert_eq!(
+            decrypt(key(), BlockAddr::new(7), IvCounter::split(3, 9), &ct),
+            pt
+        );
     }
 
     #[test]

@@ -142,7 +142,10 @@ impl SgxCounterNode {
         }
         let mut w = [0u8; 8];
         w[..7].copy_from_slice(&bytes[56..63]);
-        SgxCounterNode { counters, mac: u64::from_le_bytes(w) }
+        SgxCounterNode {
+            counters,
+            mac: u64::from_le_bytes(w),
+        }
     }
 }
 
@@ -204,7 +207,10 @@ mod tests {
         }
         n.set_mac(MASK56);
         assert_eq!(SgxCounterNode::from_block(&n.to_block()), n);
-        assert_eq!(SgxCounterNode::from_block(&Block::zeroed()), SgxCounterNode::new());
+        assert_eq!(
+            SgxCounterNode::from_block(&Block::zeroed()),
+            SgxCounterNode::new()
+        );
     }
 
     #[test]

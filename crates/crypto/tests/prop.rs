@@ -1,150 +1,179 @@
-//! Property tests for the cryptographic substrate.
+//! Randomized property tests for the cryptographic substrate, driven by
+//! the in-tree [`SplitMix64`] generator (no external dependencies; every
+//! assertion message carries the seed for reproduction).
 
 use anubis_crypto::otp::IvCounter;
 use anubis_crypto::{ecc, DataCodec, Key, SgxCounterNode, SplitCounterBlock};
 use anubis_crypto::{MINOR_COUNTERS_PER_BLOCK, MINOR_MAX, SGX_COUNTER_MAX};
-use anubis_nvm::{Block, BlockAddr};
-use proptest::prelude::*;
+use anubis_nvm::{Block, BlockAddr, SplitMix64};
 
-fn block_strategy() -> impl Strategy<Value = Block> {
-    prop::array::uniform8(any::<u64>()).prop_map(Block::from_words)
+fn rand_block(rng: &mut SplitMix64) -> Block {
+    Block::from_words(core::array::from_fn(|_| rng.next_u64()))
 }
 
-proptest! {
-    /// Counter-mode seal/open is the identity for every (key, address,
-    /// counter, plaintext).
-    #[test]
-    fn seal_open_identity(
-        key in prop::array::uniform2(any::<u64>()),
-        addr in any::<u64>(),
-        major in any::<u64>(),
-        minor in 0u64..(1 << 56),
-        pt in block_strategy(),
-    ) {
-        let codec = DataCodec::new(Key(key));
-        let iv = IvCounter::split(major, minor);
-        let sealed = codec.seal(BlockAddr::new(addr), iv, &pt);
-        prop_assert_eq!(codec.open(BlockAddr::new(addr), iv, &sealed).unwrap(), pt);
+/// Counter-mode seal/open is the identity for every (key, address,
+/// counter, plaintext).
+#[test]
+fn seal_open_identity() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::new(seed);
+        let codec = DataCodec::new(Key([rng.next_u64(), rng.next_u64()]));
+        let addr = BlockAddr::new(rng.next_u64());
+        let iv = IvCounter::split(rng.next_u64(), rng.gen_range(0..(1 << 56)));
+        let pt = rand_block(&mut rng);
+        let sealed = codec.seal(addr, iv, &pt);
+        assert_eq!(codec.open(addr, iv, &sealed).unwrap(), pt, "seed {seed}");
     }
+}
 
-    /// Decrypting with a counter that differs in the minor fails the ECC
-    /// sanity check (the Osiris property) — overwhelmingly.
-    #[test]
-    fn wrong_minor_fails_probe(
-        addr in any::<u64>(),
-        minor in 0u64..1000,
-        delta in 1u64..16,
-        pt in block_strategy(),
-    ) {
+/// Decrypting with a counter that differs in the minor fails the ECC
+/// sanity check (the Osiris property) — overwhelmingly.
+#[test]
+fn wrong_minor_fails_probe() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::new(seed ^ 0x0515);
         let codec = DataCodec::new(Key([11, 22]));
-        let sealed = codec.seal(BlockAddr::new(addr), IvCounter::split(3, minor), &pt);
-        let probe = codec.probe(BlockAddr::new(addr), IvCounter::split(3, minor + delta), &sealed);
-        prop_assert!(probe.is_none());
+        let addr = BlockAddr::new(rng.next_u64());
+        let minor = rng.gen_range(0..1000);
+        let delta = rng.gen_range(1..16);
+        let pt = rand_block(&mut rng);
+        let sealed = codec.seal(addr, IvCounter::split(3, minor), &pt);
+        let probe = codec.probe(addr, IvCounter::split(3, minor + delta), &sealed);
+        assert!(probe.is_none(), "seed {seed}");
     }
+}
 
-    /// The Osiris trial loop recovers the true counter whenever it lies
-    /// inside the candidate window.
-    #[test]
-    fn osiris_recovers_within_window(
-        base in 0u64..100,
-        gap in 0u64..4,
-        pt in block_strategy(),
-    ) {
+/// The Osiris trial loop recovers the true counter whenever it lies
+/// inside the candidate window.
+#[test]
+fn osiris_recovers_within_window() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::new(seed ^ 0x0517);
+        let base = rng.gen_range(0..100);
+        let gap = rng.gen_range(0..4);
+        let pt = rand_block(&mut rng);
         let codec = DataCodec::new(Key([5, 9]));
         let addr = BlockAddr::new(77);
         let truth = IvCounter::split(1, base + gap);
         let sealed = codec.seal(addr, truth, &pt);
         let candidates = (0..=4u64).map(|g| IvCounter::split(1, base + g));
         let (idx, recovered) = codec.osiris_recover(addr, candidates, &sealed).unwrap();
-        prop_assert_eq!(idx as u64, gap);
-        prop_assert_eq!(recovered, pt);
-    }
-
-    /// Split-counter serialization round-trips for every counter state.
-    #[test]
-    fn split_counter_roundtrip(
-        major in any::<u64>(),
-        minors in prop::collection::vec(0u8..=MINOR_MAX, MINOR_COUNTERS_PER_BLOCK),
-    ) {
-        let mut ctr = SplitCounterBlock::with_major(major);
-        for (i, &m) in minors.iter().enumerate() {
-            ctr.advance_minor(i, m);
-        }
-        let back = SplitCounterBlock::from_block(&ctr.to_block());
-        prop_assert_eq!(back, ctr);
-    }
-
-    /// SGX node serialization round-trips, and a seal verifies only under
-    /// the exact parent counter.
-    #[test]
-    fn sgx_node_roundtrip_and_freshness(
-        counters in prop::collection::vec(0u64..=SGX_COUNTER_MAX, 8),
-        pc in 0u64..(1 << 40),
-    ) {
-        let mac_key = anubis_crypto::hash::Hasher64::new(Key([1, 2]).derive("sgx-mac"));
-        let mut node = SgxCounterNode::new();
-        for (i, &c) in counters.iter().enumerate() {
-            node.set_counter(i, c);
-        }
-        node.seal(&mac_key, pc);
-        let back = SgxCounterNode::from_block(&node.to_block());
-        prop_assert_eq!(back, node);
-        prop_assert!(back.verify(&mac_key, pc));
-        prop_assert!(!back.verify(&mac_key, pc + 1));
-    }
-
-    /// ECC detects every single-bit corruption of a block.
-    #[test]
-    fn ecc_detects_single_bit_flips(pt in block_strategy(), bit in 0usize..512) {
-        let code = ecc::ecc_block(&pt);
-        let mut tampered = pt;
-        tampered.flip_bit(bit);
-        prop_assert!(!ecc::check_block(&tampered, code));
-    }
-
-    /// Ciphertexts are position-bound: the same plaintext sealed at two
-    /// addresses or counters yields different ciphertexts.
-    #[test]
-    fn ciphertext_uniqueness(
-        pt in block_strategy(),
-        a1 in 0u64..1_000_000,
-        a2 in 0u64..1_000_000,
-        m1 in 0u64..1_000_000,
-        m2 in 0u64..1_000_000,
-    ) {
-        prop_assume!(a1 != a2 || m1 != m2);
-        let codec = DataCodec::new(Key([3, 4]));
-        let s1 = codec.seal(BlockAddr::new(a1), IvCounter::split(0, m1), &pt);
-        let s2 = codec.seal(BlockAddr::new(a2), IvCounter::split(0, m2), &pt);
-        prop_assert_ne!(s1.ciphertext, s2.ciphertext);
+        assert_eq!(idx as u64, gap, "seed {seed}");
+        assert_eq!(recovered, pt, "seed {seed}");
     }
 }
 
-proptest! {
-    /// Speck decrypt ∘ encrypt is the identity for arbitrary keys/blocks.
-    #[test]
-    fn speck_roundtrip(key in prop::array::uniform2(any::<u64>()), pt in (any::<u64>(), any::<u64>())) {
-        let cipher = anubis_crypto::Speck128::new(Key(key));
-        prop_assert_eq!(cipher.decrypt(cipher.encrypt(pt)), pt);
+/// Split-counter serialization round-trips for every counter state.
+#[test]
+fn split_counter_roundtrip() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::new(seed ^ 0x5011);
+        let mut ctr = SplitCounterBlock::with_major(rng.next_u64());
+        for i in 0..MINOR_COUNTERS_PER_BLOCK {
+            ctr.advance_minor(i, rng.gen_range(0..u64::from(MINOR_MAX) + 1) as u8);
+        }
+        let back = SplitCounterBlock::from_block(&ctr.to_block());
+        assert_eq!(back, ctr, "seed {seed}");
     }
+}
 
-    /// Key derivation is injective-in-practice over purposes: distinct
-    /// purpose strings give distinct keys (collision would break domain
-    /// separation between encryption/MAC/tree keys).
-    #[test]
-    fn derive_distinct_purposes(master in prop::array::uniform2(any::<u64>()), a in "[a-z]{1,12}", b in "[a-z]{1,12}") {
-        prop_assume!(a != b);
-        let m = Key(master);
-        prop_assert_ne!(m.derive(&a), m.derive(&b));
+/// SGX node serialization round-trips, and a seal verifies only under
+/// the exact parent counter.
+#[test]
+fn sgx_node_roundtrip_and_freshness() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::new(seed ^ 0x59C5);
+        let mac_key = anubis_crypto::hash::Hasher64::new(Key([1, 2]).derive("sgx-mac"));
+        let mut node = SgxCounterNode::new();
+        for i in 0..8 {
+            node.set_counter(i, rng.gen_range(0..SGX_COUNTER_MAX + 1));
+        }
+        let pc = rng.gen_range(0..(1 << 40));
+        node.seal(&mac_key, pc);
+        let back = SgxCounterNode::from_block(&node.to_block());
+        assert_eq!(back, node, "seed {seed}");
+        assert!(back.verify(&mac_key, pc), "seed {seed}");
+        assert!(!back.verify(&mac_key, pc + 1), "seed {seed}");
     }
+}
 
-    /// ECC is a pure function of the data: re-encoding is stable and
-    /// block-level check accepts exactly the original.
-    #[test]
-    fn ecc_stability(pt in block_strategy()) {
+/// ECC detects every single-bit corruption of a block.
+#[test]
+fn ecc_detects_single_bit_flips() {
+    let mut rng = SplitMix64::new(0xECC);
+    for bit in 0..512usize {
+        let pt = rand_block(&mut rng);
+        let code = ecc::ecc_block(&pt);
+        let mut tampered = pt;
+        tampered.flip_bit(bit);
+        assert!(!ecc::check_block(&tampered, code), "bit {bit}");
+    }
+}
+
+/// Ciphertexts are position-bound: the same plaintext sealed at two
+/// addresses or counters yields different ciphertexts.
+#[test]
+fn ciphertext_uniqueness() {
+    let mut rng = SplitMix64::new(0xC1FE);
+    let codec = DataCodec::new(Key([3, 4]));
+    for case in 0..64u64 {
+        let pt = rand_block(&mut rng);
+        let (a1, a2) = (rng.gen_range(0..1_000_000), rng.gen_range(0..1_000_000));
+        let (m1, m2) = (rng.gen_range(0..1_000_000), rng.gen_range(0..1_000_000));
+        if a1 == a2 && m1 == m2 {
+            continue;
+        }
+        let s1 = codec.seal(BlockAddr::new(a1), IvCounter::split(0, m1), &pt);
+        let s2 = codec.seal(BlockAddr::new(a2), IvCounter::split(0, m2), &pt);
+        assert_ne!(s1.ciphertext, s2.ciphertext, "case {case}");
+    }
+}
+
+/// Speck decrypt ∘ encrypt is the identity for arbitrary keys/blocks.
+#[test]
+fn speck_roundtrip() {
+    let mut rng = SplitMix64::new(0x5BEC);
+    for case in 0..128u64 {
+        let cipher = anubis_crypto::Speck128::new(Key([rng.next_u64(), rng.next_u64()]));
+        let pt = (rng.next_u64(), rng.next_u64());
+        assert_eq!(cipher.decrypt(cipher.encrypt(pt)), pt, "case {case}");
+    }
+}
+
+/// Key derivation is injective-in-practice over purposes: distinct
+/// purpose strings give distinct keys (collision would break domain
+/// separation between encryption/MAC/tree keys).
+#[test]
+fn derive_distinct_purposes() {
+    let mut rng = SplitMix64::new(0xDE51);
+    let alphabet: Vec<char> = ('a'..='z').collect();
+    let rand_purpose = |rng: &mut SplitMix64| -> String {
+        let len = rng.gen_range(1..13) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.gen_index(alphabet.len())])
+            .collect()
+    };
+    for case in 0..64u64 {
+        let m = Key([rng.next_u64(), rng.next_u64()]);
+        let a = rand_purpose(&mut rng);
+        let b = rand_purpose(&mut rng);
+        if a == b {
+            continue;
+        }
+        assert_ne!(m.derive(&a), m.derive(&b), "case {case}: {a} vs {b}");
+    }
+}
+
+/// ECC is a pure function of the data: re-encoding is stable and
+/// block-level check accepts exactly the original.
+#[test]
+fn ecc_stability() {
+    let mut rng = SplitMix64::new(0xECC2);
+    for case in 0..64u64 {
+        let pt = rand_block(&mut rng);
         let c1 = ecc::ecc_block(&pt);
         let c2 = ecc::ecc_block(&pt);
-        prop_assert_eq!(c1, c2);
-        prop_assert!(ecc::check_block(&pt, c1));
+        assert_eq!(c1, c2, "case {case}");
+        assert!(ecc::check_block(&pt, c1), "case {case}");
     }
 }

@@ -46,7 +46,9 @@ pub struct BonsaiHasher {
 impl BonsaiHasher {
     /// Derives the tree-hash key from a master key.
     pub fn new(master: Key) -> Self {
-        BonsaiHasher { hasher: Hasher64::new(master.derive("bonsai-tree")) }
+        BonsaiHasher {
+            hasher: Hasher64::new(master.derive("bonsai-tree")),
+        }
     }
 
     /// Digest of one node/leaf block.
@@ -115,7 +117,11 @@ impl ReferenceTree {
             }
             levels.push(nodes);
         }
-        ReferenceTree { hasher, geometry, levels }
+        ReferenceTree {
+            hasher,
+            geometry,
+            levels,
+        }
     }
 
     /// The tree's shape.
@@ -147,7 +153,9 @@ impl ReferenceTree {
         self.levels[0][index as usize] = content;
         let mut child = NodeId::new(0, index);
         while let Some(parent) = self.geometry.parent(child) {
-            let digest = self.hasher.digest(&self.levels[child.level][child.index as usize]);
+            let digest = self
+                .hasher
+                .digest(&self.levels[child.level][child.index as usize]);
             let slot = self.geometry.child_slot(child);
             self.levels[parent.level][parent.index as usize].set_word(slot, digest);
             child = parent;
@@ -166,8 +174,9 @@ impl ReferenceTree {
             for index in 0..self.geometry.nodes_at(level) {
                 let node = NodeId::new(level, index);
                 for child in self.geometry.children(node) {
-                    let expect =
-                        self.hasher.digest(&self.levels[child.level][child.index as usize]);
+                    let expect = self
+                        .hasher
+                        .digest(&self.levels[child.level][child.index as usize]);
                     let stored =
                         self.levels[level][index as usize].word(self.geometry.child_slot(child));
                     if stored != expect {

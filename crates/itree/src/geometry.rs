@@ -73,7 +73,11 @@ impl TreeGeometry {
             interior_offsets[level] = acc;
             acc += level_sizes[level];
         }
-        TreeGeometry { arity, level_sizes, interior_offsets }
+        TreeGeometry {
+            arity,
+            level_sizes,
+            interior_offsets,
+        }
     }
 
     /// Tree arity.
@@ -192,7 +196,10 @@ impl TreeGeometry {
     ///
     /// Panics if `offset >= interior_blocks()`.
     pub fn locate_interior(&self, offset: u64) -> NodeId {
-        assert!(offset < self.interior_blocks(), "interior offset out of range");
+        assert!(
+            offset < self.interior_blocks(),
+            "interior offset out of range"
+        );
         for level in (1..self.num_levels()).rev() {
             if offset >= self.interior_offsets[level] {
                 return NodeId::new(level, offset - self.interior_offsets[level]);

@@ -79,7 +79,11 @@ impl ReferenceSgxTree {
                 levels[level][index as usize].seal(&mac_key, parent_ctr);
             }
         }
-        ReferenceSgxTree { mac_key, geometry, levels }
+        ReferenceSgxTree {
+            mac_key,
+            geometry,
+            levels,
+        }
     }
 
     fn parent_counter_of(
@@ -91,9 +95,7 @@ impl ReferenceSgxTree {
             // The top node is versioned by an implicit constant: its
             // counters live on-chip, so replay against it is impossible.
             None => 0,
-            Some(p) => {
-                levels[p.level][p.index as usize].counter(geometry.child_slot(node))
-            }
+            Some(p) => levels[p.level][p.index as usize].counter(geometry.child_slot(node)),
         }
     }
 
@@ -236,7 +238,11 @@ mod tests {
         // Attacker rolls the leaf back to its (validly MACed) old value.
         t.set_node(NodeId::new(0, 0), old);
         let err = t.verify_leaf_path(0).unwrap_err();
-        assert_eq!(err.0, NodeId::new(0, 0), "stale leaf must fail against new parent counter");
+        assert_eq!(
+            err.0,
+            NodeId::new(0, 0),
+            "stale leaf must fail against new parent counter"
+        );
     }
 
     #[test]

@@ -1,89 +1,88 @@
-//! Property tests for the integrity trees.
+//! Randomized property tests for the integrity trees, driven by the
+//! in-tree [`SplitMix64`] generator; failure messages carry the seed.
 
 use anubis_crypto::Key;
 use anubis_itree::bonsai::ReferenceTree;
 use anubis_itree::sgx::ReferenceSgxTree;
 use anubis_itree::{NodeId, TreeGeometry};
-use anubis_nvm::Block;
-use proptest::prelude::*;
+use anubis_nvm::{Block, SplitMix64};
 
-fn block_strategy() -> impl Strategy<Value = Block> {
-    prop::array::uniform8(any::<u64>()).prop_map(Block::from_words)
+fn rand_block(rng: &mut SplitMix64) -> Block {
+    Block::from_words(core::array::from_fn(|_| rng.next_u64()))
 }
 
-proptest! {
-    /// Incremental leaf updates and a from-scratch rebuild agree on the
-    /// root for any update sequence.
-    #[test]
-    fn bonsai_incremental_equals_rebuild(
-        n_leaves in 1usize..200,
-        updates in prop::collection::vec((any::<u64>(), block_strategy()), 0..30),
-    ) {
+/// Incremental leaf updates and a from-scratch rebuild agree on the
+/// root for any update sequence.
+#[test]
+fn bonsai_incremental_equals_rebuild() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::new(seed);
+        let n_leaves = rng.gen_range(1..200) as usize;
+        let n_updates = rng.gen_range(0..30) as usize;
         let mut leaves = vec![Block::zeroed(); n_leaves];
         let mut tree = ReferenceTree::build(Key([1, 2]), leaves.clone());
-        for (idx, content) in updates {
-            let i = idx % n_leaves as u64;
+        for _ in 0..n_updates {
+            let i = rng.next_u64() % n_leaves as u64;
+            let content = rand_block(&mut rng);
             leaves[i as usize] = content;
             tree.update_leaf(i, content);
         }
         let rebuilt = ReferenceTree::build(Key([1, 2]), leaves);
-        prop_assert_eq!(tree.root(), rebuilt.root());
-        prop_assert!(tree.verify_all().is_ok());
+        assert_eq!(tree.root(), rebuilt.root(), "seed {seed}");
+        assert!(tree.verify_all().is_ok(), "seed {seed}");
     }
+}
 
-    /// Any single-bit tamper of any node or leaf breaks verification or
-    /// changes the root.
-    #[test]
-    fn bonsai_tamper_always_detected(
-        n_leaves in 2usize..64,
-        victim_level_pick in any::<u64>(),
-        victim_index_pick in any::<u64>(),
-        bit in 0usize..512,
-    ) {
+/// Any single-bit tamper of any node or leaf breaks verification or
+/// changes the root.
+#[test]
+fn bonsai_tamper_always_detected() {
+    for seed in 0..48u64 {
+        let mut rng = SplitMix64::new(seed ^ 0x7A3);
+        let n_leaves = rng.gen_range(2..64) as usize;
+        let bit = rng.gen_index(512);
         let leaves: Vec<Block> = (0..n_leaves).map(|i| Block::filled(i as u8)).collect();
         let tree = ReferenceTree::build(Key([3, 4]), leaves.clone());
         let g = tree.geometry().clone();
-        let level = (victim_level_pick % g.num_levels() as u64) as usize;
-        let index = victim_index_pick % g.nodes_at(level);
-        // Tamper by rebuilding with the modified node content spliced in.
-        let mut tampered = tree.clone();
-        let mut content = *tampered.node(NodeId::new(level, index));
+        let level = rng.gen_index(g.num_levels());
+        let index = rng.next_u64() % g.nodes_at(level);
+        let mut content = *tree.node(NodeId::new(level, index));
         content.flip_bit(bit);
-        // Interior tamper: detected by verify_all. Leaf tamper: either
-        // detected or it changes the root.
+        // Interior tamper: detected by digest recomputation. Leaf tamper:
+        // changes the root.
         if level == 0 {
             let mut leaves2 = leaves;
             leaves2[index as usize] = content;
             let rebuilt = ReferenceTree::build(Key([3, 4]), leaves2);
-            prop_assert_ne!(rebuilt.root(), tree.root());
+            assert_ne!(rebuilt.root(), tree.root(), "seed {seed}");
         } else {
-            tampered.update_leaf(0, *tree.node(NodeId::new(0, 0))); // no-op refresh
-            // Directly splicing interior nodes isn't exposed (by design);
-            // verify the structural property instead: recomputing the
-            // parent digest of the tampered content differs.
-            let parent = g.parent(NodeId::new(level, index)).unwrap_or(g.top());
-            let _ = parent;
             let h = anubis_itree::bonsai::BonsaiHasher::new(Key([3, 4]));
-            prop_assert_ne!(h.digest(&content), h.digest(tree.node(NodeId::new(level, index))));
+            assert_ne!(
+                h.digest(&content),
+                h.digest(tree.node(NodeId::new(level, index))),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    /// SGX tree: any interleaving of counter bumps keeps every MAC chain
-    /// valid, and replaying any pre-bump node is detected.
-    #[test]
-    fn sgx_bumps_keep_consistency_and_reject_replay(
-        lines in 8u64..512,
-        bumps in prop::collection::vec(any::<u64>(), 1..40),
-    ) {
+/// SGX tree: any interleaving of counter bumps keeps every MAC chain
+/// valid, and replaying any pre-bump node is detected.
+#[test]
+fn sgx_bumps_keep_consistency_and_reject_replay() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::new(seed ^ 0x59C);
+        let lines = rng.gen_range(8..512);
+        let n_bumps = rng.gen_range(1..40) as usize;
         let mut tree = ReferenceSgxTree::new(Key([5, 6]), lines);
         let mut snapshots = Vec::new();
-        for b in &bumps {
-            let line = b % lines;
+        for _ in 0..n_bumps {
+            let line = rng.next_u64() % lines;
             let leaf = NodeId::new(0, line / 8);
             snapshots.push((leaf, *tree.node(leaf)));
             tree.bump_leaf_counter(line);
         }
-        prop_assert!(tree.verify_all().is_ok());
+        assert!(tree.verify_all().is_ok(), "seed {seed}");
         // Replay the oldest snapshot of a bumped leaf: must be detected —
         // except in the degenerate single-node tree, where the "leaf" is
         // the top node, which lives on-chip in hardware and cannot be
@@ -92,14 +91,21 @@ proptest! {
         if tree.geometry().num_levels() > 1 {
             let mut attacked = tree.clone();
             attacked.set_node(leaf, old);
-            prop_assert!(attacked.verify_leaf_path(leaf.index).is_err());
+            assert!(
+                attacked.verify_leaf_path(leaf.index).is_err(),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    /// Geometry: interior offsets form a dense bijection for arbitrary
-    /// leaf counts.
-    #[test]
-    fn geometry_offsets_bijective(n_leaves in 1u64..100_000) {
+/// Geometry: interior offsets form a dense bijection for arbitrary
+/// leaf counts.
+#[test]
+fn geometry_offsets_bijective() {
+    for seed in 0..48u64 {
+        let mut rng = SplitMix64::new(seed ^ 0x6E0);
+        let n_leaves = rng.gen_range(1..100_000);
         let g = TreeGeometry::new(n_leaves, 8);
         let total = g.interior_blocks();
         // Spot-check boundaries of every level rather than all nodes.
@@ -107,8 +113,8 @@ proptest! {
             for index in [0, g.nodes_at(level) / 2, g.nodes_at(level) - 1] {
                 let node = NodeId::new(level, index);
                 let off = g.interior_offset(node);
-                prop_assert!(off < total);
-                prop_assert_eq!(g.locate_interior(off), node);
+                assert!(off < total, "seed {seed}");
+                assert_eq!(g.locate_interior(off), node, "seed {seed}");
             }
         }
         // Parent of every leaf exists and has the right child span.
@@ -116,7 +122,7 @@ proptest! {
             let leaf = NodeId::new(0, index);
             if g.num_levels() > 1 {
                 let p = g.parent(leaf).unwrap();
-                prop_assert!(g.children(p).any(|c| c == leaf));
+                assert!(g.children(p).any(|c| c == leaf), "seed {seed}");
             }
         }
     }

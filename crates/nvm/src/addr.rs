@@ -126,13 +126,20 @@ impl Region {
     ///
     /// Panics if `i >= self.len()`.
     pub fn nth(&self, i: u64) -> BlockAddr {
-        assert!(i < self.len, "region {}: index {} out of {}", self.name, i, self.len);
+        assert!(
+            i < self.len,
+            "region {}: index {} out of {}",
+            self.name,
+            i,
+            self.len
+        );
         self.base.offset(i)
     }
 
     /// The offset of `addr` within the region, if it is contained.
     pub fn offset_of(&self, addr: BlockAddr) -> Option<u64> {
-        self.contains(addr).then(|| addr.index() - self.base.index())
+        self.contains(addr)
+            .then(|| addr.index() - self.base.index())
     }
 
     /// Iterates over every block address in the region.

@@ -29,13 +29,17 @@ impl Block {
     /// An all-zero block. NVM reads of never-written locations return this.
     #[inline]
     pub const fn zeroed() -> Self {
-        Block { bytes: [0u8; BLOCK_BYTES] }
+        Block {
+            bytes: [0u8; BLOCK_BYTES],
+        }
     }
 
     /// A block with every byte set to `byte`.
     #[inline]
     pub const fn filled(byte: u8) -> Self {
-        Block { bytes: [byte; BLOCK_BYTES] }
+        Block {
+            bytes: [byte; BLOCK_BYTES],
+        }
     }
 
     /// Builds a block from raw bytes.

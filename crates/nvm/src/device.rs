@@ -67,12 +67,13 @@ impl NvmDevice {
         self.store.len()
     }
 
-    /// Checked read.
+    /// Checked read. Takes `&self`: reading does not logically mutate the
+    /// device, and the access statistics live behind interior mutability.
     ///
     /// # Errors
     ///
     /// Returns [`NvmError::OutOfRange`] if `addr` is beyond capacity.
-    pub fn try_read(&mut self, addr: BlockAddr) -> Result<Block, NvmError> {
+    pub fn try_read(&self, addr: BlockAddr) -> Result<Block, NvmError> {
         self.check(addr)?;
         self.stats.record_read(self.region_name(addr));
         Ok(self.store.get(&addr.index()).copied().unwrap_or_default())
@@ -84,7 +85,7 @@ impl NvmDevice {
     ///
     /// Panics if `addr` is beyond device capacity (see [`NvmDevice::try_read`]
     /// for the checked variant).
-    pub fn read(&mut self, addr: BlockAddr) -> Block {
+    pub fn read(&self, addr: BlockAddr) -> Block {
         self.try_read(addr).expect("read within device capacity")
     }
 
@@ -116,7 +117,8 @@ impl NvmDevice {
     /// Panics if `addr` is beyond device capacity (see
     /// [`NvmDevice::try_write`] for the checked variant).
     pub fn write(&mut self, addr: BlockAddr, block: Block) {
-        self.try_write(addr, block).expect("write within device capacity");
+        self.try_write(addr, block)
+            .expect("write within device capacity");
     }
 
     /// Overwrites a block without counting the access — used to initialize
@@ -167,7 +169,10 @@ impl NvmDevice {
         if addr.index() < self.capacity_blocks {
             Ok(())
         } else {
-            Err(NvmError::OutOfRange { addr, capacity_blocks: self.capacity_blocks })
+            Err(NvmError::OutOfRange {
+                addr,
+                capacity_blocks: self.capacity_blocks,
+            })
         }
     }
 }
@@ -178,7 +183,7 @@ mod tests {
 
     #[test]
     fn unwritten_blocks_read_zero() {
-        let mut dev = NvmDevice::new(1 << 20);
+        let dev = NvmDevice::new(1 << 20);
         assert!(dev.read(BlockAddr::new(100)).is_zeroed());
         assert_eq!(dev.stats().reads(), 1);
         assert_eq!(dev.touched_blocks(), 0);
@@ -200,7 +205,10 @@ mod tests {
         assert!(dev.try_read(BlockAddr::new(1)).is_ok());
         assert_eq!(
             dev.try_read(BlockAddr::new(2)),
-            Err(NvmError::OutOfRange { addr: BlockAddr::new(2), capacity_blocks: 2 })
+            Err(NvmError::OutOfRange {
+                addr: BlockAddr::new(2),
+                capacity_blocks: 2
+            })
         );
         assert!(dev.try_write(BlockAddr::new(2), Block::zeroed()).is_err());
     }

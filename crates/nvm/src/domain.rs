@@ -4,6 +4,7 @@ use crate::addr::BlockAddr;
 use crate::block::Block;
 use crate::device::NvmDevice;
 use crate::error::NvmError;
+use crate::fault::{tear_block, FaultKind, FaultPlan};
 use crate::pregs::{PersistentRegisters, PREG_CAPACITY};
 use crate::wpq::Wpq;
 
@@ -41,6 +42,11 @@ pub struct PersistenceDomain {
     pregs: PersistentRegisters,
     powered: bool,
     commits: u64,
+    /// Lifetime count of device-level writes drained through the commit
+    /// path — the index space over which [`FaultPlan`]s trigger.
+    persist_writes: u64,
+    fault: Option<FaultPlan>,
+    fault_fired: Option<FaultKind>,
 }
 
 impl PersistenceDomain {
@@ -59,6 +65,9 @@ impl PersistenceDomain {
             pregs: PersistentRegisters::new(),
             powered: true,
             commits: 0,
+            persist_writes: 0,
+            fault: None,
+            fault_fired: None,
         }
     }
 
@@ -82,6 +91,38 @@ impl PersistenceDomain {
         self.commits
     }
 
+    /// Lifetime count of device-level writes drained through
+    /// [`PersistenceDomain::commit_group`]. Fault plans trigger on indices
+    /// in this space, so a harness can dry-run a workload, read this
+    /// counter, and then sweep a fault over every index.
+    pub fn persist_writes(&self) -> u64 {
+        self.persist_writes
+    }
+
+    /// Arms a one-shot fault plan, replacing any armed plan. The plan fires
+    /// when the counted write index reaches
+    /// [`FaultPlan::trigger_index`]; see [`crate::FaultKind`] for the
+    /// effect of each fault class.
+    pub fn arm_fault(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Removes and returns the armed (not yet fired) fault plan, if any.
+    pub fn disarm_fault(&mut self) -> Option<FaultPlan> {
+        self.fault.take()
+    }
+
+    /// The fault that fired, if one has. Cleared by
+    /// [`PersistenceDomain::clear_fault_record`].
+    pub fn fault_fired(&self) -> Option<&FaultKind> {
+        self.fault_fired.as_ref()
+    }
+
+    /// Clears the fired-fault record (armed plans are unaffected).
+    pub fn clear_fault_record(&mut self) {
+        self.fault_fired = None;
+    }
+
     /// Reads a block, observing pending WPQ writes (the controller must see
     /// its own queued stores).
     ///
@@ -89,7 +130,7 @@ impl PersistenceDomain {
     ///
     /// Returns [`NvmError::PoweredOff`] if the domain is powered off, or
     /// [`NvmError::OutOfRange`] for addresses beyond capacity.
-    pub fn read(&mut self, addr: BlockAddr) -> Result<Block, NvmError> {
+    pub fn read(&self, addr: BlockAddr) -> Result<Block, NvmError> {
         if !self.powered {
             return Err(NvmError::PoweredOff);
         }
@@ -137,9 +178,51 @@ impl PersistenceDomain {
         if staged == 0 {
             return Ok(());
         }
-        // Commit: set DONE_BIT then drain into the WPQ.
+        // Commit: set DONE_BIT then drain into the WPQ. Each drained entry
+        // is one counted device-level write — the granularity at which
+        // armed faults fire.
         self.pregs.set_done();
-        while let Some(op) = self.pregs.next_to_drain() {
+        while let Some(mut op) = self.pregs.next_to_drain() {
+            if let Some(plan) = &self.fault {
+                if plan.trigger_index() == self.persist_writes {
+                    let kind = self.fault.take().expect("plan present").into_kind();
+                    self.fault_fired = Some(kind.clone());
+                    match kind {
+                        FaultKind::PowerCut => {
+                            // The triggering write never reaches the WPQ.
+                            // ADR flushes what the WPQ holds; the group
+                            // stays in the persistent registers with
+                            // DONE_BIT set and is REDOne at power_up.
+                            self.wpq.flush(&mut self.device);
+                            self.powered = false;
+                            return Err(NvmError::PowerLost);
+                        }
+                        FaultKind::TornWrite { words } => {
+                            // The write tears inside the device and the
+                            // registers lose the rest of the group: this is
+                            // the fault class two-stage commit cannot mask,
+                            // so recovery must *detect* it.
+                            let old = self.device.peek(op.addr);
+                            let torn = tear_block(&old, &op.block, words);
+                            self.persist_writes += 1;
+                            self.device.try_write(op.addr, torn)?;
+                            self.pregs.torn_discard();
+                            self.wpq.flush(&mut self.device);
+                            self.powered = false;
+                            return Err(NvmError::PowerLost);
+                        }
+                        FaultKind::BitFlip { bits } => {
+                            // The write lands corrupted; execution
+                            // continues and detection is deferred to the
+                            // ECC / MAC / tree layers.
+                            for bit in bits {
+                                op.block.flip_bit(bit);
+                            }
+                        }
+                    }
+                }
+            }
+            self.persist_writes += 1;
             self.wpq.insert(op, &mut self.device);
         }
         self.commits += 1;
@@ -187,7 +270,7 @@ impl PersistenceDomain {
 impl NvmDevice {
     /// Records a read that was served by WPQ forwarding (still one logical
     /// metadata access for statistics purposes).
-    pub(crate) fn stats_read_only(&mut self, addr: BlockAddr) {
+    pub(crate) fn stats_read_only(&self, addr: BlockAddr) {
         // Delegate through try_read's bookkeeping without changing content:
         // forwarding hits are rare enough that double storage is not worth
         // a second code path.
@@ -280,6 +363,88 @@ mod tests {
         let mut d = PersistenceDomain::new(1 << 20);
         d.commit_group(std::iter::empty()).unwrap();
         assert_eq!(d.commits(), 0);
+    }
+
+    #[test]
+    fn power_cut_mid_group_is_redone_at_power_up() {
+        let mut d = PersistenceDomain::new(1 << 20);
+        d.arm_fault(FaultPlan::power_cut_after(1));
+        let err = d
+            .commit_group([op(1, 0xAA), op(2, 0xBB), op(3, 0xCC)])
+            .unwrap_err();
+        assert_eq!(err, NvmError::PowerLost);
+        assert!(!d.is_powered());
+        assert_eq!(d.fault_fired(), Some(&FaultKind::PowerCut));
+        assert_eq!(d.persist_writes(), 1);
+        // Two-stage commit masks the cut: power_up REDOes the whole group.
+        d.power_up();
+        assert_eq!(d.device().peek(BlockAddr::new(1)), Block::filled(0xAA));
+        assert_eq!(d.device().peek(BlockAddr::new(2)), Block::filled(0xBB));
+        assert_eq!(d.device().peek(BlockAddr::new(3)), Block::filled(0xCC));
+    }
+
+    #[test]
+    fn power_cut_after_all_writes_of_a_group_never_fires() {
+        let mut d = PersistenceDomain::new(1 << 20);
+        d.arm_fault(FaultPlan::power_cut_after(2));
+        d.commit_group([op(1, 0xAA), op(2, 0xBB)]).unwrap();
+        assert!(d.fault_fired().is_none());
+        // It fires on the next group's first write instead.
+        assert_eq!(d.commit_group([op(3, 0xCC)]), Err(NvmError::PowerLost));
+    }
+
+    #[test]
+    fn torn_write_persists_partial_group_and_partial_block() {
+        let mut d = PersistenceDomain::new(1 << 20);
+        d.device_mut().poke(BlockAddr::new(2), Block::filled(0x11));
+        d.arm_fault(FaultPlan::torn_write_after(1, 3));
+        let err = d
+            .commit_group([op(1, 0xAA), op(2, 0xBB), op(3, 0xCC)])
+            .unwrap_err();
+        assert_eq!(err, NvmError::PowerLost);
+        d.power_up();
+        // Write 0 landed whole; write 1 tore mid-block; write 2 was lost
+        // with the discarded register group.
+        assert_eq!(d.device().peek(BlockAddr::new(1)), Block::filled(0xAA));
+        let torn = d.device().peek(BlockAddr::new(2));
+        for w in 0..Block::WORDS {
+            let expect = if w < 3 {
+                Block::filled(0xBB).word(w)
+            } else {
+                Block::filled(0x11).word(w)
+            };
+            assert_eq!(torn.word(w), expect, "word {w}");
+        }
+        assert!(d.device().peek(BlockAddr::new(3)).is_zeroed());
+    }
+
+    #[test]
+    fn bit_flip_corrupts_silently_and_execution_continues() {
+        let mut d = PersistenceDomain::new(1 << 20);
+        d.arm_fault(FaultPlan::bit_flip_after(0, vec![0, 9]));
+        d.commit_group([op(1, 0x00), op(2, 0xBB)]).unwrap();
+        assert!(d.is_powered());
+        assert!(matches!(d.fault_fired(), Some(FaultKind::BitFlip { .. })));
+        d.drain_wpq();
+        let mut expect = Block::zeroed();
+        expect.flip_bit(0);
+        expect.flip_bit(9);
+        assert_eq!(d.device().peek(BlockAddr::new(1)), expect);
+        assert_eq!(d.device().peek(BlockAddr::new(2)), Block::filled(0xBB));
+    }
+
+    #[test]
+    fn disarm_and_clear_record() {
+        let mut d = PersistenceDomain::new(1 << 20);
+        d.arm_fault(FaultPlan::power_cut_after(0));
+        assert_eq!(d.disarm_fault(), Some(FaultPlan::power_cut_after(0)));
+        d.commit_group([op(1, 0xAA)]).unwrap();
+        assert!(d.fault_fired().is_none());
+        d.arm_fault(FaultPlan::bit_flip_after(1, vec![5]));
+        d.commit_group([op(2, 0xBB)]).unwrap();
+        assert!(d.fault_fired().is_some());
+        d.clear_fault_record();
+        assert!(d.fault_fired().is_none());
     }
 
     #[test]

@@ -23,6 +23,16 @@ pub enum NvmError {
     },
     /// The domain is powered off; it must be recovered before use.
     PoweredOff,
+    /// An injected fault cut power mid-operation. The controller must
+    /// propagate this without caching inconsistent state; the domain
+    /// requires [`crate::PersistenceDomain::power_up`] before further use.
+    PowerLost,
+    /// A bounded insert found the WPQ full (used by back-pressure-aware
+    /// callers; the plain insert path force-drains instead).
+    WpqFull {
+        /// Queue capacity in entries.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for NvmError {
@@ -37,6 +47,12 @@ impl fmt::Display for NvmError {
                 "commit group of {group_len} writes exceeds the {capacity}-entry persistent register file"
             ),
             NvmError::PoweredOff => write!(f, "persistence domain is powered off"),
+            NvmError::PowerLost => {
+                write!(f, "power lost mid-operation by an injected fault")
+            }
+            NvmError::WpqFull { capacity } => {
+                write!(f, "write pending queue is full ({capacity} entries)")
+            }
         }
     }
 }
@@ -49,10 +65,20 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = NvmError::OutOfRange { addr: BlockAddr::new(10), capacity_blocks: 4 };
+        let e = NvmError::OutOfRange {
+            addr: BlockAddr::new(10),
+            capacity_blocks: 4,
+        };
         assert!(e.to_string().contains("0xa"));
-        let e = NvmError::CommitGroupTooLarge { group_len: 99, capacity: 64 };
+        let e = NvmError::CommitGroupTooLarge {
+            group_len: 99,
+            capacity: 64,
+        };
         assert!(e.to_string().contains("99"));
         assert!(NvmError::PoweredOff.to_string().contains("powered off"));
+        assert!(NvmError::PowerLost.to_string().contains("power lost"));
+        assert!(NvmError::WpqFull { capacity: 32 }
+            .to_string()
+            .contains("32"));
     }
 }

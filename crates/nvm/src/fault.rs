@@ -1,0 +1,184 @@
+//! Deterministic fault injection for the persistence domain.
+//!
+//! The Anubis paper's whole claim is *recovery correctness under real
+//! failure semantics*, so the NVM model must be able to fail the way real
+//! hardware fails: power can be lost between any two device-level writes of
+//! a single logical memory operation, a 64-byte block write can tear at a
+//! word boundary, and cells can flip bits that the ECC layer may or may not
+//! be able to repair.
+//!
+//! A [`FaultPlan`] is armed on a [`crate::PersistenceDomain`] via
+//! [`crate::PersistenceDomain::arm_fault`] and fires **once**, when the
+//! domain is about to perform its `after`-th (0-based) counted device-level
+//! write — i.e. `FaultPlan::power_cut_after(k)` lets exactly `k` writes
+//! reach the persistent domain and cuts power on the next one. Counted
+//! writes are the drains from the persistent registers into the WPQ, the
+//! single point through which every controller scheme persists state; the
+//! running count is exposed as
+//! [`crate::PersistenceDomain::persist_writes`] so harnesses can first
+//! dry-run a workload, then sweep `k` over every index.
+//!
+//! Fault semantics:
+//!
+//! * [`FaultKind::PowerCut`] — the triggering write does not reach the WPQ;
+//!   the ADR flushes what the WPQ already holds, and the domain powers off
+//!   returning [`crate::NvmError::PowerLost`]. The in-flight commit group
+//!   stays in the NVM-backed persistent registers with `DONE_BIT` set, so
+//!   [`crate::PersistenceDomain::power_up`] REDOes it — this is the
+//!   *recoverable* fault class the paper's two-stage commit is built for.
+//! * [`FaultKind::TornWrite`] — models a write that tears inside the
+//!   device: the first `words` 8-byte words of the new content land, the
+//!   tail keeps the old content, and the persistent registers lose the rest
+//!   of the group (as if the tear happened in the final ADR drain after the
+//!   registers were freed). Recovery is *allowed* to fail here, but only
+//!   with a typed detection error — never by silently serving the torn
+//!   block as valid data.
+//! * [`FaultKind::BitFlip`] — the triggering write lands with the given
+//!   bits inverted and execution continues normally; detection is deferred
+//!   to the ECC / MAC / integrity-tree layers on the next read.
+
+use crate::block::Block;
+
+/// What kind of fault fires when a [`FaultPlan`] triggers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Power is lost before the triggering write enters the WPQ.
+    PowerCut,
+    /// The triggering block write tears at a word boundary: the first
+    /// `words` (1..=7) 8-byte words are new, the rest stay old.
+    TornWrite {
+        /// Number of leading 8-byte words of the new content that land.
+        words: usize,
+    },
+    /// The triggering block lands with these bit positions (0..512)
+    /// inverted.
+    BitFlip {
+        /// Bit positions to invert within the 64-byte block.
+        bits: Vec<usize>,
+    },
+}
+
+/// A one-shot fault: fires when the domain is about to perform its
+/// `after`-th (0-based, counted since domain creation) device-level write.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    after: u64,
+    kind: FaultKind,
+}
+
+impl FaultPlan {
+    /// Power cut after exactly `k` counted writes have persisted.
+    pub fn power_cut_after(k: u64) -> Self {
+        FaultPlan {
+            after: k,
+            kind: FaultKind::PowerCut,
+        }
+    }
+
+    /// Torn write: the write with counted index `k` lands with only its
+    /// first `words` words updated, then power is lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= words <= 7` (0 or 8 words would not be a tear).
+    pub fn torn_write_after(k: u64, words: usize) -> Self {
+        assert!(
+            (1..Block::WORDS).contains(&words),
+            "a torn write must land 1..={} words, got {words}",
+            Block::WORDS - 1
+        );
+        FaultPlan {
+            after: k,
+            kind: FaultKind::TornWrite { words },
+        }
+    }
+
+    /// Bit flips: the write with counted index `k` lands with `bits`
+    /// inverted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty or any index is >= 512.
+    pub fn bit_flip_after(k: u64, bits: Vec<usize>) -> Self {
+        assert!(!bits.is_empty(), "bit-flip fault needs at least one bit");
+        assert!(
+            bits.iter().all(|&b| b < 512),
+            "bit index out of range: {bits:?}"
+        );
+        FaultPlan {
+            after: k,
+            kind: FaultKind::BitFlip { bits },
+        }
+    }
+
+    /// The counted write index this plan triggers on.
+    pub fn trigger_index(&self) -> u64 {
+        self.after
+    }
+
+    /// The fault fired at the trigger point.
+    pub fn kind(&self) -> &FaultKind {
+        &self.kind
+    }
+
+    pub(crate) fn into_kind(self) -> FaultKind {
+        self.kind
+    }
+}
+
+/// Splices a torn block: the first `words` words from `new`, the rest
+/// from `old`.
+pub(crate) fn tear_block(old: &Block, new: &Block, words: usize) -> Block {
+    let mut out = *old;
+    for i in 0..words.min(Block::WORDS) {
+        out.set_word(i, new.word(i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_capture_trigger_and_kind() {
+        let p = FaultPlan::power_cut_after(7);
+        assert_eq!(p.trigger_index(), 7);
+        assert_eq!(p.kind(), &FaultKind::PowerCut);
+
+        let t = FaultPlan::torn_write_after(3, 5);
+        assert_eq!(t.kind(), &FaultKind::TornWrite { words: 5 });
+
+        let f = FaultPlan::bit_flip_after(0, vec![1, 500]);
+        assert_eq!(f.kind(), &FaultKind::BitFlip { bits: vec![1, 500] });
+    }
+
+    #[test]
+    fn tear_splices_at_word_boundary() {
+        let old = Block::filled(0xAA);
+        let new = Block::filled(0x55);
+        let torn = tear_block(&old, &new, 3);
+        for i in 0..Block::WORDS {
+            let expect = if i < 3 { new.word(i) } else { old.word(i) };
+            assert_eq!(torn.word(i), expect, "word {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "torn write")]
+    fn full_width_tear_rejected() {
+        let _ = FaultPlan::torn_write_after(0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn empty_bit_flip_rejected() {
+        let _ = FaultPlan::bit_flip_after(0, Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_bit_index_rejected() {
+        let _ = FaultPlan::bit_flip_after(0, vec![512]);
+    }
+}

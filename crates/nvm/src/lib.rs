@@ -42,7 +42,9 @@ mod block;
 mod device;
 mod domain;
 mod error;
+mod fault;
 mod pregs;
+mod rng;
 mod stats;
 mod wpq;
 
@@ -51,6 +53,8 @@ pub use block::Block;
 pub use device::NvmDevice;
 pub use domain::{PersistenceDomain, WriteOp};
 pub use error::NvmError;
+pub use fault::{FaultKind, FaultPlan};
 pub use pregs::{CommitPhase, PersistentRegisters, PREG_CAPACITY};
+pub use rng::SplitMix64;
 pub use stats::NvmStats;
 pub use wpq::{Wpq, DEFAULT_WPQ_ENTRIES};

@@ -115,6 +115,15 @@ impl PersistentRegisters {
         }
     }
 
+    /// Wipes the register file unconditionally — used by torn-write fault
+    /// injection to model the group being lost after the tear (the REDO
+    /// log is gone, so the partial persist becomes observable).
+    pub(crate) fn torn_discard(&mut self) {
+        self.entries.clear();
+        self.done_bit = false;
+        self.drained = 0;
+    }
+
     /// Applies crash semantics: a staging group (no `DONE_BIT`) is lost;
     /// a draining group survives in the NVM-backed registers and is
     /// returned for REDO.

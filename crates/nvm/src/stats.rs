@@ -1,6 +1,7 @@
 //! Device access statistics.
 
 use crate::addr::BlockAddr;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 
 /// Counters for device-level reads and writes, broken down by region label.
@@ -8,13 +9,18 @@ use std::collections::BTreeMap;
 /// Used for the paper's endurance discussion (§6.2: strict persistence
 /// costs "at least an additional ten writes per memory write operation",
 /// ASIT only one) and for write-amplification experiments.
+///
+/// Counters live behind interior mutability so that *reads* of the device
+/// can take `&self` — a read does not logically mutate memory, and forcing
+/// `&mut` on every read path infected controllers, recovery code and the
+/// simulator with spurious exclusive borrows.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NvmStats {
-    reads: u64,
-    writes: u64,
-    reads_by_region: BTreeMap<&'static str, u64>,
-    writes_by_region: BTreeMap<&'static str, u64>,
-    max_writes_to_one_block: u64,
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+    reads_by_region: RefCell<BTreeMap<&'static str, u64>>,
+    writes_by_region: RefCell<BTreeMap<&'static str, u64>>,
+    max_writes_to_one_block: Cell<u64>,
 }
 
 impl NvmStats {
@@ -25,53 +31,67 @@ impl NvmStats {
 
     /// Total block reads served by the device.
     pub fn reads(&self) -> u64 {
-        self.reads
+        self.reads.get()
     }
 
     /// Total block writes applied to the device.
     pub fn writes(&self) -> u64 {
-        self.writes
+        self.writes.get()
     }
 
     /// Reads attributed to the region labeled `name` (0 if never seen).
     pub fn reads_in(&self, name: &str) -> u64 {
-        self.reads_by_region.get(name).copied().unwrap_or(0)
+        self.reads_by_region
+            .borrow()
+            .get(name)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Writes attributed to the region labeled `name` (0 if never seen).
     pub fn writes_in(&self, name: &str) -> u64 {
-        self.writes_by_region.get(name).copied().unwrap_or(0)
+        self.writes_by_region
+            .borrow()
+            .get(name)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// The largest number of writes any single block has received —
     /// a simple wear-leveling/endurance indicator.
     pub fn max_writes_to_one_block(&self) -> u64 {
-        self.max_writes_to_one_block
+        self.max_writes_to_one_block.get()
     }
 
     /// Iterates `(region, writes)` pairs in region-name order.
     pub fn writes_by_region(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.writes_by_region.iter().map(|(k, v)| (*k, *v))
+        self.writes_by_region
+            .borrow()
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect::<Vec<_>>()
+            .into_iter()
     }
 
-    pub(crate) fn record_read(&mut self, region: Option<&'static str>) {
-        self.reads += 1;
+    pub(crate) fn record_read(&self, region: Option<&'static str>) {
+        self.reads.set(self.reads.get() + 1);
         if let Some(r) = region {
-            *self.reads_by_region.entry(r).or_insert(0) += 1;
+            *self.reads_by_region.borrow_mut().entry(r).or_insert(0) += 1;
         }
     }
 
     pub(crate) fn record_write(
-        &mut self,
+        &self,
         region: Option<&'static str>,
         writes_to_block: u64,
         _addr: BlockAddr,
     ) {
-        self.writes += 1;
+        self.writes.set(self.writes.get() + 1);
         if let Some(r) = region {
-            *self.writes_by_region.entry(r).or_insert(0) += 1;
+            *self.writes_by_region.borrow_mut().entry(r).or_insert(0) += 1;
         }
-        self.max_writes_to_one_block = self.max_writes_to_one_block.max(writes_to_block);
+        self.max_writes_to_one_block
+            .set(self.max_writes_to_one_block.get().max(writes_to_block));
     }
 
     /// Resets every counter to zero.
@@ -100,5 +120,15 @@ mod tests {
         assert_eq!(s.writes_by_region().count(), 2);
         s.reset();
         assert_eq!(s, NvmStats::new());
+    }
+
+    #[test]
+    fn recording_works_through_shared_references() {
+        let s = NvmStats::new();
+        let shared: &NvmStats = &s;
+        shared.record_read(Some("data"));
+        shared.record_read(Some("data"));
+        assert_eq!(shared.reads(), 2);
+        assert_eq!(shared.reads_in("data"), 2);
     }
 }

@@ -103,7 +103,9 @@ mod tests {
     #[test]
     fn zero_writes_live_forever() {
         let m = EnduranceModel::pcm();
-        assert!(m.ideal_lifetime_years(&result(0, 5, 1e9), 1024).is_infinite());
+        assert!(m
+            .ideal_lifetime_years(&result(0, 5, 1e9), 1024)
+            .is_infinite());
         assert!(m.unleveled_lifetime_years(0, 1e9).is_infinite());
     }
 

@@ -28,17 +28,28 @@ pub struct Scale {
 impl Scale {
     /// Full-figure scale (used by the bench binaries).
     pub fn full() -> Self {
-        Scale { ops: 200_000, warmup_ops: 20_000, seed: 1907 }
+        Scale {
+            ops: 200_000,
+            warmup_ops: 20_000,
+            seed: 1907,
+        }
     }
 
     /// Reduced scale for integration tests.
     pub fn smoke() -> Self {
-        Scale { ops: 3_000, warmup_ops: 500, seed: 1907 }
+        Scale {
+            ops: 3_000,
+            warmup_ops: 500,
+            seed: 1907,
+        }
     }
 }
 
 /// Replays the warm-up prefix (untimed) and returns the measured suffix.
-fn split_trace(trace: &anubis_workloads::Trace, scale: Scale) -> (anubis_workloads::Trace, anubis_workloads::Trace) {
+fn split_trace(
+    trace: &anubis_workloads::Trace,
+    scale: Scale,
+) -> (anubis_workloads::Trace, anubis_workloads::Trace) {
     let warm: anubis_workloads::Trace = anubis_workloads::Trace::new(
         trace.name(),
         trace.ops()[..scale.warmup_ops.min(trace.len())].to_vec(),
@@ -105,7 +116,10 @@ pub fn bonsai_row(
         let mut ctrl = BonsaiController::new(scheme, config);
         results.push(run_measured(&mut ctrl, &trace, model, scale)?);
     }
-    Ok(BonsaiRow { workload: spec.name.to_string(), results })
+    Ok(BonsaiRow {
+        workload: spec.name.to_string(),
+        results,
+    })
 }
 
 /// One workload's results across the SGX schemes (Figure 11 row).
@@ -143,7 +157,10 @@ pub fn sgx_row(
         let mut ctrl = SgxController::new(scheme, config);
         results.push(run_measured(&mut ctrl, &trace, model, scale)?);
     }
-    Ok(SgxRow { workload: spec.name.to_string(), results })
+    Ok(SgxRow {
+        workload: spec.name.to_string(),
+        results,
+    })
 }
 
 /// Geometric mean of normalized overheads across rows (the "GEOMEAN" bar
@@ -215,7 +232,11 @@ pub fn cache_sensitivity(
         let mut asit = SgxController::new(SgxScheme::Asit, &config);
         let r = run_measured(&mut asit, &trace, model, scale)?;
         normalized.push((SgxScheme::Asit.name(), r.normalized_to(&sgx_base)));
-        points.push(SensitivityPoint { cache_bytes: bytes, normalized, write_back_ns: base.total_ns });
+        points.push(SensitivityPoint {
+            cache_bytes: bytes,
+            normalized,
+            write_back_ns: base.total_ns,
+        });
     }
     Ok(points)
 }
@@ -261,19 +282,35 @@ mod tests {
 
     #[test]
     fn bonsai_row_ordering_holds_at_smoke_scale() {
-        let row = bonsai_row(&spec2006::libquantum(), &cfg(), &TimingModel::paper(), Scale::smoke())
-            .unwrap();
+        let row = bonsai_row(
+            &spec2006::libquantum(),
+            &cfg(),
+            &TimingModel::paper(),
+            Scale::smoke(),
+        )
+        .unwrap();
         let n = row.normalized();
         assert_eq!(n[0], 1.0);
         // Strict must be the slowest; every Anubis variant must beat it.
-        assert!(n[1] > n[3] && n[1] > n[4], "strict {} vs agit {} {}", n[1], n[3], n[4]);
+        assert!(
+            n[1] > n[3] && n[1] > n[4],
+            "strict {} vs agit {} {}",
+            n[1],
+            n[3],
+            n[4]
+        );
         assert!(n[2] >= 0.99, "osiris ~ baseline: {}", n[2]);
     }
 
     #[test]
     fn sgx_row_ordering_holds_at_smoke_scale() {
-        let row =
-            sgx_row(&spec2006::lbm(), &cfg(), &TimingModel::paper(), Scale::smoke()).unwrap();
+        let row = sgx_row(
+            &spec2006::lbm(),
+            &cfg(),
+            &TimingModel::paper(),
+            Scale::smoke(),
+        )
+        .unwrap();
         let n = row.normalized();
         assert_eq!(n[0], 1.0);
         assert!(n[1] > n[3], "strict {} must exceed asit {}", n[1], n[3]);

@@ -40,8 +40,13 @@ mod report;
 mod timing;
 
 pub mod experiments;
+pub mod fault;
 
 pub use endurance::EnduranceModel;
 pub use engine::{payload, run_trace, RunResult};
+pub use fault::{
+    bit_flip_sweep, count_persist_writes, op_payload, power_cut_sweep, run_with_fault,
+    torn_write_sweep, CampaignReport, FaultVerdict, ScriptOp,
+};
 pub use report::Table;
 pub use timing::TimingModel;

@@ -74,8 +74,7 @@ impl Channel {
         // pipeline across banks.
         if cost.nvm_reads > 0 {
             let start = self.chan_free.max(self.now);
-            let latency =
-                model.read_ns + (cost.nvm_reads as f64 - 1.0) * model.read_ns / banks;
+            let latency = model.read_ns + (cost.nvm_reads as f64 - 1.0) * model.read_ns / banks;
             self.chan_free = start + cost.nvm_reads as f64 * model.read_ns / banks;
             let done = start + latency;
             let stall = done - self.now;
@@ -110,11 +109,19 @@ mod tests {
     use super::*;
 
     fn cost(r: u32, w: u32, h: u32) -> OpCost {
-        OpCost { nvm_reads: r, nvm_writes: w, hash_ops: h, bg_hash_ops: 0 }
+        OpCost {
+            nvm_reads: r,
+            nvm_writes: w,
+            hash_ops: h,
+            bg_hash_ops: 0,
+        }
     }
 
     fn serial() -> TimingModel {
-        TimingModel { banks: 1, ..TimingModel::paper() }
+        TimingModel {
+            banks: 1,
+            ..TimingModel::paper()
+        }
     }
 
     #[test]
@@ -128,7 +135,10 @@ mod tests {
 
     #[test]
     fn banks_pipeline_extra_reads() {
-        let m = TimingModel { banks: 4, ..serial() };
+        let m = TimingModel {
+            banks: 4,
+            ..serial()
+        };
         let mut ch = Channel::default();
         let lat = ch.execute(cost(5, 0, 0), &m);
         assert!((lat - (60.0 + 4.0 * 15.0)).abs() < 1e-9, "got {lat}");
@@ -136,7 +146,10 @@ mod tests {
 
     #[test]
     fn writes_are_posted_until_queue_fills() {
-        let m = TimingModel { write_queue_depth: 2, ..serial() };
+        let m = TimingModel {
+            write_queue_depth: 2,
+            ..serial()
+        };
         let mut ch = Channel::default();
         // Two writes fit in the queue: no stall.
         let lat = ch.execute(cost(0, 2, 0), &m);
@@ -164,7 +177,10 @@ mod tests {
         ch.execute(cost(0, 4, 0), &m);
         ch.advance(10_000.0); // long compute gap
         let lat = ch.execute(cost(1, 0, 0), &m);
-        assert!((lat - 60.0).abs() < 1e-9, "channel drained during gap: {lat}");
+        assert!(
+            (lat - 60.0).abs() < 1e-9,
+            "channel drained during gap: {lat}"
+        );
     }
 
     #[test]

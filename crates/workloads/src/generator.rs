@@ -2,9 +2,7 @@
 
 use crate::trace::{MemOp, OpKind, Trace};
 use crate::zipf::Zipf;
-use anubis_nvm::BlockAddr;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use anubis_nvm::{BlockAddr, SplitMix64};
 
 /// Lines per 4 KiB page.
 const LINES_PER_PAGE: u64 = 64;
@@ -124,7 +122,7 @@ impl TraceGenerator {
 
     /// Generates `n_ops` operations deterministically from `seed`.
     pub fn generate(&self, n_ops: usize, seed: u64) -> Trace {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ fxhash(self.spec.name));
+        let mut rng = SplitMix64::new(seed ^ fxhash(self.spec.name));
         let footprint = self.effective_footprint();
         let n_pages = (footprint / LINES_PER_PAGE).max(1);
         let zipf = Zipf::new(n_pages, self.spec.zipf_exponent);
@@ -139,7 +137,7 @@ impl TraceGenerator {
                 && !recent_writes.is_empty()
                 && rng.gen_bool(self.spec.rewrite_fraction)
             {
-                recent_writes[rng.gen_range(0..recent_writes.len())]
+                recent_writes[rng.gen_index(recent_writes.len())]
             } else if rng.gen_bool(self.spec.sequential_fraction) {
                 stream_pos = (stream_pos + 1) % footprint;
                 stream_pos
@@ -155,7 +153,7 @@ impl TraceGenerator {
                 recent_writes.push(addr);
             }
             // Exponential inter-arrival gap.
-            let u: f64 = rng.gen_range(1e-9..1.0);
+            let u: f64 = rng.next_f64().max(1e-9);
             let gap = (-self.spec.mean_gap_ns * u.ln()).min(u32::MAX as f64) as u32;
             ops.push(MemOp {
                 kind: if is_read { OpKind::Read } else { OpKind::Write },
@@ -203,7 +201,11 @@ mod tests {
     fn read_fraction_respected() {
         let g = TraceGenerator::new(spec().read_fraction(0.9), 1 << 30);
         let t = g.generate(20_000, 3);
-        assert!((t.read_fraction() - 0.9).abs() < 0.02, "got {}", t.read_fraction());
+        assert!(
+            (t.read_fraction() - 0.9).abs() < 0.02,
+            "got {}",
+            t.read_fraction()
+        );
     }
 
     #[test]

@@ -102,7 +102,11 @@ pub fn read_trace<R: BufRead>(reader: R) -> Result<Trace, ParseTraceError> {
             };
             let addr: u64 = parts.next()?.parse().ok()?;
             let gap: u32 = parts.next()?.parse().ok()?;
-            Some(MemOp { kind, addr: BlockAddr::new(addr), gap_ns: gap })
+            Some(MemOp {
+                kind,
+                addr: BlockAddr::new(addr),
+                gap_ns: gap,
+            })
         })();
         match parsed {
             Some(op) => ops.push(op),

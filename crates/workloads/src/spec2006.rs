@@ -183,7 +183,10 @@ mod tests {
         let lq = wf(libquantum());
         let m = wf(mcf());
         let l = wf(lbm());
-        assert!(lq > 0.5 && l > 0.5, "libquantum/lbm are write-heavy ({lq}, {l})");
+        assert!(
+            lq > 0.5 && l > 0.5,
+            "libquantum/lbm are write-heavy ({lq}, {l})"
+        );
         assert!(m < 0.12, "mcf writes rarely ({m})");
         for s in all() {
             if s.name != "lbm" {

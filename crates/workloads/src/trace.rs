@@ -26,12 +26,20 @@ pub struct MemOp {
 impl MemOp {
     /// A read op.
     pub fn read(addr: BlockAddr, gap_ns: u32) -> Self {
-        MemOp { kind: OpKind::Read, addr, gap_ns }
+        MemOp {
+            kind: OpKind::Read,
+            addr,
+            gap_ns,
+        }
     }
 
     /// A write op.
     pub fn write(addr: BlockAddr, gap_ns: u32) -> Self {
-        MemOp { kind: OpKind::Write, addr, gap_ns }
+        MemOp {
+            kind: OpKind::Write,
+            addr,
+            gap_ns,
+        }
     }
 
     /// Whether this is a write.
@@ -50,7 +58,10 @@ pub struct Trace {
 impl Trace {
     /// Creates a trace from parts.
     pub fn new(name: impl Into<String>, ops: Vec<MemOp>) -> Self {
-        Trace { name: name.into(), ops }
+        Trace {
+            name: name.into(),
+            ops,
+        }
     }
 
     /// The workload name (e.g. `"mcf"`).
@@ -163,7 +174,9 @@ mod stat_tests {
 
     #[test]
     fn iterator_traits_compose() {
-        let ops: Vec<MemOp> = (0..10).map(|i| MemOp::write(BlockAddr::new(i), 5)).collect();
+        let ops: Vec<MemOp> = (0..10)
+            .map(|i| MemOp::write(BlockAddr::new(i), 5))
+            .collect();
         let t = Trace::new("x", ops);
         let gaps: u64 = t.iter().map(|o| o.gap_ns as u64).sum();
         assert_eq!(gaps, 50);

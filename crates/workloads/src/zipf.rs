@@ -1,6 +1,6 @@
 //! Zipf-distributed sampling for page-popularity locality.
 
-use rand::Rng;
+use anubis_nvm::SplitMix64;
 
 /// A Zipf(α) sampler over ranks `0..n` via a precomputed CDF.
 ///
@@ -14,9 +14,9 @@ use rand::Rng;
 ///
 /// ```
 /// use anubis_workloads::Zipf;
-/// use rand::SeedableRng;
+/// use anubis_nvm::SplitMix64;
 /// let z = Zipf::new(1000, 1.0);
-/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let mut rng = SplitMix64::new(1);
 /// let r = z.sample(&mut rng);
 /// assert!(r < 1000);
 /// ```
@@ -39,7 +39,10 @@ impl Zipf {
     /// Panics if `n == 0` or `alpha` is negative or non-finite.
     pub fn new(n: u64, alpha: f64) -> Self {
         assert!(n > 0, "Zipf support must be nonempty");
-        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and >= 0");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "alpha must be finite and >= 0"
+        );
         let buckets = n.min(Self::MAX_BUCKETS);
         let mut cdf = Vec::with_capacity(buckets as usize);
         let mut acc = 0.0f64;
@@ -60,9 +63,12 @@ impl Zipf {
     }
 
     /// Draws one rank in `0..n`, lower ranks being more popular.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        let u: f64 = rng.gen();
-        let bucket = match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        let u: f64 = rng.next_f64();
+        let bucket = match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
             Ok(i) | Err(i) => i.min(self.cdf.len() - 1) as u64,
         };
         if self.n == self.buckets {
@@ -79,13 +85,11 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
 
     #[test]
     fn samples_in_range() {
         let z = Zipf::new(100, 1.2);
-        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut rng = SplitMix64::new(7);
         for _ in 0..10_000 {
             assert!(z.sample(&mut rng) < 100);
         }
@@ -94,7 +98,7 @@ mod tests {
     #[test]
     fn skew_favors_low_ranks() {
         let z = Zipf::new(1000, 1.0);
-        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut rng = SplitMix64::new(7);
         let mut low = 0u32;
         let total = 20_000;
         for _ in 0..total {
@@ -109,7 +113,7 @@ mod tests {
     #[test]
     fn alpha_zero_is_roughly_uniform() {
         let z = Zipf::new(10, 0.0);
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = SplitMix64::new(3);
         let mut counts = [0u32; 10];
         for _ in 0..50_000 {
             counts[z.sample(&mut rng) as usize] += 1;
@@ -124,7 +128,7 @@ mod tests {
         let n = 1u64 << 22;
         let z = Zipf::new(n, 0.9);
         assert_eq!(z.n(), n);
-        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut rng = SplitMix64::new(9);
         for _ in 0..1000 {
             assert!(z.sample(&mut rng) < n);
         }

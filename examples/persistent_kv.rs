@@ -48,9 +48,7 @@ impl KvStore {
     /// and the counter's Merkle path.
     fn get(&mut self, key: u64) -> Result<Option<[u8; 48]>, MemError> {
         let block = self.memory.read(self.slot_of(key))?;
-        if block.word(0) != key
-            || block.word(7) != key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        {
+        if block.word(0) != key || block.word(7) != key.wrapping_mul(0x9E37_79B9_7F4A_7C15) {
             return Ok(None);
         }
         let mut out = [0u8; 48];

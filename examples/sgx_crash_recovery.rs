@@ -13,9 +13,7 @@
 //! cargo run --example sgx_crash_recovery
 //! ```
 
-use anubis::{
-    AnubisConfig, DataAddr, MemoryController, RecoveryError, SgxController, SgxScheme,
-};
+use anubis::{AnubisConfig, DataAddr, MemoryController, RecoveryError, SgxController, SgxScheme};
 use anubis_nvm::Block;
 
 fn workload(memory: &mut SgxController) {

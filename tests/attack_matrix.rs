@@ -1,6 +1,7 @@
 //! Tamper matrix: flip bits in every NVM region (data, side, counters,
 //! tree nodes, shadow tables) under every scheme, and check the threat
-//! model holds — every attack is detected, at read time or recovery time.
+//! model holds — single-bit faults on ECC-protected data are repaired,
+//! everything beyond that is detected, at read time or recovery time.
 
 use anubis::{
     AnubisConfig, BonsaiController, BonsaiScheme, DataAddr, MemError, MemoryController,
@@ -15,7 +16,8 @@ fn cfg() -> AnubisConfig {
 fn warmed_bonsai(scheme: BonsaiScheme) -> BonsaiController {
     let mut c = BonsaiController::new(scheme, &cfg());
     for i in 0..50u64 {
-        c.write(DataAddr::new(i * 3), Block::filled(i as u8)).unwrap();
+        c.write(DataAddr::new(i * 3), Block::filled(i as u8))
+            .unwrap();
     }
     c.shutdown_flush().unwrap();
     c
@@ -24,7 +26,8 @@ fn warmed_bonsai(scheme: BonsaiScheme) -> BonsaiController {
 fn warmed_sgx(scheme: SgxScheme) -> SgxController {
     let mut c = SgxController::new(scheme, &cfg());
     for i in 0..50u64 {
-        c.write(DataAddr::new(i * 3), Block::filled(i as u8)).unwrap();
+        c.write(DataAddr::new(i * 3), Block::filled(i as u8))
+            .unwrap();
     }
     c.shutdown_flush().unwrap();
     c
@@ -35,30 +38,56 @@ fn warmed_sgx(scheme: SgxScheme) -> SgxController {
 fn cold_read_bonsai(c: &mut BonsaiController, addr: DataAddr) -> Result<Block, MemError> {
     // Crash + recover re-cold-starts caches while keeping device state.
     c.crash();
-    c.recover().map_err(|_| MemError::Crypto(anubis_crypto::CryptoError::DataMacMismatch))?;
+    c.recover()
+        .map_err(|_| MemError::Crypto(anubis_crypto::CryptoError::DataMacMismatch))?;
     c.read(addr)
 }
 
 #[test]
-fn data_region_tamper_detected_all_bonsai_schemes() {
+fn data_region_tamper_corrected_then_detected_all_bonsai_schemes() {
     for scheme in BonsaiScheme::all() {
         let mut c = warmed_bonsai(scheme);
         let dev = c.layout().data_addr(DataAddr::new(3));
+        // A single flipped ciphertext bit is within SEC-DED's correction
+        // budget: the read transparently repairs it.
         c.domain_mut().device_mut().tamper_flip_bit(dev, 77);
+        assert_eq!(
+            c.read(DataAddr::new(3)).unwrap(),
+            Block::filled(1),
+            "{}: single flip must be corrected",
+            scheme.name()
+        );
+        assert!(
+            c.ecc_corrections() > 0,
+            "{}: correction must be counted",
+            scheme.name()
+        );
+        // A second flip in the same 64-bit word exceeds it: typed error,
+        // never wrong data.
+        c.domain_mut().device_mut().tamper_flip_bit(dev, 78);
         assert!(
             c.read(DataAddr::new(3)).is_err(),
-            "{}: tampered data read must fail",
+            "{}: double flip must be detected",
             scheme.name()
         );
     }
 }
 
 #[test]
-fn side_region_tamper_detected() {
+fn side_region_tamper_corrected_then_detected() {
     let mut c = warmed_bonsai(BonsaiScheme::AgitPlus);
     let side = c.layout().side_addr(DataAddr::new(6));
+    // SEC-DED protects its own check bits: one flip in the stored ECC
+    // word decodes as a check-bit error and is absorbed.
     c.domain_mut().device_mut().tamper_flip_bit(side, 5);
-    assert!(c.read(DataAddr::new(6)).is_err(), "tampered ECC/MAC must fail");
+    assert_eq!(
+        c.read(DataAddr::new(6)).unwrap(),
+        Block::filled(2),
+        "flipped check bit must be absorbed"
+    );
+    // The MAC (side word 1) has no such slack: any flip is detected.
+    c.domain_mut().device_mut().tamper_flip_bit(side, 64 + 5);
+    assert!(c.read(DataAddr::new(6)).is_err(), "tampered MAC must fail");
 }
 
 #[test]
@@ -132,7 +161,16 @@ fn sgx_data_and_node_tampering_detected() {
     for scheme in SgxScheme::all() {
         let mut c = warmed_sgx(scheme);
         let dev = c.layout().data_addr(DataAddr::new(3));
+        // One flip: repaired by SEC-DED. Two in the same word: detected.
         c.domain_mut().device_mut().tamper_flip_bit(dev, 123);
+        assert_eq!(
+            c.read(DataAddr::new(3)).unwrap(),
+            Block::filled(1),
+            "{}: single flip must be corrected",
+            scheme.name()
+        );
+        assert!(c.ecc_corrections() > 0, "{}", scheme.name());
+        c.domain_mut().device_mut().tamper_flip_bit(dev, 124);
         assert!(c.read(DataAddr::new(3)).is_err(), "{}", scheme.name());
     }
     // Interior node tamper, checked on cold fetch.
@@ -179,7 +217,8 @@ fn agit_shadow_table_lies_caught_by_root() {
     // misdirects recovery, which the final root check must catch.
     let mut c = BonsaiController::new(BonsaiScheme::AgitRead, &cfg());
     for i in 0..30u64 {
-        c.write(DataAddr::new(i * 64), Block::filled(i as u8)).unwrap();
+        c.write(DataAddr::new(i * 64), Block::filled(i as u8))
+            .unwrap();
     }
     c.crash();
     // Zero out the whole SCT: recovery will "fix" nothing.

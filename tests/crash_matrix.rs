@@ -13,7 +13,16 @@ use anubis_nvm::Block;
 use std::collections::HashMap;
 
 fn payload(op: u64) -> Block {
-    Block::from_words([op, op * 3, !op, op << 9, op ^ 0xFEED, op + 1, op.rotate_left(7), 0x42])
+    Block::from_words([
+        op,
+        op * 3,
+        !op,
+        op << 9,
+        op ^ 0xFEED,
+        op + 1,
+        op.rotate_left(7),
+        0x42,
+    ])
 }
 
 /// The scripted workload: a mix of overwrites, spread, and read traffic.
@@ -63,19 +72,28 @@ where
 #[test]
 fn osiris_survives_every_crash_point() {
     let cfg = AnubisConfig::small_test();
-    run_crash_matrix(|| BonsaiController::new(BonsaiScheme::Osiris, &cfg), "osiris");
+    run_crash_matrix(
+        || BonsaiController::new(BonsaiScheme::Osiris, &cfg),
+        "osiris",
+    );
 }
 
 #[test]
 fn agit_read_survives_every_crash_point() {
     let cfg = AnubisConfig::small_test();
-    run_crash_matrix(|| BonsaiController::new(BonsaiScheme::AgitRead, &cfg), "agit-read");
+    run_crash_matrix(
+        || BonsaiController::new(BonsaiScheme::AgitRead, &cfg),
+        "agit-read",
+    );
 }
 
 #[test]
 fn agit_plus_survives_every_crash_point() {
     let cfg = AnubisConfig::small_test();
-    run_crash_matrix(|| BonsaiController::new(BonsaiScheme::AgitPlus, &cfg), "agit-plus");
+    run_crash_matrix(
+        || BonsaiController::new(BonsaiScheme::AgitPlus, &cfg),
+        "agit-plus",
+    );
 }
 
 #[test]
@@ -118,9 +136,12 @@ fn repeated_crashes_with_interleaved_work() {
             model.insert(addr, b);
         }
         bonsai.crash();
-        bonsai.recover().unwrap_or_else(|e| panic!("bonsai round {round}: {e}"));
+        bonsai
+            .recover()
+            .unwrap_or_else(|e| panic!("bonsai round {round}: {e}"));
         sgx.crash();
-        sgx.recover().unwrap_or_else(|e| panic!("sgx round {round}: {e}"));
+        sgx.recover()
+            .unwrap_or_else(|e| panic!("sgx round {round}: {e}"));
         for (addr, expect) in &model {
             assert_eq!(bonsai.read(DataAddr::new(*addr)).unwrap(), *expect);
             assert_eq!(sgx.read(DataAddr::new(*addr)).unwrap(), *expect);
@@ -144,9 +165,46 @@ fn crash_during_page_reencryption_recovers() {
         }
         // Overflow happened inside the loop (128th increment).
         ctrl.crash();
-        ctrl.recover().unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
+        ctrl.recover()
+            .unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
         assert_eq!(ctrl.read(hot).unwrap(), payload(127), "{}", scheme.name());
         assert_eq!(ctrl.read(cold).unwrap(), payload(999), "{}", scheme.name());
+    }
+}
+
+#[test]
+fn intra_op_sweep_mode() {
+    // Sweep mode: instead of crashing at op boundaries, cut power after
+    // individual device-level writes *inside* operations, via the
+    // fault-injection campaigns in `anubis_sim::fault`. A strided subset
+    // keeps this cheap next to the matrices above; set
+    // `ANUBIS_CRASH_SWEEP=1` for every injection point (the full sweep
+    // also runs, per scheme, in `tests/fault_matrix.rs`).
+    let stride = if std::env::var_os("ANUBIS_CRASH_SWEEP").is_some() {
+        1
+    } else {
+        7
+    };
+    let cfg = AnubisConfig::small_test();
+    let ops = script(48);
+    for report in [
+        anubis_sim::power_cut_sweep(
+            || BonsaiController::new(BonsaiScheme::AgitPlus, &cfg),
+            &ops,
+            stride,
+        ),
+        anubis_sim::power_cut_sweep(|| SgxController::new(SgxScheme::Asit, &cfg), &ops, stride),
+    ] {
+        assert!(
+            report.injection_points > 0,
+            "{}: no faults fired",
+            report.scheme
+        );
+        assert_eq!(
+            report.recovered, report.injection_points,
+            "{}: every intra-op power cut must recover",
+            report.scheme
+        );
     }
 }
 

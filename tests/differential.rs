@@ -7,9 +7,7 @@ use anubis::{
     AnubisConfig, BonsaiController, BonsaiScheme, DataAddr, MemoryController, SgxController,
     SgxScheme,
 };
-use anubis_nvm::Block;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use anubis_nvm::{Block, SplitMix64};
 
 #[derive(Clone, Copy, Debug)]
 enum Step {
@@ -19,10 +17,10 @@ enum Step {
 }
 
 fn random_script(seed: u64, len: usize) -> Vec<Step> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     (0..len)
         .map(|_| match rng.gen_range(0..10) {
-            0..=4 => Step::Write(rng.gen_range(0..600), rng.gen()),
+            0..=4 => Step::Write(rng.gen_range(0..600), rng.next_u64()),
             5..=8 => Step::Read(rng.gen_range(0..600)),
             _ => Step::Crash,
         })
@@ -49,12 +47,14 @@ fn run_script<C: MemoryController>(mut ctrl: C, script: &[Step]) -> Vec<(u64, Bl
     for step in script {
         match step {
             Step::Write(addr, tag) => {
-                ctrl.write(DataAddr::new(*addr), payload(*tag)).expect("write");
+                ctrl.write(DataAddr::new(*addr), payload(*tag))
+                    .expect("write");
                 touched.insert(*addr);
             }
             Step::Read(addr) => {
                 if touched.contains(addr) {
-                    ctrl.read(DataAddr::new(*addr)).expect("read of written line");
+                    ctrl.read(DataAddr::new(*addr))
+                        .expect("read of written line");
                 }
             }
             Step::Crash => {

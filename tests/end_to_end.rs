@@ -56,7 +56,11 @@ fn figure10_ordering_reproduces() {
     // The paper's qualitative result at reduced scale: strict persistence
     // is by far the slowest; Osiris is nearly free; AGIT-Plus is between
     // Osiris and AGIT-Read.
-    let scale = Scale { ops: 4_000, warmup_ops: 500, seed: 11 };
+    let scale = Scale {
+        ops: 4_000,
+        warmup_ops: 500,
+        seed: 11,
+    };
     let model = TimingModel::paper();
     let mut norms: Vec<Vec<f64>> = vec![Vec::new(); 5];
     for spec in [spec2006::mcf(), spec2006::lbm(), spec2006::libquantum()] {
@@ -70,12 +74,21 @@ fn figure10_ordering_reproduces() {
     assert!(avg[1] > avg[3], "strict {} > agit-read {}", avg[1], avg[3]);
     assert!(avg[1] > avg[4], "strict {} > agit-plus {}", avg[1], avg[4]);
     assert!(avg[2] < 1.1, "osiris near baseline: {}", avg[2]);
-    assert!(avg[4] <= avg[3] + 0.02, "plus {} <= read {}", avg[4], avg[3]);
+    assert!(
+        avg[4] <= avg[3] + 0.02,
+        "plus {} <= read {}",
+        avg[4],
+        avg[3]
+    );
 }
 
 #[test]
 fn figure11_ordering_reproduces() {
-    let scale = Scale { ops: 4_000, warmup_ops: 500, seed: 11 };
+    let scale = Scale {
+        ops: 4_000,
+        warmup_ops: 500,
+        seed: 11,
+    };
     let model = TimingModel::paper();
     let row = sgx_row(&spec2006::libquantum(), &cfg(), &model, scale).unwrap();
     let n = row.normalized();
@@ -87,7 +100,11 @@ fn figure11_ordering_reproduces() {
 fn mcf_penalizes_agit_read_most() {
     // Figure 10's signature data point: AGIT-Read's shadow-on-fill policy
     // hurts exactly the read-intensive workload.
-    let scale = Scale { ops: 6_000, warmup_ops: 500, seed: 3 };
+    let scale = Scale {
+        ops: 6_000,
+        warmup_ops: 500,
+        seed: 3,
+    };
     let model = TimingModel::paper();
     let mcf = bonsai_row(&spec2006::mcf(), &cfg(), &model, scale).unwrap();
     let n = mcf.normalized();
@@ -143,7 +160,10 @@ fn write_amplification_ordering_matches_section_6_2() {
     }
     let wb = amp(&results[0]);
     let strict = amp(&results[1]);
-    assert!(strict >= wb + 3.0, "strict adds the whole tree path: {strict} vs {wb}");
+    assert!(
+        strict >= wb + 3.0,
+        "strict adds the whole tree path: {strict} vs {wb}"
+    );
     let mut sgx_results = Vec::new();
     for scheme in SgxScheme::all() {
         let mut ctrl = SgxController::new(scheme, &cfg());

@@ -1,16 +1,16 @@
 //! System-level property tests: random operation scripts with random
-//! crash points against a plain HashMap model.
+//! crash points against a plain HashMap model. Driven by the in-tree
+//! [`SplitMix64`] generator; failure messages carry the seed.
 
 use anubis::{
     AnubisConfig, BonsaiController, BonsaiScheme, DataAddr, MemoryController, SgxController,
     SgxScheme,
 };
-use anubis_nvm::Block;
-use proptest::prelude::*;
+use anubis_nvm::{Block, SplitMix64};
 use std::collections::HashMap;
 
-fn block_strategy() -> impl Strategy<Value = Block> {
-    prop::array::uniform8(any::<u64>()).prop_map(Block::from_words)
+fn rand_block(rng: &mut SplitMix64) -> Block {
+    Block::from_words(core::array::from_fn(|_| rng.next_u64()))
 }
 
 #[derive(Clone, Debug)]
@@ -20,75 +20,91 @@ enum SysOp {
     CrashRecover,
 }
 
-fn sys_op() -> impl Strategy<Value = SysOp> {
-    prop_oneof![
-        4 => ((0u64..400), block_strategy()).prop_map(|(a, b)| SysOp::Write(a, b)),
-        3 => (0u64..400).prop_map(SysOp::Read),
-        1 => Just(SysOp::CrashRecover),
-    ]
+/// Weighted op mix matching the original distribution: 4 writes : 3
+/// reads : 1 crash.
+fn rand_script(rng: &mut SplitMix64, max_len: u64) -> Vec<SysOp> {
+    let len = rng.gen_range(1..max_len) as usize;
+    (0..len)
+        .map(|_| match rng.gen_range(0..8) {
+            0..=3 => SysOp::Write(rng.gen_range(0..400), rand_block(rng)),
+            4..=6 => SysOp::Read(rng.gen_range(0..400)),
+            _ => SysOp::CrashRecover,
+        })
+        .collect()
 }
 
-fn check_script<C: MemoryController>(mut ctrl: C, script: Vec<SysOp>) -> Result<(), TestCaseError> {
+fn check_script<C: MemoryController>(mut ctrl: C, script: Vec<SysOp>, seed: u64) {
     let mut model: HashMap<u64, Block> = HashMap::new();
     for op in script {
         match op {
             SysOp::Write(a, b) => {
                 ctrl.write(DataAddr::new(a), b)
-                    .map_err(|e| TestCaseError::fail(format!("write: {e}")))?;
+                    .unwrap_or_else(|e| panic!("write: {e} (seed {seed})"));
                 model.insert(a, b);
             }
             SysOp::Read(a) => {
                 let got = ctrl
                     .read(DataAddr::new(a))
-                    .map_err(|e| TestCaseError::fail(format!("read: {e}")))?;
+                    .unwrap_or_else(|e| panic!("read: {e} (seed {seed})"));
                 let expect = model.get(&a).copied().unwrap_or_default();
-                prop_assert_eq!(got, expect, "read {} mid-script", a);
+                assert_eq!(got, expect, "read {a} mid-script (seed {seed})");
             }
             SysOp::CrashRecover => {
                 ctrl.crash();
                 ctrl.recover()
-                    .map_err(|e| TestCaseError::fail(format!("recover: {e}")))?;
+                    .unwrap_or_else(|e| panic!("recover: {e} (seed {seed})"));
             }
         }
     }
     for (a, b) in &model {
         let got = ctrl
             .read(DataAddr::new(*a))
-            .map_err(|e| TestCaseError::fail(format!("final read: {e}")))?;
-        prop_assert_eq!(got, *b, "final read {}", a);
+            .unwrap_or_else(|e| panic!("final read: {e} (seed {seed})"));
+        assert_eq!(got, *b, "final read {a} (seed {seed})");
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// AGIT-Plus behaves exactly like a plain map under arbitrary scripts
-    /// with crashes anywhere.
-    #[test]
-    fn agit_plus_is_a_crash_consistent_map(script in prop::collection::vec(sys_op(), 1..80)) {
+/// AGIT-Plus behaves exactly like a plain map under arbitrary scripts
+/// with crashes anywhere.
+#[test]
+fn agit_plus_is_a_crash_consistent_map() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::new(seed);
+        let script = rand_script(&mut rng, 80);
         let ctrl = BonsaiController::new(BonsaiScheme::AgitPlus, &AnubisConfig::small_test());
-        check_script(ctrl, script)?;
+        check_script(ctrl, script, seed);
     }
+}
 
-    /// Same for AGIT-Read.
-    #[test]
-    fn agit_read_is_a_crash_consistent_map(script in prop::collection::vec(sys_op(), 1..60)) {
+/// Same for AGIT-Read.
+#[test]
+fn agit_read_is_a_crash_consistent_map() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::new(seed ^ 0xA617);
+        let script = rand_script(&mut rng, 60);
         let ctrl = BonsaiController::new(BonsaiScheme::AgitRead, &AnubisConfig::small_test());
-        check_script(ctrl, script)?;
+        check_script(ctrl, script, seed);
     }
+}
 
-    /// Same for ASIT on the SGX-style tree.
-    #[test]
-    fn asit_is_a_crash_consistent_map(script in prop::collection::vec(sys_op(), 1..80)) {
+/// Same for ASIT on the SGX-style tree.
+#[test]
+fn asit_is_a_crash_consistent_map() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::new(seed ^ 0xA517);
+        let script = rand_script(&mut rng, 80);
         let ctrl = SgxController::new(SgxScheme::Asit, &AnubisConfig::small_test());
-        check_script(ctrl, script)?;
+        check_script(ctrl, script, seed);
     }
+}
 
-    /// Osiris too (O(memory) recovery, but still correct).
-    #[test]
-    fn osiris_is_a_crash_consistent_map(script in prop::collection::vec(sys_op(), 1..40)) {
+/// Osiris too (O(memory) recovery, but still correct).
+#[test]
+fn osiris_is_a_crash_consistent_map() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::new(seed ^ 0x0515);
+        let script = rand_script(&mut rng, 40);
         let ctrl = BonsaiController::new(BonsaiScheme::Osiris, &AnubisConfig::small_test());
-        check_script(ctrl, script)?;
+        check_script(ctrl, script, seed);
     }
 }
