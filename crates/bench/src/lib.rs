@@ -78,6 +78,130 @@ pub fn time_case_batched<S>(
     println!("{name:<32} {ns:>12.1} ns/op");
 }
 
+/// Minimal JSON document builder for the machine-readable baseline files
+/// (`BENCH_recovery.json`, `BENCH_throughput.json`). The workspace builds
+/// offline, so no serde — this covers exactly the shapes the harnesses
+/// emit.
+pub mod json {
+    /// A JSON value.
+    #[derive(Clone, Debug)]
+    pub enum Json {
+        /// `null`.
+        Null,
+        /// A boolean.
+        Bool(bool),
+        /// An integer (emitted without a decimal point).
+        Int(u64),
+        /// A float (emitted with enough digits to round-trip).
+        Num(f64),
+        /// A string (escaped on render).
+        Str(String),
+        /// An array.
+        Arr(Vec<Json>),
+        /// An object with insertion-ordered keys.
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        /// Convenience: an object from `(key, value)` pairs.
+        pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+            Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        }
+
+        /// Renders the value as pretty-printed JSON with a trailing newline.
+        pub fn render(&self) -> String {
+            let mut out = String::new();
+            self.write(&mut out, 0);
+            out.push('\n');
+            out
+        }
+
+        fn write(&self, out: &mut String, depth: usize) {
+            let pad = "  ".repeat(depth + 1);
+            let close = "  ".repeat(depth);
+            match self {
+                Json::Null => out.push_str("null"),
+                Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Json::Int(n) => out.push_str(&n.to_string()),
+                Json::Num(x) => {
+                    if x.is_finite() {
+                        // `{:?}` prints the shortest representation that
+                        // round-trips, and always includes a decimal point.
+                        out.push_str(&format!("{x:?}"));
+                    } else {
+                        out.push_str("null");
+                    }
+                }
+                Json::Str(s) => {
+                    out.push('"');
+                    for c in s.chars() {
+                        match c {
+                            '"' => out.push_str("\\\""),
+                            '\\' => out.push_str("\\\\"),
+                            '\n' => out.push_str("\\n"),
+                            '\t' => out.push_str("\\t"),
+                            c if (c as u32) < 0x20 => {
+                                out.push_str(&format!("\\u{:04x}", c as u32));
+                            }
+                            c => out.push(c),
+                        }
+                    }
+                    out.push('"');
+                }
+                Json::Arr(items) => {
+                    if items.is_empty() {
+                        out.push_str("[]");
+                        return;
+                    }
+                    out.push_str("[\n");
+                    for (i, item) in items.iter().enumerate() {
+                        out.push_str(&pad);
+                        item.write(out, depth + 1);
+                        out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                    }
+                    out.push_str(&close);
+                    out.push(']');
+                }
+                Json::Obj(pairs) => {
+                    if pairs.is_empty() {
+                        out.push_str("{}");
+                        return;
+                    }
+                    out.push_str("{\n");
+                    for (i, (k, v)) in pairs.iter().enumerate() {
+                        out.push_str(&pad);
+                        Json::Str(k.clone()).write(out, depth + 1);
+                        out.push_str(": ");
+                        v.write(out, depth + 1);
+                        out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+                    }
+                    out.push_str(&close);
+                    out.push('}');
+                }
+            }
+        }
+    }
+}
+
+/// The host's available parallelism, recorded in the baseline JSON so a
+/// speedup of ~1x on a single-core runner is interpretable.
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parses `--out PATH` from the CLI, defaulting to `default` in the
+/// current directory.
+pub fn out_path_from_args(default: &str) -> std::path::PathBuf {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|pos| args.get(pos + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from(default))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +212,24 @@ mod tests {
         std::env::remove_var("ANUBIS_SMOKE");
         let s = scale_from_args();
         assert!(s.ops >= Scale::smoke().ops);
+    }
+
+    #[test]
+    fn json_renders_stable_shapes() {
+        use json::Json;
+        let doc = Json::obj(vec![
+            ("name", Json::Str("osiris \"sweep\"".into())),
+            ("lanes", Json::Int(4)),
+            ("speedup", Json::Num(1.5)),
+            ("identical", Json::Bool(true)),
+            ("empty", Json::Arr(vec![])),
+            ("list", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+        ]);
+        let text = doc.render();
+        assert!(text.contains("\"name\": \"osiris \\\"sweep\\\"\""));
+        assert!(text.contains("\"speedup\": 1.5"));
+        assert!(text.contains("\"empty\": []"));
+        assert!(text.ends_with("}\n"));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
     }
 }

@@ -326,6 +326,19 @@ impl BonsaiController {
         self.ecc_corrections
     }
 
+    /// Runs crash recovery with an explicit lane count. `lanes == 1` is
+    /// the serial path; any lane count produces a bit-identical
+    /// [`RecoveryReport`] and final NVM image (see [`crate::parallel`]).
+    /// [`MemoryController::recover`] resolves the lane count from
+    /// [`crate::parallel::recovery_lanes`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`MemoryController::recover`].
+    pub fn recover_with_lanes(&mut self, lanes: usize) -> Result<RecoveryReport, RecoveryError> {
+        recovery::recover(self, lanes)
+    }
+
     // ------------------------------------------------------------------
     // Cost-counted primitives
     // ------------------------------------------------------------------
@@ -989,7 +1002,7 @@ impl MemoryController for BonsaiController {
     }
 
     fn recover(&mut self) -> Result<RecoveryReport, RecoveryError> {
-        recovery::recover(self)
+        recovery::recover(self, crate::parallel::recovery_lanes())
     }
 
     fn shutdown_flush(&mut self) -> Result<(), MemError> {

@@ -11,17 +11,29 @@
 //! * **AGIT** (Algorithm 1) — scan the SCT/SMT, Osiris-fix only the
 //!   tracked counter blocks, recompute only the tracked tree nodes level
 //!   by level, then compare with the root register.
+//!
+//! The heavy sweeps (counter probing, per-level node rebuilds, shadow
+//! scans) fan out across recovery lanes (see [`crate::parallel`]): lanes
+//! compute over a shared read-only view of the device, the main thread
+//! applies the resulting writes in item order. Levels stay sequential
+//! bottom-up — parents hash their children's repaired contents — but
+//! nodes within a level are independent. Tallies are merged in item order
+//! and writes applied in item order, so the [`RecoveryReport`], the final
+//! NVM image and the device statistics are bit-identical to the serial
+//! path (`lanes == 1`) at any lane count.
 
 use super::{BonsaiController, BonsaiScheme, ReencLog};
+use crate::config::AnubisConfig;
 use crate::error::RecoveryError;
-use crate::layout::LINES_PER_COUNTER_BLOCK;
+use crate::layout::{BonsaiLayout, LINES_PER_COUNTER_BLOCK};
+use crate::parallel;
 use crate::recovery::RecoveryReport;
 use crate::shadow::ShadowAddrEntry;
 use anubis_crypto::otp::IvCounter;
-use anubis_crypto::{SealedBlock, SplitCounterBlock};
-use anubis_itree::bonsai::Root;
+use anubis_crypto::{DataCodec, SealedBlock, SplitCounterBlock};
+use anubis_itree::bonsai::{BonsaiHasher, Root};
 use anubis_itree::NodeId;
-use anubis_nvm::{Block, BlockAddr};
+use anubis_nvm::{Block, BlockAddr, NvmDevice};
 use std::collections::BTreeSet;
 
 /// Tallies recovery work separately from the run-time cost model.
@@ -34,7 +46,81 @@ struct Tally {
     nodes_fixed: u64,
 }
 
-pub(super) fn recover(c: &mut BonsaiController) -> Result<RecoveryReport, RecoveryError> {
+impl Tally {
+    fn merge(&mut self, other: &Tally) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.hashes += other.hashes;
+        self.counters_fixed += other.counters_fixed;
+        self.nodes_fixed += other.nodes_fixed;
+    }
+}
+
+/// Shared read-only view of the controller for recovery lanes. Lanes only
+/// *read* the device (access counting is atomic — see `NvmStats`); all
+/// writes are deferred to the main thread, which applies them in item
+/// order.
+struct Ctx<'a> {
+    dev: &'a NvmDevice,
+    layout: &'a BonsaiLayout,
+    codec: &'a DataCodec,
+    hasher: &'a BonsaiHasher,
+    config: &'a AnubisConfig,
+    canon: &'a [Block],
+    edge: &'a [Block],
+}
+
+impl<'a> Ctx<'a> {
+    fn of(c: &'a BonsaiController) -> Self {
+        Ctx {
+            dev: c.domain.device(),
+            layout: &c.layout,
+            codec: &c.codec,
+            hasher: &c.hasher,
+            config: &c.config,
+            canon: &c.canon,
+            edge: &c.edge,
+        }
+    }
+
+    fn read(&self, addr: BlockAddr, t: &mut Tally) -> Block {
+        t.reads += 1;
+        self.dev.read(addr)
+    }
+
+    /// Reads a tree node, substituting the canonical zero-state content
+    /// for never-written interior nodes (see
+    /// `BonsaiController::nvm_read_node`).
+    fn read_node(&self, node: NodeId, t: &mut Tally) -> Block {
+        let raw = self.read(self.layout.node_addr(node), t);
+        if node.level >= 1 && raw.is_zeroed() {
+            self.canonical_node(node)
+        } else {
+            raw
+        }
+    }
+
+    fn canonical_node(&self, node: NodeId) -> Block {
+        let g = self.layout.geometry();
+        if node.index == g.nodes_at(node.level) - 1 {
+            self.edge[node.level]
+        } else {
+            self.canon[node.level]
+        }
+    }
+}
+
+/// One lane's result for one counter block: the repaired block to write
+/// back (if anything moved) plus the work tally.
+struct LeafFix {
+    write: Option<Block>,
+    tally: Tally,
+}
+
+pub(super) fn recover(
+    c: &mut BonsaiController,
+    lanes: usize,
+) -> Result<RecoveryReport, RecoveryError> {
     let redo_writes = c.domain.power_up() as u64;
     let mut t = Tally::default();
 
@@ -58,13 +144,13 @@ pub(super) fn recover(c: &mut BonsaiController) -> Result<RecoveryReport, Recove
             // Counters as-is (write-through keeps them current; plain
             // write-back only recovers if nothing dirty was lost), whole
             // tree rebuilt, root compared.
-            rebuild_whole_tree(c, &mut t, false)?;
+            rebuild_whole_tree(c, &mut t, false, lanes)?;
         }
         BonsaiScheme::Osiris => {
-            rebuild_whole_tree(c, &mut t, true)?;
+            rebuild_whole_tree(c, &mut t, true, lanes)?;
         }
         BonsaiScheme::AgitRead | BonsaiScheme::AgitPlus => {
-            recover_agit(c, &mut t, reenc_leaf)?;
+            recover_agit(c, &mut t, reenc_leaf, lanes)?;
         }
     }
 
@@ -84,17 +170,6 @@ fn dev_read(c: &mut BonsaiController, addr: BlockAddr, t: &mut Tally) -> Block {
     c.domain.device_mut().read(addr)
 }
 
-/// Reads a tree node, substituting the canonical zero-state content for
-/// never-written interior nodes (see `BonsaiController::nvm_read_node`).
-fn dev_read_node(c: &mut BonsaiController, node: NodeId, t: &mut Tally) -> Block {
-    let raw = dev_read(c, c.layout.node_addr(node), t);
-    if node.level >= 1 && raw.is_zeroed() {
-        c.canonical_node(node)
-    } else {
-        raw
-    }
-}
-
 fn dev_write(c: &mut BonsaiController, addr: BlockAddr, block: Block, t: &mut Tally) {
     t.writes += 1;
     c.domain.device_mut().write(addr, block);
@@ -102,7 +177,8 @@ fn dev_write(c: &mut BonsaiController, addr: BlockAddr, block: Block, t: &mut Ta
 
 /// Completes an interrupted page re-encryption from the on-chip log
 /// (counter block first, then the remaining lines). Returns the affected
-/// leaf so tree recovery can repair its path.
+/// leaf so tree recovery can repair its path. Inherently serial: at most
+/// one page (64 lines) of sequential REDO work.
 fn complete_reencryption(
     c: &mut BonsaiController,
     t: &mut Tally,
@@ -167,24 +243,22 @@ fn complete_reencryption(
 }
 
 /// Osiris-fixes every counter of one counter block against its data
-/// lines, writing the repaired block back. Returns whether anything moved.
-fn fix_counter_block(
-    c: &mut BonsaiController,
-    leaf: NodeId,
-    t: &mut Tally,
-) -> Result<bool, RecoveryError> {
-    let leaf_addr = c.layout.node_addr(leaf);
-    let stale = SplitCounterBlock::from_block(&dev_read(c, leaf_addr, t));
+/// lines. Pure with respect to the device: the repaired block is returned
+/// for the main thread to write, so lanes can run this concurrently.
+fn probe_counter_block(ctx: &Ctx<'_>, leaf: NodeId) -> Result<LeafFix, RecoveryError> {
+    let mut t = Tally::default();
+    let leaf_addr = ctx.layout.node_addr(leaf);
+    let stale = SplitCounterBlock::from_block(&ctx.read(leaf_addr, &mut t));
     let mut fixed = stale;
     let mut changed = false;
     for line in 0..LINES_PER_COUNTER_BLOCK as usize {
-        let Some(data_addr) = c.layout.line_of(leaf.index, line) else {
+        let Some(data_addr) = ctx.layout.line_of(leaf.index, line) else {
             break;
         };
-        let dev = c.layout.data_addr(data_addr);
-        let side_addr = c.layout.side_addr(data_addr);
-        let ciphertext = dev_read(c, dev, t);
-        let side = c.domain.device_mut().read(side_addr);
+        let dev = ctx.layout.data_addr(data_addr);
+        let side_addr = ctx.layout.side_addr(data_addr);
+        let ciphertext = ctx.read(dev, &mut t);
+        let side = ctx.dev.read(side_addr);
         let sealed = SealedBlock {
             ciphertext,
             ecc: side.word(0),
@@ -196,7 +270,7 @@ fn fix_counter_block(
             continue;
         }
         let mut recovered = None;
-        for gap in 0..=c.config.stop_loss as u64 {
+        for gap in 0..=ctx.config.stop_loss as u64 {
             let minor = base_minor + gap;
             if minor > anubis_crypto::MINOR_MAX as u64 {
                 break; // overflow would have persisted the block
@@ -206,7 +280,7 @@ fn fix_counter_block(
             }
             t.hashes += 1;
             let iv = IvCounter::split(stale.major(), minor);
-            if c.codec.probe(dev, iv, &sealed).is_some() {
+            if ctx.codec.probe(dev, iv, &sealed).is_some() {
                 recovered = Some(gap as u8);
                 break;
             }
@@ -222,33 +296,90 @@ fn fix_counter_block(
             None => return Err(RecoveryError::CounterNotRecovered { addr: dev }),
         }
     }
-    if changed {
-        dev_write(c, leaf_addr, fixed.to_block(), t);
-    }
-    Ok(changed)
+    Ok(LeafFix {
+        write: changed.then(|| fixed.to_block()),
+        tally: t,
+    })
 }
 
-/// Recomputes one interior node from its children in NVM and writes it.
-fn fix_interior_node(c: &mut BonsaiController, node: NodeId, t: &mut Tally) {
-    let g = c.layout.geometry().clone();
+/// Recomputes one interior node from its children in NVM. Pure: returns
+/// the rebuilt block for the main thread to write.
+fn compute_interior_node(ctx: &Ctx<'_>, node: NodeId) -> (Block, Tally) {
+    let mut t = Tally::default();
+    let g = ctx.layout.geometry();
     let children: Vec<NodeId> = g.children(node).collect();
     let mut digests = Vec::with_capacity(children.len());
     for child in children {
-        let child_block = dev_read_node(c, child, t);
+        let child_block = ctx.read_node(child, &mut t);
         t.hashes += 1;
-        digests.push(c.hasher.digest(&child_block));
+        digests.push(ctx.hasher.digest(&child_block));
     }
-    let block = c.hasher.parent_block(&digests);
-    dev_write(c, c.layout.node_addr(node), block, t);
+    let block = ctx.hasher.parent_block(&digests);
     t.nodes_fixed += 1;
+    (block, t)
+}
+
+/// Osiris-fixes the given counter blocks across recovery lanes, applying
+/// repairs in leaf order. On a probe failure the repairs of preceding
+/// leaves are still applied (matching the serial sweep's partial
+/// progress) before the error is returned.
+fn fix_counter_blocks(
+    c: &mut BonsaiController,
+    t: &mut Tally,
+    leaves: &[u64],
+    lanes: usize,
+) -> Result<(), RecoveryError> {
+    let results = {
+        let ctx = Ctx::of(c);
+        parallel::map_slice(lanes, leaves, |&leaf| {
+            probe_counter_block(&ctx, NodeId::new(0, leaf))
+        })
+    };
+    for (&leaf, result) in leaves.iter().zip(results) {
+        let fix = result?;
+        t.merge(&fix.tally);
+        if let Some(block) = fix.write {
+            dev_write(c, c.layout.node_addr(NodeId::new(0, leaf)), block, t);
+        }
+    }
+    Ok(())
+}
+
+/// Rebuilds the given nodes of one tree level across recovery lanes,
+/// writing the results in index order. The caller sequences levels
+/// bottom-up: a parent must hash its children's *repaired* contents, so
+/// the level boundary is a hard barrier (unlike ASIT ST verification,
+/// where nodes verify independently against parent counters).
+fn fix_node_level(
+    c: &mut BonsaiController,
+    t: &mut Tally,
+    level: usize,
+    indices: &[u64],
+    lanes: usize,
+) {
+    let results = {
+        let ctx = Ctx::of(c);
+        parallel::map_slice(lanes, indices, |&index| {
+            compute_interior_node(&ctx, NodeId::new(level, index))
+        })
+    };
+    for (&index, (block, tally)) in indices.iter().zip(results) {
+        t.merge(&tally);
+        dev_write(c, c.layout.node_addr(NodeId::new(level, index)), block, t);
+    }
 }
 
 /// Recomputes the root digest from the NVM top node and compares it with
 /// the on-chip register.
 fn check_root(c: &mut BonsaiController, t: &mut Tally) -> Result<(), RecoveryError> {
-    let g = c.layout.geometry().clone();
-    let top = g.top();
-    let top_block = dev_read_node(c, top, t);
+    let top = c.layout.geometry().top();
+    let top_block = {
+        let ctx = Ctx::of(c);
+        let mut local = Tally::default();
+        let b = ctx.read_node(top, &mut local);
+        t.merge(&local);
+        b
+    };
     t.hashes += 1;
     let computed = Root(c.hasher.digest(&top_block));
     if computed == c.root {
@@ -259,11 +390,17 @@ fn check_root(c: &mut BonsaiController, t: &mut Tally) -> Result<(), RecoveryErr
 }
 
 /// Recomputes the ancestors of `leaf` from NVM, bottom-up (used after an
-/// interrupted re-encryption under strict persistence).
+/// interrupted re-encryption under strict persistence). A single path is
+/// a strict chain — nothing to parallelize.
 fn fix_path(c: &mut BonsaiController, leaf: NodeId, t: &mut Tally) -> Result<(), RecoveryError> {
     let g = c.layout.geometry().clone();
     for node in g.path_to_top(leaf) {
-        fix_interior_node(c, node, t);
+        let (block, tally) = {
+            let ctx = Ctx::of(c);
+            compute_interior_node(&ctx, node)
+        };
+        t.merge(&tally);
+        dev_write(c, c.layout.node_addr(node), block, t);
     }
     Ok(())
 }
@@ -274,17 +411,16 @@ fn rebuild_whole_tree(
     c: &mut BonsaiController,
     t: &mut Tally,
     probe_counters: bool,
+    lanes: usize,
 ) -> Result<(), RecoveryError> {
     let g = c.layout.geometry().clone();
     if probe_counters {
-        for leaf in 0..g.num_leaves() {
-            fix_counter_block(c, NodeId::new(0, leaf), t)?;
-        }
+        let leaves: Vec<u64> = (0..g.num_leaves()).collect();
+        fix_counter_blocks(c, t, &leaves, lanes)?;
     }
     for level in 1..g.num_levels() {
-        for index in 0..g.nodes_at(level) {
-            fix_interior_node(c, NodeId::new(level, index), t);
-        }
+        let indices: Vec<u64> = (0..g.nodes_at(level)).collect();
+        fix_node_level(c, t, level, &indices, lanes);
     }
     check_root(c, t)
 }
@@ -295,30 +431,34 @@ fn recover_agit(
     c: &mut BonsaiController,
     t: &mut Tally,
     reenc_leaf: Option<NodeId>,
+    lanes: usize,
 ) -> Result<(), RecoveryError> {
     let g = c.layout.geometry().clone();
 
-    // Scan the SCT.
+    // Scan the SCT and SMT across lanes; slot reads are independent and
+    // the per-slot parse is pure. Merging into ordered sets in slot order
+    // yields the same sets as the serial scan.
+    let (sct_entries, smt_entries) = {
+        let ctx = Ctx::of(c);
+        let sct = parallel::map_range(lanes, ctx.layout.sct_slots(), |slot| {
+            ShadowAddrEntry::from_block(&ctx.dev.read(ctx.layout.sct_slot(slot))).map(|e| e.node())
+        });
+        let smt = parallel::map_range(lanes, ctx.layout.smt_slots(), |slot| {
+            ShadowAddrEntry::from_block(&ctx.dev.read(ctx.layout.smt_slot(slot))).map(|e| e.node())
+        });
+        (sct, smt)
+    };
+    t.reads += c.layout.sct_slots() + c.layout.smt_slots();
     let mut tracked_counters: BTreeSet<u64> = BTreeSet::new();
-    for slot in 0..c.layout.sct_slots() {
-        let block = dev_read(c, c.layout.sct_slot(slot), t);
-        if let Some(entry) = ShadowAddrEntry::from_block(&block) {
-            let node = entry.node();
-            if node.level == 0 && node.index < g.num_leaves() {
-                tracked_counters.insert(node.index);
-            }
+    for node in sct_entries.into_iter().flatten() {
+        if node.level == 0 && node.index < g.num_leaves() {
+            tracked_counters.insert(node.index);
         }
     }
-    // Scan the SMT.
     let mut tracked_nodes: BTreeSet<(usize, u64)> = BTreeSet::new();
-    for slot in 0..c.layout.smt_slots() {
-        let block = dev_read(c, c.layout.smt_slot(slot), t);
-        if let Some(entry) = ShadowAddrEntry::from_block(&block) {
-            let node = entry.node();
-            if node.level >= 1 && node.level < g.num_levels() && node.index < g.nodes_at(node.level)
-            {
-                tracked_nodes.insert((node.level, node.index));
-            }
+    for node in smt_entries.into_iter().flatten() {
+        if node.level >= 1 && node.level < g.num_levels() && node.index < g.nodes_at(node.level) {
+            tracked_nodes.insert((node.level, node.index));
         }
     }
     // An interrupted re-encryption repairs its own leaf path regardless of
@@ -330,10 +470,9 @@ fn recover_agit(
         }
     }
 
-    // Phase 1: fix tracked counter blocks.
-    for leaf in tracked_counters {
-        fix_counter_block(c, NodeId::new(0, leaf), t)?;
-    }
+    // Phase 1: fix tracked counter blocks across lanes.
+    let leaves: Vec<u64> = tracked_counters.into_iter().collect();
+    fix_counter_blocks(c, t, &leaves, lanes)?;
 
     // Phase 2: fix tracked nodes level by level (order matters: upper
     // levels hash the already-repaired lower levels).
@@ -343,9 +482,7 @@ fn recover_agit(
             .filter(|(l, _)| *l == level)
             .map(|(_, i)| *i)
             .collect();
-        for index in at_level {
-            fix_interior_node(c, NodeId::new(level, index), t);
-        }
+        fix_node_level(c, t, level, &at_level, lanes);
     }
 
     // Phase 3: root check.

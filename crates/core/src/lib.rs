@@ -54,6 +54,7 @@ mod shadow;
 mod shadow_tree;
 
 pub mod bonsai;
+pub mod parallel;
 pub mod recovery;
 pub mod sgx;
 
@@ -61,7 +62,7 @@ pub use bonsai::{BonsaiController, BonsaiScheme};
 pub use config::AnubisConfig;
 pub use cost::{CostAccum, OpCost};
 pub use error::{MemError, RecoveryError};
-pub use layout::{BonsaiLayout, DataAddr, SgxLayout};
+pub use layout::{BonsaiLayout, DataAddr, SgxLayout, LINES_PER_COUNTER_BLOCK};
 pub use recovery::RecoveryReport;
 pub use sgx::{SgxController, SgxScheme};
 pub use shadow::{ShadowAddrEntry, StEntry};

@@ -1,0 +1,172 @@
+//! Deterministic, dependency-free parallel execution for recovery sweeps.
+//!
+//! Recovery of tree-of-counter metadata is embarrassingly parallel across
+//! subtrees: Osiris counter probes touch disjoint pages, nodes within one
+//! tree level hash disjoint child sets, and shadow-table slots are
+//! independent. This module provides the minimal scaffolding to exploit
+//! that — a scoped-thread fan-out over a fixed, contiguous shard→lane
+//! assignment — without pulling in a work-stealing runtime (offline builds
+//! forbid external dependencies, and work stealing would destroy the
+//! determinism the recovery reports rely on).
+//!
+//! Determinism contract: [`map_range`]/[`map_slice`] return results in
+//! item order regardless of lane count, every lane owns a contiguous
+//! chunk decided purely by `(n, lanes)`, and callers reduce/apply results
+//! in that order. A parallel sweep therefore produces bit-identical
+//! [`crate::RecoveryReport`]s and device statistics to the serial sweep
+//! (`lanes == 1` *is* the serial sweep — same code path, inline).
+
+use std::ops::Range;
+
+/// Hard upper bound on recovery lanes — far above any sane host, it only
+/// guards against pathological `ANUBIS_RECOVERY_THREADS` values.
+pub const MAX_LANES: usize = 64;
+
+/// Environment variable overriding the recovery lane count.
+/// `ANUBIS_RECOVERY_THREADS=1` forces the serial path; unset or invalid
+/// values fall back to the host's available parallelism (capped at 8).
+pub const LANES_ENV: &str = "ANUBIS_RECOVERY_THREADS";
+
+/// Resolves the lane count used by [`crate::MemoryController::recover`]:
+/// the [`LANES_ENV`] override when set and valid, otherwise the host's
+/// available parallelism capped at 8.
+pub fn recovery_lanes() -> usize {
+    lanes_from(std::env::var(LANES_ENV).ok().as_deref())
+}
+
+fn lanes_from(value: Option<&str>) -> usize {
+    match value.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n.min(MAX_LANES),
+        _ => auto_lanes(),
+    }
+}
+
+fn auto_lanes() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .clamp(1, 8)
+}
+
+/// Splits `0..n` into at most `lanes` contiguous chunks, earlier chunks
+/// taking the remainder. Pure function of `(n, lanes)` — the fixed
+/// shard→lane assignment underlying the determinism guarantee.
+pub fn shard_chunks(n: u64, lanes: usize) -> Vec<Range<u64>> {
+    let lanes = (lanes.max(1) as u64).min(n.max(1));
+    let base = n / lanes;
+    let extra = n % lanes;
+    let mut chunks = Vec::with_capacity(lanes as usize);
+    let mut start = 0;
+    for lane in 0..lanes {
+        let len = base + u64::from(lane < extra);
+        chunks.push(start..start + len);
+        start += len;
+    }
+    chunks
+}
+
+/// Applies `f` to every index in `0..n`, fanning chunks out across
+/// `lanes` scoped threads, and returns the results in index order.
+///
+/// With `lanes <= 1` (or a trivially small range) this runs inline with
+/// zero threading overhead — that *is* the serial path.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the lane's panic aborts the join).
+pub fn map_range<R, F>(lanes: usize, n: u64, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    let lanes = lanes.clamp(1, MAX_LANES);
+    if lanes == 1 || n < 2 {
+        return (0..n).map(f).collect();
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shard_chunks(n, lanes)
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n as usize);
+        for handle in handles {
+            out.extend(handle.join().expect("recovery lane panicked"));
+        }
+        out
+    })
+}
+
+/// Applies `f` to every element of `items` across `lanes` scoped threads,
+/// returning results in item order (see [`map_range`]).
+pub fn map_slice<T, R, F>(lanes: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_range(lanes, items.len() as u64, |i| f(&items[i as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_partition_the_range() {
+        for n in [0u64, 1, 2, 7, 64, 1000] {
+            for lanes in [1usize, 2, 3, 8, 64] {
+                let chunks = shard_chunks(n, lanes);
+                assert!(chunks.len() <= lanes.max(1));
+                let mut next = 0;
+                for c in &chunks {
+                    assert_eq!(c.start, next, "contiguous at n={n} lanes={lanes}");
+                    next = c.end;
+                }
+                assert_eq!(next, n, "covers the range at n={n} lanes={lanes}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_differ_by_at_most_one() {
+        let chunks = shard_chunks(10, 4);
+        let sizes: Vec<u64> = chunks.iter().map(|c| c.end - c.start).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn map_range_is_lane_count_invariant() {
+        let f = |i: u64| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i.rotate_left(13);
+        let serial = map_range(1, 257, f);
+        for lanes in [2, 3, 8] {
+            assert_eq!(map_range(lanes, 257, f), serial, "lanes={lanes}");
+        }
+    }
+
+    #[test]
+    fn map_slice_preserves_item_order() {
+        let items: Vec<u64> = (0..100).rev().collect();
+        let doubled = map_slice(4, &items, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lane_resolution_clamps_and_falls_back() {
+        assert_eq!(lanes_from(Some("1")), 1);
+        assert_eq!(lanes_from(Some("4")), 4);
+        assert_eq!(lanes_from(Some(" 2 ")), 2);
+        assert_eq!(lanes_from(Some("100000")), MAX_LANES);
+        let auto = auto_lanes();
+        assert_eq!(lanes_from(Some("0")), auto);
+        assert_eq!(lanes_from(Some("banana")), auto);
+        assert_eq!(lanes_from(None), auto);
+        assert!((1..=8).contains(&auto));
+    }
+
+    #[test]
+    fn empty_range_yields_empty() {
+        assert!(map_range(8, 0, |i| i).is_empty());
+        assert!(map_slice(8, &[] as &[u64], |&x| x).is_empty());
+    }
+}

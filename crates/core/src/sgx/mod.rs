@@ -205,6 +205,19 @@ impl SgxController {
         self.ecc_corrections
     }
 
+    /// Runs post-crash recovery with an explicit lane count, bypassing
+    /// the `ANUBIS_RECOVERY_THREADS` resolution in
+    /// [`MemoryController::recover`]. `lanes == 1` is the serial path;
+    /// any lane count produces a bit-identical [`RecoveryReport`] and
+    /// final device state (see [`crate::parallel`]).
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`MemoryController::recover`].
+    pub fn recover_with_lanes(&mut self, lanes: usize) -> Result<RecoveryReport, RecoveryError> {
+        recovery::recover(self, lanes)
+    }
+
     /// Test/debug hook: every resident metadata node as
     /// `(device address, node, dirty)`.
     #[doc(hidden)]
@@ -780,7 +793,7 @@ impl MemoryController for SgxController {
     }
 
     fn recover(&mut self) -> Result<RecoveryReport, RecoveryError> {
-        recovery::recover(self)
+        recovery::recover(self, crate::parallel::recovery_lanes())
     }
 
     fn shutdown_flush(&mut self) -> Result<(), MemError> {

@@ -10,15 +10,25 @@
 //!   onto its stale NVM copy, place the recovered nodes in the metadata
 //!   cache (dirty, so they lazily propagate), and verify every recovered
 //!   node's MAC against its parent counter.
+//!
+//! The ST scan, the per-entry splice reads and the MAC re-checks fan out
+//! across recovery lanes (see [`crate::parallel`]). Unlike the Bonsai
+//! rebuild, no level barriers are needed: each SGX node's MAC verifies
+//! against its *parent counter* — already current in the cache, the
+//! on-chip top node or NVM — not against sibling or child contents, so
+//! every recovered node verifies independently. Entries are processed in
+//! node-address order, making cache placement and the rewritten ST
+//! deterministic at any lane count (including 1).
 
 use super::{SgxController, SgxEntry, SgxScheme};
 use crate::error::RecoveryError;
+use crate::parallel;
 use crate::recovery::RecoveryReport;
 use crate::shadow::StEntry;
 use crate::shadow_tree::ShadowTree;
 use anubis_crypto::{SgxCounterNode, SGX_COUNTERS_PER_NODE};
 use anubis_nvm::BlockAddr;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 #[derive(Default)]
 struct Tally {
@@ -28,7 +38,10 @@ struct Tally {
     nodes_fixed: u64,
 }
 
-pub(super) fn recover(c: &mut SgxController) -> Result<RecoveryReport, RecoveryError> {
+pub(super) fn recover(
+    c: &mut SgxController,
+    lanes: usize,
+) -> Result<RecoveryReport, RecoveryError> {
     let redo_writes = c.domain.power_up() as u64;
     let mut t = Tally::default();
     match c.scheme {
@@ -45,7 +58,7 @@ pub(super) fn recover(c: &mut SgxController) -> Result<RecoveryReport, RecoveryE
                 });
             }
         }
-        SgxScheme::Asit => recover_asit(c, &mut t)?,
+        SgxScheme::Asit => recover_asit(c, &mut t, lanes)?,
     }
     Ok(RecoveryReport {
         nvm_reads: t.reads,
@@ -59,15 +72,16 @@ pub(super) fn recover(c: &mut SgxController) -> Result<RecoveryReport, RecoveryE
 }
 
 /// Algorithm 2 (paper §4.3.2).
-fn recover_asit(c: &mut SgxController, t: &mut Tally) -> Result<(), RecoveryError> {
-    // Step 1: read the whole Shadow Table.
+fn recover_asit(c: &mut SgxController, t: &mut Tally, lanes: usize) -> Result<(), RecoveryError> {
+    // Step 1: read the whole Shadow Table — independent slot reads, fanned
+    // out across lanes, collected in slot order.
     let st_slots = c.layout.st_slots();
-    let mut st_blocks = Vec::with_capacity(st_slots as usize);
-    for slot in 0..st_slots {
-        let addr = c.layout.st_slot(slot);
-        t.reads += 1;
-        st_blocks.push(c.domain.device_mut().read(addr));
-    }
+    let st_blocks = {
+        let dev = c.domain.device();
+        let layout = &c.layout;
+        parallel::map_range(lanes, st_slots, |slot| dev.read(layout.st_slot(slot)))
+    };
+    t.reads += st_slots;
 
     // Step 2: regenerate SHADOW_TREE_ROOT and verify against the on-chip
     // register.
@@ -79,9 +93,11 @@ fn recover_asit(c: &mut SgxController, t: &mut Tally) -> Result<(), RecoveryErro
 
     // Parse entries; deduplicate by node address keeping the freshest
     // (componentwise-largest counters — counters only ever grow, and a
-    // stale duplicate always equals the NVM copy; see DESIGN.md).
+    // stale duplicate always equals the NVM copy; see DESIGN.md). The
+    // ordered map fixes the processing order to node-address order, so
+    // cache placement below is deterministic.
     let lsb_bits = c.config.st_lsb_bits;
-    let mut by_addr: HashMap<BlockAddr, StEntry> = HashMap::new();
+    let mut by_addr: BTreeMap<BlockAddr, StEntry> = BTreeMap::new();
     for block in &st_blocks {
         let Some(entry) = StEntry::from_block(block) else {
             continue;
@@ -103,20 +119,24 @@ fn recover_asit(c: &mut SgxController, t: &mut Tally) -> Result<(), RecoveryErro
     }
 
     // Step 3: recover each tracked node: stale NVM MSBs + shadow LSBs,
-    // MAC replaced from the shadow entry; insert into the cache dirty.
-    let mut recovered: Vec<(BlockAddr, SgxCounterNode)> = Vec::with_capacity(by_addr.len());
-    for (&addr, entry) in &by_addr {
-        t.reads += 1;
-        let stale_block = c.domain.device_mut().read(addr);
-        let stale = SgxCounterNode::from_block(&stale_block);
-        let mask = (1u64 << lsb_bits) - 1;
-        let mut node = SgxCounterNode::new();
-        for i in 0..SGX_COUNTERS_PER_NODE {
-            node.set_counter(i, (stale.counter(i) & !mask) | entry.lsbs()[i]);
-        }
-        node.set_mac(entry.mac());
-        recovered.push((addr, node));
-    }
+    // MAC replaced from the shadow entry. The stale reads and splices are
+    // independent per entry — lanes compute them, results land in address
+    // order; only the cache inserts stay serial.
+    let entries: Vec<(BlockAddr, StEntry)> = by_addr.into_iter().collect();
+    let recovered: Vec<(BlockAddr, SgxCounterNode)> = {
+        let dev = c.domain.device();
+        parallel::map_slice(lanes, &entries, |&(addr, ref entry)| {
+            let stale = SgxCounterNode::from_block(&dev.read(addr));
+            let mask = (1u64 << lsb_bits) - 1;
+            let mut node = SgxCounterNode::new();
+            for i in 0..SGX_COUNTERS_PER_NODE {
+                node.set_counter(i, (stale.counter(i) & !mask) | entry.lsbs()[i]);
+            }
+            node.set_mac(entry.mac());
+            (addr, node)
+        })
+    };
+    t.reads += recovered.len() as u64;
     for (addr, node) in &recovered {
         let outcome = c.cache.insert(
             *addr,
@@ -135,27 +155,42 @@ fn recover_asit(c: &mut SgxController, t: &mut Tally) -> Result<(), RecoveryErro
 
     // Step 4: verify every recovered node's MAC against its parent
     // counter (recovered parent from the cache, the on-chip top node, or
-    // the — necessarily current — NVM copy).
+    // the — necessarily current — NVM copy). Each check is independent —
+    // parent counters are never *contents being repaired here* — so the
+    // lanes verify concurrently with no ordering barrier.
     let g = c.layout.geometry().clone();
-    for (addr, node) in &recovered {
-        let id = c.layout.node_of_addr(*addr).expect("validated above");
-        let pc = match g.parent(id) {
-            None => 0,
-            Some(p) if c.layout.is_on_chip(p) => c.top.counter(g.child_slot(id)),
-            Some(p) => {
-                let p_addr = c.layout.node_addr(p);
-                if let Some(entry) = c.cache.peek(p_addr) {
-                    entry.node.counter(g.child_slot(id))
-                } else {
-                    t.reads += 1;
-                    let b = c.domain.device_mut().read(p_addr);
-                    SgxCounterNode::from_block(&b).counter(g.child_slot(id))
+    let verdicts: Vec<(u64, bool, BlockAddr)> = {
+        let dev = c.domain.device();
+        let layout = &c.layout;
+        let cache = &c.cache;
+        let top = c.top;
+        let mac_key = &c.mac_key;
+        let geom = &g;
+        parallel::map_slice(lanes, &recovered, |&(addr, ref node)| {
+            let id = layout.node_of_addr(addr).expect("validated above");
+            let mut extra_reads = 0u64;
+            let pc = match geom.parent(id) {
+                None => 0,
+                Some(p) if layout.is_on_chip(p) => top.counter(geom.child_slot(id)),
+                Some(p) => {
+                    let p_addr = layout.node_addr(p);
+                    if let Some(entry) = cache.peek(p_addr) {
+                        entry.node.counter(geom.child_slot(id))
+                    } else {
+                        extra_reads += 1;
+                        let b = dev.read(p_addr);
+                        SgxCounterNode::from_block(&b).counter(geom.child_slot(id))
+                    }
                 }
-            }
-        };
+            };
+            (extra_reads, node.verify(mac_key, pc), addr)
+        })
+    };
+    for (extra_reads, ok, addr) in verdicts {
+        t.reads += extra_reads;
         t.hashes += 1;
-        if !node.verify(&c.mac_key, pc) {
-            return Err(RecoveryError::NodeMacMismatch { addr: *addr });
+        if !ok {
+            return Err(RecoveryError::NodeMacMismatch { addr });
         }
     }
 

@@ -5,6 +5,7 @@ use crate::ecc;
 use crate::error::CryptoError;
 use crate::hash::Hasher64;
 use crate::otp::{self, IvCounter};
+use crate::speck::Speck128;
 use crate::Key;
 use anubis_nvm::{Block, BlockAddr};
 
@@ -46,7 +47,11 @@ pub struct SealedBlock {
 /// ```
 #[derive(Clone, Debug)]
 pub struct DataCodec {
-    enc_key: Key,
+    /// Precomputed Speck schedule for the data-encryption key. Every
+    /// seal/open/probe used to re-expand the 32-round schedule (twice:
+    /// block pad + side-word pad); recovery probes millions of blocks, so
+    /// the schedule is expanded once at construction and reused.
+    enc: Speck128,
     mac: Hasher64,
 }
 
@@ -54,21 +59,31 @@ impl DataCodec {
     /// Derives the encryption and MAC keys from a master key.
     pub fn new(master: Key) -> Self {
         DataCodec {
-            enc_key: master.derive("data-encryption"),
+            enc: Speck128::new(master.derive("data-encryption")),
             mac: Hasher64::new(master.derive("data-mac")),
         }
     }
 
     /// Encrypts `plaintext` for storage at `addr` under `counter`.
     pub fn seal(&self, addr: BlockAddr, counter: IvCounter, plaintext: &Block) -> SealedBlock {
-        let ciphertext = otp::encrypt(self.enc_key, addr, counter, plaintext);
+        let ciphertext = otp::encrypt_with(&self.enc, addr, counter, plaintext);
         let ecc_plain = ecc::ecc_block(plaintext);
-        let side_pad = otp::pad_word(self.enc_key, addr, counter);
+        let side_pad = otp::pad_word_with(&self.enc, addr, counter);
         SealedBlock {
             ciphertext,
             ecc: ecc_plain ^ side_pad,
             mac: self.data_mac(addr, counter, plaintext),
         }
+    }
+
+    /// Seals a batch of blocks under one precomputed key schedule, in
+    /// input order — the bulk path for re-encryption sweeps and parallel
+    /// recovery lanes.
+    pub fn seal_batch(&self, items: &[(BlockAddr, IvCounter, Block)]) -> Vec<SealedBlock> {
+        items
+            .iter()
+            .map(|(addr, ctr, pt)| self.seal(*addr, *ctr, pt))
+            .collect()
     }
 
     /// Decrypts and fully verifies a sealed block.
@@ -119,8 +134,8 @@ impl DataCodec {
         match self.open(addr, counter, sealed) {
             Ok(pt) => Ok((pt, 0)),
             Err(CryptoError::EccMismatch) => {
-                let plaintext = otp::decrypt(self.enc_key, addr, counter, &sealed.ciphertext);
-                let side_pad = otp::pad_word(self.enc_key, addr, counter);
+                let plaintext = otp::decrypt_with(&self.enc, addr, counter, &sealed.ciphertext);
+                let side_pad = otp::pad_word_with(&self.enc, addr, counter);
                 let decoded = ecc::correct_block(&plaintext, sealed.ecc ^ side_pad)
                     .ok_or(CryptoError::UncorrectableEcc)?;
                 if sealed.mac != self.data_mac(addr, counter, &decoded.data) {
@@ -142,9 +157,21 @@ impl DataCodec {
         counter: IvCounter,
         sealed: &SealedBlock,
     ) -> Option<Block> {
-        let plaintext = otp::decrypt(self.enc_key, addr, counter, &sealed.ciphertext);
-        let side_pad = otp::pad_word(self.enc_key, addr, counter);
+        let plaintext = otp::decrypt_with(&self.enc, addr, counter, &sealed.ciphertext);
+        let side_pad = otp::pad_word_with(&self.enc, addr, counter);
         ecc::check_block(&plaintext, sealed.ecc ^ side_pad).then_some(plaintext)
+    }
+
+    /// Opens a batch of sealed blocks under one precomputed key schedule,
+    /// in input order; each element verifies independently.
+    pub fn open_batch(
+        &self,
+        items: &[(BlockAddr, IvCounter, SealedBlock)],
+    ) -> Vec<Result<Block, CryptoError>> {
+        items
+            .iter()
+            .map(|(addr, ctr, sealed)| self.open(*addr, *ctr, sealed))
+            .collect()
     }
 
     /// Runs the Osiris trial loop: tries `candidates` in order and returns
@@ -302,6 +329,26 @@ mod tests {
             ),
             "stale counter must be a typed failure, got {out:?}"
         );
+    }
+
+    #[test]
+    fn batch_paths_match_single_block_paths() {
+        let c = codec();
+        let items: Vec<(BlockAddr, IvCounter, Block)> = (0..8)
+            .map(|i| (BlockAddr::new(i), ctr(i + 1), Block::filled(i as u8)))
+            .collect();
+        let sealed = c.seal_batch(&items);
+        for (i, (addr, iv, pt)) in items.iter().enumerate() {
+            assert_eq!(sealed[i], c.seal(*addr, *iv, pt));
+        }
+        let to_open: Vec<(BlockAddr, IvCounter, SealedBlock)> = items
+            .iter()
+            .zip(&sealed)
+            .map(|((addr, iv, _), s)| (*addr, *iv, *s))
+            .collect();
+        for (res, (_, _, pt)) in c.open_batch(&to_open).iter().zip(&items) {
+            assert_eq!(res.as_ref().unwrap(), pt);
+        }
     }
 
     #[test]

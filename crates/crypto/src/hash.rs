@@ -35,13 +35,22 @@ pub const MASK56: u64 = (1 << 56) - 1;
 /// ```
 #[derive(Clone, Debug)]
 pub struct Hasher64 {
-    key: Key,
+    /// Precomputed schedule for the key-bound initialization and
+    /// finalization encryptions — expanding it per `hash` call dominated
+    /// short-message hashing (two 32-round expansions per digest).
+    key_cipher: Speck128,
+    /// Key-derived initial chaining value (constant per hasher).
+    init: (u64, u64),
 }
 
 impl Hasher64 {
     /// Creates a hasher bound to `key`.
     pub fn new(key: Key) -> Self {
-        Hasher64 { key }
+        let key_cipher = Speck128::new(key);
+        // Initial chaining value derived from the key so that hashes under
+        // different keys are unrelated.
+        let init = key_cipher.encrypt((0x416e_7562_6973, 0x4953_4341_3139));
+        Hasher64 { key_cipher, init }
     }
 
     /// Hashes arbitrary bytes to a 64-bit digest.
@@ -65,10 +74,7 @@ impl Hasher64 {
     }
 
     fn compress(&self, data: &[u8]) -> (u64, u64) {
-        // Initial chaining value derived from the key so that hashes under
-        // different keys are unrelated.
-        let init = Speck128::new(self.key).encrypt((0x416e_7562_6973, 0x4953_4341_3139));
-        let mut state = init;
+        let mut state = self.init;
         for chunk in data.chunks(16) {
             let mut w = [0u8; 16];
             w[..chunk.len()].copy_from_slice(chunk);
@@ -76,11 +82,14 @@ impl Hasher64 {
                 u64::from_le_bytes(w[..8].try_into().expect("8 bytes")),
                 u64::from_le_bytes(w[8..].try_into().expect("8 bytes")),
             ]);
+            // Message-keyed, so this schedule cannot be precomputed.
             let e = Speck128::new(m).encrypt(state);
             state = (e.0 ^ state.0, e.1 ^ state.1);
         }
         // Length padding via finalization.
-        let fin = Speck128::new(self.key).encrypt((state.0 ^ data.len() as u64, state.1));
+        let fin = self
+            .key_cipher
+            .encrypt((state.0 ^ data.len() as u64, state.1));
         (fin.0 ^ state.0, fin.1 ^ state.1)
     }
 }

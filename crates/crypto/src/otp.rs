@@ -39,9 +39,17 @@ impl IvCounter {
 
 /// Generates the 64-byte one-time pad for `(addr, counter)` under `key`.
 ///
-/// Four Speck encryptions produce four 16-byte lanes.
+/// Four Speck encryptions produce four 16-byte lanes. Expands the key
+/// schedule on every call; hot paths should expand once and use
+/// [`pad_with`].
 pub fn pad(key: Key, addr: BlockAddr, counter: IvCounter) -> Block {
-    let cipher = Speck128::new(key);
+    pad_with(&Speck128::new(key), addr, counter)
+}
+
+/// [`pad`] with a precomputed key schedule — the fast path for batch
+/// sealing/probing, where one 32-round schedule expansion would otherwise
+/// be repeated per block.
+pub fn pad_with(cipher: &Speck128, addr: BlockAddr, counter: IvCounter) -> Block {
     let mut out = Block::zeroed();
     for lane in 0..4u64 {
         // IV: (address ^ rotated minor, major ^ lane) — unique per
@@ -75,15 +83,40 @@ pub fn encrypt(key: Key, addr: BlockAddr, counter: IvCounter, plaintext: &Block)
     plaintext.xored(&pad(key, addr, counter))
 }
 
+/// [`encrypt`] with a precomputed key schedule.
+pub fn encrypt_with(
+    cipher: &Speck128,
+    addr: BlockAddr,
+    counter: IvCounter,
+    plaintext: &Block,
+) -> Block {
+    plaintext.xored(&pad_with(cipher, addr, counter))
+}
+
 /// Decrypts `ciphertext` in counter mode (identical to [`encrypt`]).
 pub fn decrypt(key: Key, addr: BlockAddr, counter: IvCounter, ciphertext: &Block) -> Block {
     ciphertext.xored(&pad(key, addr, counter))
 }
 
+/// [`decrypt`] with a precomputed key schedule (identical to
+/// [`encrypt_with`]).
+pub fn decrypt_with(
+    cipher: &Speck128,
+    addr: BlockAddr,
+    counter: IvCounter,
+    ciphertext: &Block,
+) -> Block {
+    ciphertext.xored(&pad_with(cipher, addr, counter))
+}
+
 /// Generates an 8-byte pad word for encrypting per-block ECC/MAC metadata
 /// under the same IV space (distinct lane index 4).
 pub fn pad_word(key: Key, addr: BlockAddr, counter: IvCounter) -> u64 {
-    let cipher = Speck128::new(key);
+    pad_word_with(&Speck128::new(key), addr, counter)
+}
+
+/// [`pad_word`] with a precomputed key schedule.
+pub fn pad_word_with(cipher: &Speck128, addr: BlockAddr, counter: IvCounter) -> u64 {
     let iv = (
         addr.index() ^ counter.minor.rotate_left(20),
         counter.major.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (4u64 << 56) ^ counter.minor,
@@ -141,6 +174,26 @@ mod tests {
         let a = encrypt(key(), BlockAddr::new(1), IvCounter::monolithic(5), &pt);
         let b = encrypt(key(), BlockAddr::new(1), IvCounter::split(5, 0), &pt);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn precomputed_schedule_matches_per_call_expansion() {
+        let k = key();
+        let cipher = Speck128::new(k);
+        let ctr = IvCounter::split(7, 11);
+        let addr = BlockAddr::new(42);
+        assert_eq!(pad(k, addr, ctr), pad_with(&cipher, addr, ctr));
+        assert_eq!(pad_word(k, addr, ctr), pad_word_with(&cipher, addr, ctr));
+        let pt = Block::filled(0x3C);
+        assert_eq!(
+            encrypt(k, addr, ctr, &pt),
+            encrypt_with(&cipher, addr, ctr, &pt)
+        );
+        let ct = encrypt(k, addr, ctr, &pt);
+        assert_eq!(
+            decrypt(k, addr, ctr, &ct),
+            decrypt_with(&cipher, addr, ctr, &ct)
+        );
     }
 
     #[test]

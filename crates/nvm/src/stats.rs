@@ -1,8 +1,9 @@
 //! Device access statistics.
 
 use crate::addr::BlockAddr;
-use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Counters for device-level reads and writes, broken down by region label.
 ///
@@ -13,14 +14,18 @@ use std::collections::BTreeMap;
 /// Counters live behind interior mutability so that *reads* of the device
 /// can take `&self` — a read does not logically mutate memory, and forcing
 /// `&mut` on every read path infected controllers, recovery code and the
-/// simulator with spurious exclusive borrows.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// simulator with spurious exclusive borrows. The interior mutability is
+/// thread-safe (atomics plus a mutex for the region maps) so a shared
+/// `&NvmDevice` can be read concurrently from parallel recovery lanes;
+/// totals are order-independent sums, so a parallel sweep reports exactly
+/// the same statistics as its serial equivalent.
+#[derive(Debug, Default)]
 pub struct NvmStats {
-    reads: Cell<u64>,
-    writes: Cell<u64>,
-    reads_by_region: RefCell<BTreeMap<&'static str, u64>>,
-    writes_by_region: RefCell<BTreeMap<&'static str, u64>>,
-    max_writes_to_one_block: Cell<u64>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    reads_by_region: Mutex<BTreeMap<&'static str, u64>>,
+    writes_by_region: Mutex<BTreeMap<&'static str, u64>>,
+    max_writes_to_one_block: AtomicU64,
 }
 
 impl NvmStats {
@@ -31,18 +36,19 @@ impl NvmStats {
 
     /// Total block reads served by the device.
     pub fn reads(&self) -> u64 {
-        self.reads.get()
+        self.reads.load(Ordering::Relaxed)
     }
 
     /// Total block writes applied to the device.
     pub fn writes(&self) -> u64 {
-        self.writes.get()
+        self.writes.load(Ordering::Relaxed)
     }
 
     /// Reads attributed to the region labeled `name` (0 if never seen).
     pub fn reads_in(&self, name: &str) -> u64 {
         self.reads_by_region
-            .borrow()
+            .lock()
+            .expect("stats mutex")
             .get(name)
             .copied()
             .unwrap_or(0)
@@ -51,7 +57,8 @@ impl NvmStats {
     /// Writes attributed to the region labeled `name` (0 if never seen).
     pub fn writes_in(&self, name: &str) -> u64 {
         self.writes_by_region
-            .borrow()
+            .lock()
+            .expect("stats mutex")
             .get(name)
             .copied()
             .unwrap_or(0)
@@ -60,13 +67,14 @@ impl NvmStats {
     /// The largest number of writes any single block has received —
     /// a simple wear-leveling/endurance indicator.
     pub fn max_writes_to_one_block(&self) -> u64 {
-        self.max_writes_to_one_block.get()
+        self.max_writes_to_one_block.load(Ordering::Relaxed)
     }
 
     /// Iterates `(region, writes)` pairs in region-name order.
     pub fn writes_by_region(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
         self.writes_by_region
-            .borrow()
+            .lock()
+            .expect("stats mutex")
             .iter()
             .map(|(k, v)| (*k, *v))
             .collect::<Vec<_>>()
@@ -74,9 +82,14 @@ impl NvmStats {
     }
 
     pub(crate) fn record_read(&self, region: Option<&'static str>) {
-        self.reads.set(self.reads.get() + 1);
+        self.reads.fetch_add(1, Ordering::Relaxed);
         if let Some(r) = region {
-            *self.reads_by_region.borrow_mut().entry(r).or_insert(0) += 1;
+            *self
+                .reads_by_region
+                .lock()
+                .expect("stats mutex")
+                .entry(r)
+                .or_insert(0) += 1;
         }
     }
 
@@ -86,12 +99,17 @@ impl NvmStats {
         writes_to_block: u64,
         _addr: BlockAddr,
     ) {
-        self.writes.set(self.writes.get() + 1);
+        self.writes.fetch_add(1, Ordering::Relaxed);
         if let Some(r) = region {
-            *self.writes_by_region.borrow_mut().entry(r).or_insert(0) += 1;
+            *self
+                .writes_by_region
+                .lock()
+                .expect("stats mutex")
+                .entry(r)
+                .or_insert(0) += 1;
         }
         self.max_writes_to_one_block
-            .set(self.max_writes_to_one_block.get().max(writes_to_block));
+            .fetch_max(writes_to_block, Ordering::Relaxed);
     }
 
     /// Resets every counter to zero.
@@ -99,6 +117,34 @@ impl NvmStats {
         *self = Self::default();
     }
 }
+
+impl Clone for NvmStats {
+    fn clone(&self) -> Self {
+        NvmStats {
+            reads: AtomicU64::new(self.reads()),
+            writes: AtomicU64::new(self.writes()),
+            reads_by_region: Mutex::new(self.reads_by_region.lock().expect("stats mutex").clone()),
+            writes_by_region: Mutex::new(
+                self.writes_by_region.lock().expect("stats mutex").clone(),
+            ),
+            max_writes_to_one_block: AtomicU64::new(self.max_writes_to_one_block()),
+        }
+    }
+}
+
+impl PartialEq for NvmStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.reads() == other.reads()
+            && self.writes() == other.writes()
+            && self.max_writes_to_one_block() == other.max_writes_to_one_block()
+            && *self.reads_by_region.lock().expect("stats mutex")
+                == *other.reads_by_region.lock().expect("stats mutex")
+            && *self.writes_by_region.lock().expect("stats mutex")
+                == *other.writes_by_region.lock().expect("stats mutex")
+    }
+}
+
+impl Eq for NvmStats {}
 
 #[cfg(test)]
 mod tests {
@@ -130,5 +176,35 @@ mod tests {
         shared.record_read(Some("data"));
         assert_eq!(shared.reads(), 2);
         assert_eq!(shared.reads_in("data"), 2);
+    }
+
+    #[test]
+    fn clone_snapshots_counts() {
+        let s = NvmStats::new();
+        s.record_read(Some("data"));
+        s.record_write(Some("data"), 3, BlockAddr::new(0));
+        let snap = s.clone();
+        s.record_read(None);
+        assert_eq!(snap.reads(), 1);
+        assert_eq!(snap.writes(), 1);
+        assert_eq!(snap.max_writes_to_one_block(), 3);
+        assert_ne!(snap, s);
+    }
+
+    #[test]
+    fn recording_is_sound_across_threads() {
+        let s = NvmStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let stats = &s;
+                scope.spawn(move || {
+                    for _ in 0..250 {
+                        stats.record_read(Some("data"));
+                    }
+                });
+            }
+        });
+        assert_eq!(s.reads(), 1000);
+        assert_eq!(s.reads_in("data"), 1000);
     }
 }

@@ -1,8 +1,8 @@
 //! Trace replay over a memory controller with timing accounting.
 
-use crate::timing::{Channel, TimingModel};
-use anubis::{DataAddr, MemError, MemoryController};
-use anubis_workloads::{OpKind, Trace};
+use crate::timing::{Channel, ChannelStats, TimingModel};
+use anubis::{parallel, CostAccum, DataAddr, MemError, MemoryController, LINES_PER_COUNTER_BLOCK};
+use anubis_workloads::{MemOp, OpKind, Trace};
 
 /// The outcome of replaying one trace on one controller.
 #[derive(Clone, Debug, PartialEq)]
@@ -48,7 +48,30 @@ pub fn run_trace<C: MemoryController>(
     model: &TimingModel,
 ) -> Result<RunResult, MemError> {
     let mut channel = Channel::default();
-    for op in trace.iter() {
+    replay_ops(controller, trace.ops(), &mut channel, model)?;
+    let totals = *controller.total_cost();
+    Ok(RunResult {
+        scheme: controller.scheme_name(),
+        workload: trace.name().to_string(),
+        total_ns: channel.finish(),
+        read_stall_ns: channel.read_stall_ns,
+        write_stall_ns: channel.write_stall_ns,
+        ops: trace.len(),
+        nvm_reads: totals.nvm_reads,
+        nvm_writes: totals.nvm_writes,
+        writes_per_data_write: totals.writes_per_data_write().unwrap_or(0.0),
+    })
+}
+
+/// The shared op loop: drives `ops` through `controller`, feeding every
+/// cost into `channel`.
+fn replay_ops<C: MemoryController>(
+    controller: &mut C,
+    ops: &[MemOp],
+    channel: &mut Channel,
+    model: &TimingModel,
+) -> Result<(), MemError> {
+    for op in ops {
         channel.advance(op.gap_ns as f64);
         match op.kind {
             OpKind::Read => {
@@ -64,17 +87,116 @@ pub fn run_trace<C: MemoryController>(
         }
         channel.execute(controller.last_cost(), model);
     }
-    let totals = *controller.total_cost();
-    Ok(RunResult {
-        scheme: controller.scheme_name(),
-        workload: trace.name().to_string(),
-        total_ns: channel.finish(),
-        read_stall_ns: channel.read_stall_ns,
-        write_stall_ns: channel.write_stall_ns,
-        ops: trace.len(),
-        nvm_reads: totals.nvm_reads,
-        nvm_writes: totals.nvm_writes,
-        writes_per_data_write: totals.writes_per_data_write().unwrap_or(0.0),
+    Ok(())
+}
+
+/// The outcome of a sharded replay: the merged per-channel statistics
+/// plus per-shard detail.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardedRunResult {
+    /// Merged statistics across shards: wall clock is the slowest shard
+    /// (shards model independent channels running concurrently), stall
+    /// time and NVM traffic are summed.
+    pub merged: RunResult,
+    /// Number of address shards (= controllers = channels).
+    pub shards: usize,
+    /// Lane count the shards were replayed across. Does not affect any
+    /// reported number — only how much host parallelism the replay used.
+    pub lanes: usize,
+    /// Per-shard wall clock (ns), in shard order.
+    pub shard_ns: Vec<f64>,
+}
+
+/// Maps a data-block index to its address shard: counter-block-granular
+/// round-robin, so all 64 lines sharing one counter block (and its tree
+/// path locality) land in the same shard.
+pub fn shard_of(block_index: u64, shards: usize) -> usize {
+    ((block_index / LINES_PER_COUNTER_BLOCK) % shards.max(1) as u64) as usize
+}
+
+/// Replays `trace` in sharded mode: the address space is split across
+/// `shards` independent controllers (one memory channel each, see
+/// [`shard_of`]), and the shards replay concurrently across `lanes`
+/// scoped threads ([`anubis::parallel`]).
+///
+/// Each shard sees its sub-trace in original program order, so per-shard
+/// results are deterministic; the merge runs in shard order, so the
+/// outcome is bit-identical for any `lanes` value (including the inline
+/// `lanes == 1` path). With `shards == 1` this is exactly [`run_trace`].
+///
+/// # Errors
+///
+/// Propagates the first [`MemError`] in shard order.
+pub fn run_trace_sharded<C, F>(
+    make_controller: F,
+    trace: &Trace,
+    model: &TimingModel,
+    shards: usize,
+    lanes: usize,
+) -> Result<ShardedRunResult, MemError>
+where
+    C: MemoryController,
+    F: Fn(usize) -> C + Sync,
+{
+    let shards = shards.max(1);
+    let mut sub_traces: Vec<Vec<MemOp>> = vec![Vec::new(); shards];
+    for op in trace.ops() {
+        sub_traces[shard_of(op.addr.index(), shards)].push(*op);
+    }
+
+    struct ShardOutcome {
+        stats: ChannelStats,
+        totals: CostAccum,
+        scheme: &'static str,
+    }
+    let outcomes: Vec<Result<ShardOutcome, MemError>> =
+        parallel::map_range(lanes, shards as u64, |shard| {
+            let mut controller = make_controller(shard as usize);
+            let mut channel = Channel::default();
+            replay_ops(
+                &mut controller,
+                &sub_traces[shard as usize],
+                &mut channel,
+                model,
+            )?;
+            Ok(ShardOutcome {
+                stats: ChannelStats::of(&channel),
+                totals: *controller.total_cost(),
+                scheme: controller.scheme_name(),
+            })
+        });
+
+    let mut stats = ChannelStats::default();
+    let mut totals = CostAccum::default();
+    let mut scheme = "";
+    let mut shard_ns = Vec::with_capacity(shards);
+    for outcome in outcomes {
+        let o = outcome?;
+        scheme = o.scheme;
+        shard_ns.push(o.stats.total_ns);
+        stats.merge(&o.stats);
+        totals.reads += o.totals.reads;
+        totals.writes += o.totals.writes;
+        totals.nvm_reads += o.totals.nvm_reads;
+        totals.nvm_writes += o.totals.nvm_writes;
+        totals.hash_ops += o.totals.hash_ops;
+        totals.bg_hash_ops += o.totals.bg_hash_ops;
+    }
+    Ok(ShardedRunResult {
+        merged: RunResult {
+            scheme,
+            workload: trace.name().to_string(),
+            total_ns: stats.total_ns,
+            read_stall_ns: stats.read_stall_ns,
+            write_stall_ns: stats.write_stall_ns,
+            ops: trace.len(),
+            nvm_reads: totals.nvm_reads,
+            nvm_writes: totals.nvm_writes,
+            writes_per_data_write: totals.writes_per_data_write().unwrap_or(0.0),
+        },
+        shards,
+        lanes,
+        shard_ns,
     })
 }
 
@@ -139,6 +261,70 @@ mod tests {
         let r = run_trace(&mut c, &small_trace(500), &TimingModel::paper()).unwrap();
         assert!(r.total_ns > 0.0);
         assert!(r.writes_per_data_write >= 1.0);
+    }
+
+    #[test]
+    fn sharded_with_one_shard_matches_run_trace() {
+        let cfg = AnubisConfig::small_test();
+        let trace = small_trace(800);
+        let model = TimingModel::paper();
+        let mut c = BonsaiController::new(BonsaiScheme::AgitPlus, &cfg);
+        let serial = run_trace(&mut c, &trace, &model).unwrap();
+        let sharded = run_trace_sharded(
+            |_| BonsaiController::new(BonsaiScheme::AgitPlus, &cfg),
+            &trace,
+            &model,
+            1,
+            1,
+        )
+        .unwrap();
+        assert_eq!(sharded.merged, serial);
+        assert_eq!(sharded.shard_ns, vec![serial.total_ns]);
+    }
+
+    #[test]
+    fn sharded_replay_is_lane_count_invariant() {
+        let cfg = AnubisConfig::small_test();
+        let trace = small_trace(1_000);
+        let model = TimingModel::paper();
+        let run = |lanes: usize| {
+            run_trace_sharded(
+                |_| BonsaiController::new(BonsaiScheme::Osiris, &cfg),
+                &trace,
+                &model,
+                4,
+                lanes,
+            )
+            .unwrap()
+        };
+        let inline = run(1);
+        for lanes in [2, 4, 8] {
+            let threaded = run(lanes);
+            assert_eq!(threaded.merged, inline.merged, "lanes={lanes}");
+            assert_eq!(threaded.shard_ns, inline.shard_ns, "lanes={lanes}");
+        }
+    }
+
+    #[test]
+    fn sharding_splits_work_across_channels() {
+        let cfg = AnubisConfig::small_test();
+        let trace = small_trace(2_000);
+        let model = TimingModel::paper();
+        let sharded = run_trace_sharded(
+            |_| SgxController::new(SgxScheme::Asit, &cfg),
+            &trace,
+            &model,
+            4,
+            2,
+        )
+        .unwrap();
+        assert_eq!(sharded.shards, 4);
+        assert_eq!(sharded.merged.ops, trace.len());
+        assert_eq!(sharded.shard_ns.len(), 4);
+        // Every shard saw work, and the merged clock is the slowest shard.
+        assert!(sharded.shard_ns.iter().all(|&ns| ns > 0.0));
+        let slowest = sharded.shard_ns.iter().cloned().fold(0.0, f64::max);
+        assert_eq!(sharded.merged.total_ns, slowest);
     }
 
     #[test]

@@ -104,6 +104,43 @@ impl Channel {
     }
 }
 
+/// Occupancy statistics distilled from one channel, mergeable across the
+/// per-shard channels of a sharded replay.
+///
+/// Sharded mode gives every address shard its own [`Channel`] — the shards
+/// model independent memory channels, so threading one channel's `now` /
+/// `chan_free` state through all shards would falsely serialize them.
+/// Merging instead takes the *slowest* shard's wall clock (shards run
+/// concurrently) and sums the stall time (work performed, not elapsed
+/// time, so it adds across channels).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub(crate) struct ChannelStats {
+    /// Wall-clock end of the shard's run (ns).
+    pub total_ns: f64,
+    /// Total read-stall work on this channel (ns).
+    pub read_stall_ns: f64,
+    /// Total write-queue back-pressure work on this channel (ns).
+    pub write_stall_ns: f64,
+}
+
+impl ChannelStats {
+    /// Snapshots a finished channel.
+    pub fn of(ch: &Channel) -> Self {
+        ChannelStats {
+            total_ns: ch.finish(),
+            read_stall_ns: ch.read_stall_ns,
+            write_stall_ns: ch.write_stall_ns,
+        }
+    }
+
+    /// Folds another shard's stats in: max wall clock, summed stalls.
+    pub fn merge(&mut self, other: &ChannelStats) {
+        self.total_ns = self.total_ns.max(other.total_ns);
+        self.read_stall_ns += other.read_stall_ns;
+        self.write_stall_ns += other.write_stall_ns;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,5 +234,23 @@ mod tests {
         let mut ch = Channel::default();
         ch.execute(cost(0, 3, 0), &m);
         assert!((ch.finish() - 450.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn channel_stats_merge_takes_max_clock_and_sums_stalls() {
+        let mut a = ChannelStats {
+            total_ns: 100.0,
+            read_stall_ns: 10.0,
+            write_stall_ns: 1.0,
+        };
+        let b = ChannelStats {
+            total_ns: 250.0,
+            read_stall_ns: 5.0,
+            write_stall_ns: 2.0,
+        };
+        a.merge(&b);
+        assert_eq!(a.total_ns, 250.0);
+        assert_eq!(a.read_stall_ns, 15.0);
+        assert_eq!(a.write_stall_ns, 3.0);
     }
 }
