@@ -9,6 +9,7 @@ use anubis_sim::{run_trace, Table, TimingModel};
 use anubis_workloads::{TraceGenerator, WorkloadSpec};
 
 fn main() {
+    let telemetry = anubis_bench::telemetry::start();
     let scale = scale_from_args();
     banner(
         "Ablation: shadow-update policy",
@@ -55,5 +56,10 @@ fn main() {
         "expected shape: AGIT-Read's fill-triggered shadowing grows with read\n\
          intensity while AGIT-Plus stays flat — the paper's MCF observation,\n\
          generalized into a crossover curve."
+    );
+    anubis_bench::telemetry::finish(
+        &telemetry,
+        std::path::Path::new("."),
+        "ablation_shadow_policy",
     );
 }

@@ -8,6 +8,7 @@ use anubis_sim::{run_trace, Table, TimingModel};
 use anubis_workloads::{spec2006, TraceGenerator};
 
 fn main() {
+    let telemetry = anubis_bench::telemetry::start();
     let scale = scale_from_args();
     banner(
         "Ablation: stop-loss limit",
@@ -53,4 +54,5 @@ fn main() {
          writes, zero probe work); larger limits cut counter writes but recovery\n\
          probes more candidates per counter. 4 sits near the knee — the paper's pick."
     );
+    anubis_bench::telemetry::finish(&telemetry, std::path::Path::new("."), "ablation_stop_loss");
 }

@@ -13,6 +13,7 @@ use anubis_sim::{Table, TimingModel};
 use anubis_workloads::spec2006;
 
 fn main() {
+    let telemetry = anubis_bench::telemetry::start();
     let scale = scale_from_args();
     banner(
         "Ablation: timing-model robustness",
@@ -101,5 +102,10 @@ fn main() {
     println!(
         "every row should read 'yes': the scheme ordering is invariant to the\n\
          timing model's free parameters; only magnitudes move."
+    );
+    anubis_bench::telemetry::finish(
+        &telemetry,
+        std::path::Path::new("."),
+        "ablation_timing_model",
     );
 }

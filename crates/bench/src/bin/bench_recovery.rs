@@ -53,6 +53,12 @@ fn main() {
         host_parallelism()
     );
 
+    // Controllers default to the global registry, so enabling it here
+    // lights up phase/lane spans for every timed recovery below. The
+    // recovery wall-clocks are not regression-gated against a committed
+    // baseline (throughput is), so recording during the timed loops is
+    // fine — and gives the artifact real data.
+    let telemetry = anubis_bench::telemetry::start();
     let mut diverged = false;
     let mut cases = Vec::new();
 
@@ -120,6 +126,7 @@ fn main() {
     let out = out_path_from_args("BENCH_recovery.json");
     std::fs::write(&out, doc.render()).expect("write baseline json");
     println!("wrote {}", out.display());
+    anubis_bench::telemetry::finish(&telemetry, &out, "bench_recovery");
 
     if diverged {
         eprintln!("FAIL: parallel recovery diverged from serial");

@@ -115,6 +115,20 @@ fn main() {
     std::fs::write(&out, doc.render()).expect("write baseline json");
     println!("wrote {}", out.display());
 
+    // Telemetry artifact: the timed best-of loops above ran with the
+    // global registry at its default (disabled unless ANUBIS_TELEMETRY=1)
+    // so the recorded wall-clocks gate cleanly against the committed
+    // baseline. One extra instrumented replay per scheme — outside the
+    // timed region — populates the counters for TELEMETRY_*.jsonl.
+    let telemetry = anubis_bench::telemetry::start();
+    if telemetry.enabled() {
+        let mut c = BonsaiController::new(BonsaiScheme::AgitPlus, &config);
+        run_trace(&mut c, &trace, &model).expect("instrumented replay");
+        let mut c = SgxController::new(SgxScheme::Asit, &config);
+        run_trace(&mut c, &trace, &model).expect("instrumented replay");
+    }
+    anubis_bench::telemetry::finish(&telemetry, &out, "bench_throughput");
+
     if diverged {
         eprintln!("FAIL: threaded sharded replay diverged from inline sharded replay");
         std::process::exit(1);

@@ -12,6 +12,7 @@ use anubis::{AnubisConfig, BonsaiController, BonsaiScheme, DataAddr, MemoryContr
 use anubis_sim::Table;
 
 fn main() {
+    let telemetry = anubis_bench::telemetry::start();
     println!("== Anubis reproduction :: Figure 5 ==");
     println!("Osiris full-recovery time vs memory capacity (analytical, 100 ns/op)\n");
 
@@ -53,6 +54,11 @@ fn main() {
         human_bytes(config.capacity_bytes),
         report.total_ops(),
         report.estimated_secs()
+    );
+    anubis_bench::telemetry::finish(
+        &telemetry,
+        std::path::Path::new("."),
+        "fig05_osiris_recovery",
     );
 }
 

@@ -9,6 +9,7 @@ use anubis_sim::Table;
 use anubis_workloads::spec2006;
 
 fn main() {
+    let telemetry = anubis_bench::telemetry::start();
     let scale = scale_from_args();
     banner(
         "Figure 7",
@@ -45,5 +46,10 @@ fn main() {
         "paper reference: \"most applications evict a large number of cache-blocks \
          from the counter cache that are clean\" — read-heavy apps (mcf, xalancbmk) \
          should show the highest clean fractions."
+    );
+    anubis_bench::telemetry::finish(
+        &telemetry,
+        std::path::Path::new("."),
+        "fig07_clean_evictions",
     );
 }

@@ -9,6 +9,7 @@ use anubis_sim::{Table, TimingModel};
 use anubis_workloads::spec2006;
 
 fn main() {
+    let telemetry = anubis_bench::telemetry::start();
     let scale = scale_from_args();
     banner(
         "Figure 10",
@@ -46,5 +47,10 @@ fn main() {
          agit-read 1.104, agit-plus 1.034.\n\
          Expected shape: strict ≫ everything; AGIT-Read worst on read-heavy mcf;\n\
          AGIT-Plus within a few % of Osiris while recovering in O(cache) time."
+    );
+    anubis_bench::telemetry::finish(
+        &telemetry,
+        std::path::Path::new("."),
+        "fig10_agit_performance",
     );
 }

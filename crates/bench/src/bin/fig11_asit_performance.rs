@@ -9,6 +9,7 @@ use anubis_sim::{Table, TimingModel};
 use anubis_workloads::spec2006;
 
 fn main() {
+    let telemetry = anubis_bench::telemetry::start();
     let scale = scale_from_args();
     banner(
         "Figure 11",
@@ -46,5 +47,10 @@ fn main() {
          asit 1.079. Of the four, only strict and ASIT can actually recover an \
          SGX-style tree; ASIT costs one extra NVM write per data write instead \
          of strict's ~tree-depth."
+    );
+    anubis_bench::telemetry::finish(
+        &telemetry,
+        std::path::Path::new("."),
+        "fig11_asit_performance",
     );
 }

@@ -13,6 +13,7 @@ use anubis_sim::Table;
 use anubis_workloads::spec2006;
 
 fn main() {
+    let telemetry = anubis_bench::telemetry::start();
     let scale = scale_from_args();
     banner(
         "Figure 12",
@@ -69,4 +70,5 @@ fn main() {
         );
     }
     println!("\n(executed numbers scale with cache size, not memory size — the paper's point)");
+    anubis_bench::telemetry::finish(&telemetry, std::path::Path::new("."), "fig12_recovery_time");
 }

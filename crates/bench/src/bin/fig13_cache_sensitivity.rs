@@ -9,6 +9,7 @@ use anubis_sim::{Table, TimingModel};
 use anubis_workloads::spec2006;
 
 fn main() {
+    let telemetry = anubis_bench::telemetry::start();
     let scale = scale_from_args();
     banner(
         "Figure 13",
@@ -47,5 +48,10 @@ fn main() {
     println!(
         "paper reference: overheads shrink with cache size and flatten beyond ~1 MB;\n\
          ASIT is the least sensitive (its extra writes track data writes, not locality)."
+    );
+    anubis_bench::telemetry::finish(
+        &telemetry,
+        std::path::Path::new("."),
+        "fig13_cache_sensitivity",
     );
 }

@@ -14,6 +14,7 @@ use anubis_sim::{run_trace, EnduranceModel, Table, TimingModel};
 use anubis_workloads::{spec2006, TraceGenerator};
 
 fn main() {
+    let telemetry = anubis_bench::telemetry::start();
     let scale = scale_from_args();
     banner(
         "Endurance & energy (paper §6.2, quantified)",
@@ -67,4 +68,5 @@ fn main() {
          unleveled lifetime to tree-path hot-spotting; Anubis schemes stay\n\
          within a small factor of the write-back baseline."
     );
+    anubis_bench::telemetry::finish(&telemetry, std::path::Path::new("."), "table_endurance");
 }

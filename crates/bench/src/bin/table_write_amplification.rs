@@ -12,6 +12,7 @@ use anubis_sim::{run_trace, Table, TimingModel};
 use anubis_workloads::{spec2006, TraceGenerator};
 
 fn main() {
+    let telemetry = anubis_bench::telemetry::start();
     let scale = scale_from_args();
     banner(
         "Write amplification (paper §6.2 claims)",
@@ -58,5 +59,10 @@ fn main() {
         "expected shape: strict-persist ≈ tree-depth writes per write (paper: 10+);\n\
          ASIT ≈ baseline + 1 (the Shadow Table write); AGIT variants between\n\
          Osiris and AGIT-Read depending on shadow-update policy."
+    );
+    anubis_bench::telemetry::finish(
+        &telemetry,
+        std::path::Path::new("."),
+        "table_write_amplification",
     );
 }

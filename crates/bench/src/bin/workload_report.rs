@@ -9,6 +9,7 @@ use anubis_sim::{run_trace, Table, TimingModel};
 use anubis_workloads::{spec2006, TraceGenerator};
 
 fn main() {
+    let telemetry = anubis_bench::telemetry::start();
     let scale = scale_from_args();
     banner(
         "Workload characterization",
@@ -46,4 +47,5 @@ fn main() {
         ]);
     }
     println!("{table}");
+    anubis_bench::telemetry::finish(&telemetry, std::path::Path::new("."), "workload_report");
 }

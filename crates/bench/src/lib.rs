@@ -183,6 +183,63 @@ pub mod json {
     }
 }
 
+/// Telemetry plumbing shared by the harness binaries: every bin enables
+/// the process-global registry, runs its experiment (controllers publish
+/// into the registry by default), and drops a `TELEMETRY_<name>.jsonl`
+/// artifact next to its JSON/console output.
+pub mod telemetry {
+    use anubis::telemetry::{Registry, Telemetry, TELEMETRY_ENV};
+    use std::path::{Path, PathBuf};
+
+    /// Enables the process-global registry for this harness run and
+    /// returns the handle controllers default to. `ANUBIS_TELEMETRY=0`
+    /// opts out explicitly (e.g. to time an uninstrumented run); any
+    /// other value — including unset — records, because emitting the
+    /// telemetry artifact is part of every bin's contract.
+    pub fn start() -> Telemetry {
+        let opted_out = std::env::var(TELEMETRY_ENV)
+            .map(|v| v == "0")
+            .unwrap_or(false);
+        if opted_out {
+            return Telemetry::off();
+        }
+        Registry::global().set_enabled(true);
+        Telemetry::global()
+    }
+
+    /// `TELEMETRY_<name>.jsonl` in the same directory as `out` (the bin's
+    /// `BENCH_*.json` path), so artifacts travel together.
+    pub fn sibling_path(out: &Path, name: &str) -> PathBuf {
+        let dir = out.parent().unwrap_or_else(|| Path::new("."));
+        dir.join(format!("TELEMETRY_{name}.jsonl"))
+    }
+
+    /// Takes a final snapshot and writes it plus every completed span as
+    /// JSON lines at `path`. Returns `true` when the artifact was written,
+    /// `false` when telemetry is off/disabled (nothing to write — the
+    /// zero-cost path leaves no file rather than an empty one).
+    pub fn write_jsonl(t: &Telemetry, path: &Path) -> std::io::Result<bool> {
+        let Some(reg) = t.registry() else {
+            return Ok(false);
+        };
+        let mut out = reg.snapshot().to_jsonl();
+        out.push_str(&reg.spans_jsonl());
+        std::fs::write(path, out)?;
+        Ok(true)
+    }
+
+    /// [`write_jsonl`] with the standard naming + console note; harness
+    /// bins call this once, right before exiting.
+    pub fn finish(t: &Telemetry, out: &Path, name: &str) {
+        let path = sibling_path(out, name);
+        match write_jsonl(t, &path) {
+            Ok(true) => println!("telemetry: wrote {}", path.display()),
+            Ok(false) => {}
+            Err(e) => eprintln!("telemetry: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
 /// The host's available parallelism, recorded in the baseline JSON so a
 /// speedup of ~1x on a single-core runner is interpretable.
 pub fn host_parallelism() -> usize {

@@ -23,6 +23,7 @@ use anubis_crypto::{DataCodec, SplitCounterBlock, MINOR_MAX};
 use anubis_itree::bonsai::{BonsaiHasher, Root};
 use anubis_itree::NodeId;
 use anubis_nvm::{Block, BlockAddr, PersistenceDomain, WriteOp};
+use anubis_telemetry::Telemetry;
 
 /// Which §6.1 scheme a [`BonsaiController`] runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -173,9 +174,12 @@ pub struct BonsaiController {
     reenc_log: Option<ReencLog>,
     /// Words repaired by the SEC-DED decoder on the data read path.
     ecc_corrections: u64,
+    /// Osiris probes that hit the stop-loss / minor-overflow boundary.
+    stop_loss_events: u64,
     cost: OpCost,
     totals: CostAccum,
     pending: Vec<WriteOp>,
+    telemetry: Telemetry,
 }
 
 impl BonsaiController {
@@ -212,9 +216,11 @@ impl BonsaiController {
             edge,
             reenc_log: None,
             ecc_corrections: 0,
+            stop_loss_events: 0,
             cost: OpCost::zero(),
             totals: CostAccum::default(),
             pending: Vec::new(),
+            telemetry: Telemetry::global(),
         };
         let regions = controller.layout.regions();
         controller.domain.device_mut().register_regions(regions);
@@ -324,6 +330,63 @@ impl BonsaiController {
     /// bit-flip faults absorbed on the read path).
     pub fn ecc_corrections(&self) -> u64 {
         self.ecc_corrections
+    }
+
+    /// Osiris probes that hit the stop-loss / minor-overflow boundary
+    /// (each one surfaced as [`RecoveryError::StopLossExceeded`]).
+    pub fn stop_loss_events(&self) -> u64 {
+        self.stop_loss_events
+    }
+
+    /// The telemetry handle the controller records spans and counters
+    /// through (defaults to the process-global registry).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Publishes current device/cache/controller counters into the
+    /// telemetry registry. See [`MemoryController::publish_telemetry`].
+    pub fn publish_telemetry(&self) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let t = &self.telemetry;
+        let scheme = self.scheme_name();
+        let dev = self.domain.device().stats().snapshot();
+        t.counter_set("nvm_reads_total", scheme, dev.reads);
+        t.counter_set("nvm_writes_total", scheme, dev.writes);
+        t.counter_set(
+            "nvm_max_writes_to_one_block",
+            scheme,
+            dev.max_writes_to_one_block,
+        );
+        for (region, n) in &dev.writes_by_region {
+            t.counter_set("nvm_region_writes_total", region, *n);
+        }
+        let shadow = dev
+            .writes_by_region
+            .iter()
+            .filter(|(r, _)| *r == "sct" || *r == "smt")
+            .map(|(_, n)| *n)
+            .sum::<u64>();
+        t.counter_set("shadow_table_writes_total", scheme, shadow);
+        t.counter_set("persist_writes_total", scheme, self.domain.persist_writes());
+        t.counter_set("ecc_corrections_total", scheme, self.ecc_corrections);
+        t.counter_set("stop_loss_events_total", scheme, self.stop_loss_events);
+        let ctr = self.counter_cache.stats();
+        t.counter_set("cache_hits_total", "counter", ctr.hits);
+        t.counter_set("cache_misses_total", "counter", ctr.misses);
+        if let Some(rate) = ctr.hit_rate() {
+            t.gauge_set("cache_hit_rate", "counter", rate);
+        }
+        let tree = self.tree_cache.stats();
+        t.counter_set("cache_hits_total", "tree", tree.hits);
+        t.counter_set("cache_misses_total", "tree", tree.misses);
+        if let Some(rate) = tree.hit_rate() {
+            t.gauge_set("cache_hit_rate", "tree", rate);
+        }
+        t.gauge_set("wpq_occupancy", scheme, self.domain.wpq_occupancy() as f64);
+        t.gauge_set("wpq_capacity", scheme, self.domain.wpq_capacity() as f64);
     }
 
     /// Runs crash recovery with an explicit lane count. `lanes == 1` is
@@ -1050,6 +1113,14 @@ impl MemoryController for BonsaiController {
         self.counter_cache.reset_stats();
         self.tree_cache.reset_stats();
         self.domain.device_mut().reset_stats();
+    }
+
+    fn set_telemetry(&mut self, t: Telemetry) {
+        self.telemetry = t;
+    }
+
+    fn publish_telemetry(&self) {
+        BonsaiController::publish_telemetry(self);
     }
 }
 

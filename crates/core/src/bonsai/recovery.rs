@@ -29,6 +29,7 @@ use crate::layout::{BonsaiLayout, LINES_PER_COUNTER_BLOCK};
 use crate::parallel;
 use crate::recovery::RecoveryReport;
 use crate::shadow::ShadowAddrEntry;
+use crate::MemoryController;
 use anubis_crypto::otp::IvCounter;
 use anubis_crypto::{DataCodec, SealedBlock, SplitCounterBlock};
 use anubis_itree::bonsai::{BonsaiHasher, Root};
@@ -121,12 +122,17 @@ pub(super) fn recover(
     c: &mut BonsaiController,
     lanes: usize,
 ) -> Result<RecoveryReport, RecoveryError> {
+    let tel = c.telemetry.clone();
+    let _recovery_span = tel.span("recovery", c.scheme_name());
     let redo_writes = c.domain.power_up() as u64;
     let mut t = Tally::default();
 
     // Complete any interrupted page re-encryption first; it also tells
     // AGIT recovery which extra path must be repaired.
-    let reenc_leaf = complete_reencryption(c, &mut t)?;
+    let reenc_leaf = {
+        let _span = tel.span("recovery_phase", "reencryption_replay");
+        complete_reencryption(c, &mut t)?
+    };
 
     match c.scheme {
         BonsaiScheme::StrictPersist => {
@@ -154,6 +160,7 @@ pub(super) fn recover(
         }
     }
 
+    tel.incr("recovery_runs_total", c.scheme_name(), 1);
     Ok(RecoveryReport {
         nvm_reads: t.reads,
         nvm_writes: t.writes,
@@ -288,7 +295,16 @@ fn probe_counter_block(ctx: &Ctx<'_>, leaf: NodeId) -> Result<LeafFix, RecoveryE
         match recovered {
             Some(gap) => {
                 if gap > 0 {
-                    fixed.advance_minor(line, gap);
+                    // The probe loop never exceeds MINOR_MAX for a
+                    // well-formed stale block, but a corrupted block can
+                    // present minors that overflow when replayed — surface
+                    // that as a typed error, never a panic.
+                    fixed.advance_minor(line, gap).map_err(|source| {
+                        RecoveryError::StopLossExceeded {
+                            leaf: leaf.index,
+                            source,
+                        }
+                    })?;
                     changed = true;
                     t.counters_fixed += 1;
                 }
@@ -329,14 +345,27 @@ fn fix_counter_blocks(
     leaves: &[u64],
     lanes: usize,
 ) -> Result<(), RecoveryError> {
+    let tel = c.telemetry.clone();
+    let _phase = tel
+        .span("recovery_phase", "osiris_probe")
+        .items(leaves.len() as u64);
     let results = {
         let ctx = Ctx::of(c);
-        parallel::map_slice(lanes, leaves, |&leaf| {
+        parallel::map_slice_traced(lanes, leaves, &tel, "osiris_probe_lane", |&leaf| {
             probe_counter_block(&ctx, NodeId::new(0, leaf))
         })
     };
     for (&leaf, result) in leaves.iter().zip(results) {
-        let fix = result?;
+        let fix = match result {
+            Ok(fix) => fix,
+            Err(e) => {
+                if matches!(e, RecoveryError::StopLossExceeded { .. }) {
+                    c.stop_loss_events += 1;
+                    tel.incr("stop_loss_events_total", c.scheme_name(), 1);
+                }
+                return Err(e);
+            }
+        };
         t.merge(&fix.tally);
         if let Some(block) = fix.write {
             dev_write(c, c.layout.node_addr(NodeId::new(0, leaf)), block, t);
@@ -357,9 +386,13 @@ fn fix_node_level(
     indices: &[u64],
     lanes: usize,
 ) {
+    let tel = c.telemetry.clone();
+    let _phase = tel
+        .span("recovery_phase", &format!("level_rebuild_{level}"))
+        .items(indices.len() as u64);
     let results = {
         let ctx = Ctx::of(c);
-        parallel::map_slice(lanes, indices, |&index| {
+        parallel::map_slice_traced(lanes, indices, &tel, "level_rebuild_lane", |&index| {
             compute_interior_node(&ctx, NodeId::new(level, index))
         })
     };
@@ -372,6 +405,8 @@ fn fix_node_level(
 /// Recomputes the root digest from the NVM top node and compares it with
 /// the on-chip register.
 fn check_root(c: &mut BonsaiController, t: &mut Tally) -> Result<(), RecoveryError> {
+    let tel = c.telemetry.clone();
+    let _span = tel.span("recovery_phase", "root_check");
     let top = c.layout.geometry().top();
     let top_block = {
         let ctx = Ctx::of(c);
@@ -438,14 +473,30 @@ fn recover_agit(
     // Scan the SCT and SMT across lanes; slot reads are independent and
     // the per-slot parse is pure. Merging into ordered sets in slot order
     // yields the same sets as the serial scan.
+    let tel = c.telemetry.clone();
     let (sct_entries, smt_entries) = {
+        let _span = tel.span("recovery_phase", "shadow_scan");
         let ctx = Ctx::of(c);
-        let sct = parallel::map_range(lanes, ctx.layout.sct_slots(), |slot| {
-            ShadowAddrEntry::from_block(&ctx.dev.read(ctx.layout.sct_slot(slot))).map(|e| e.node())
-        });
-        let smt = parallel::map_range(lanes, ctx.layout.smt_slots(), |slot| {
-            ShadowAddrEntry::from_block(&ctx.dev.read(ctx.layout.smt_slot(slot))).map(|e| e.node())
-        });
+        let sct = parallel::map_range_traced(
+            lanes,
+            ctx.layout.sct_slots(),
+            &tel,
+            "shadow_scan_lane",
+            |slot| {
+                ShadowAddrEntry::from_block(&ctx.dev.read(ctx.layout.sct_slot(slot)))
+                    .map(|e| e.node())
+            },
+        );
+        let smt = parallel::map_range_traced(
+            lanes,
+            ctx.layout.smt_slots(),
+            &tel,
+            "shadow_scan_lane",
+            |slot| {
+                ShadowAddrEntry::from_block(&ctx.dev.read(ctx.layout.smt_slot(slot)))
+                    .map(|e| e.node())
+            },
+        );
         (sct, smt)
     };
     t.reads += c.layout.sct_slots() + c.layout.smt_slots();

@@ -1,7 +1,7 @@
 //! Error types for the memory controllers and recovery.
 
 use crate::layout::DataAddr;
-use anubis_crypto::CryptoError;
+use anubis_crypto::{CounterError, CryptoError};
 use anubis_itree::NodeId;
 use anubis_nvm::{BlockAddr, NvmError};
 use core::fmt;
@@ -133,6 +133,25 @@ pub enum RecoveryError {
         /// Explanation of the structural limitation.
         reason: &'static str,
     },
+    /// Replaying Osiris trials hit the stop-loss / minor-overflow
+    /// boundary for a counter block — the stale block read from NVM is
+    /// corrupted (a correct persist schedule never loses that many
+    /// updates).
+    StopLossExceeded {
+        /// The counter block (leaf index) being repaired.
+        leaf: u64,
+        /// The underlying counter-arithmetic error.
+        source: CounterError,
+    },
+    /// A verified shadow table tracked more distinct nodes than the
+    /// metadata cache can hold — impossible for a shadow table written by
+    /// this controller, so it indicates NVM corruption that slipped past
+    /// (or colluded with) the shadow-root check. Surfaced as an error
+    /// rather than a panic so a torn write can never abort recovery.
+    ShadowCapacityExceeded {
+        /// Address of the node that did not fit.
+        addr: BlockAddr,
+    },
     /// Device failure during recovery.
     Nvm(NvmError),
 }
@@ -160,6 +179,16 @@ impl fmt::Display for RecoveryError {
             }
             RecoveryError::SchemeCannotRecover { reason } => {
                 write!(f, "scheme cannot recover: {reason}")
+            }
+            RecoveryError::StopLossExceeded { leaf, source } => {
+                write!(f, "counter block {leaf} is corrupted: {source}")
+            }
+            RecoveryError::ShadowCapacityExceeded { addr } => {
+                write!(
+                    f,
+                    "shadow table tracks more nodes than the metadata cache holds \
+                     (node at {addr} does not fit)"
+                )
             }
             RecoveryError::Nvm(e) => write!(f, "nvm error during recovery: {e}"),
         }

@@ -67,6 +67,8 @@ pub use recovery::RecoveryReport;
 pub use sgx::{SgxController, SgxScheme};
 pub use shadow::{ShadowAddrEntry, StEntry};
 
+pub use anubis_telemetry as telemetry;
+
 use anubis_nvm::{Block, PersistenceDomain};
 
 /// The uniform controller surface shared by every scheme.
@@ -137,4 +139,17 @@ pub trait MemoryController {
 
     /// Resets cumulative cost counters (e.g. after cache warm-up).
     fn reset_costs(&mut self);
+
+    /// Redirects the controller's observability output to `t` (controllers
+    /// default to the process-global registry). Schemes without
+    /// instrumentation may ignore the handle.
+    fn set_telemetry(&mut self, t: telemetry::Telemetry) {
+        let _ = t;
+    }
+
+    /// Publishes the controller's current counters (device stats, cache
+    /// hit rates, WPQ occupancy, ECC corrections) into its telemetry
+    /// registry. Cheap no-op when telemetry is disabled; called by the
+    /// simulator at epoch boundaries and end-of-run.
+    fn publish_telemetry(&self) {}
 }

@@ -16,6 +16,7 @@
 //! [`crate::RecoveryReport`]s and device statistics to the serial sweep
 //! (`lanes == 1` *is* the serial sweep — same code path, inline).
 
+use anubis_telemetry::Telemetry;
 use std::ops::Range;
 
 /// Hard upper bound on recovery lanes — far above any sane host, it only
@@ -106,6 +107,66 @@ where
     F: Fn(&T) -> R + Sync,
 {
     map_range(lanes, items.len() as u64, |i| f(&items[i as usize]))
+}
+
+/// [`map_range`] with per-lane span attribution: each lane records a
+/// `telemetry` span named `span` carrying its lane index and chunk size.
+/// Results are identical to `map_range` — spans observe, they never
+/// reorder. When telemetry is disabled (or the handle is off) the span
+/// guards are inert and this degrades to plain `map_range`.
+pub fn map_range_traced<R, F>(
+    lanes: usize,
+    n: u64,
+    telemetry: &Telemetry,
+    span: &'static str,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    let lanes = lanes.clamp(1, MAX_LANES);
+    if lanes == 1 || n < 2 {
+        let _guard = telemetry.span(span, "").lane(0).items(n);
+        return (0..n).map(f).collect();
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shard_chunks(n, lanes)
+            .into_iter()
+            .enumerate()
+            .map(|(lane, chunk)| {
+                let t = telemetry.clone();
+                scope.spawn(move || {
+                    let _guard = t.span(span, "").lane(lane).items(chunk.end - chunk.start);
+                    chunk.map(f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n as usize);
+        for handle in handles {
+            out.extend(handle.join().expect("recovery lane panicked"));
+        }
+        out
+    })
+}
+
+/// [`map_slice`] with per-lane span attribution (see [`map_range_traced`]).
+pub fn map_slice_traced<T, R, F>(
+    lanes: usize,
+    items: &[T],
+    telemetry: &Telemetry,
+    span: &'static str,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_range_traced(lanes, items.len() as u64, telemetry, span, |i| {
+        f(&items[i as usize])
+    })
 }
 
 #[cfg(test)]

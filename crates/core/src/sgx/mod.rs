@@ -27,6 +27,7 @@ use anubis_crypto::{DataCodec, SgxCounterNode, SGX_COUNTERS_PER_NODE};
 use anubis_itree::bonsai::Root;
 use anubis_itree::NodeId;
 use anubis_nvm::{Block, BlockAddr, PersistenceDomain, WriteOp};
+use anubis_telemetry::Telemetry;
 
 /// Which §6.2 scheme an [`SgxController`] runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -122,6 +123,7 @@ pub struct SgxController {
     cost: OpCost,
     totals: CostAccum,
     pending: Vec<WriteOp>,
+    telemetry: Telemetry,
     /// Simulation oracle: whether the last crash destroyed dirty cached
     /// metadata. Write-back and Osiris cannot recover an SGX tree in that
     /// case (paper §3); in hardware the failure surfaces as stale or
@@ -160,6 +162,7 @@ impl SgxController {
             cost: OpCost::zero(),
             totals: CostAccum::default(),
             pending: Vec::new(),
+            telemetry: Telemetry::global(),
             lost_dirty_metadata: false,
         }
     }
@@ -203,6 +206,50 @@ impl SgxController {
     /// bit-flip faults absorbed on the read path).
     pub fn ecc_corrections(&self) -> u64 {
         self.ecc_corrections
+    }
+
+    /// The telemetry handle the controller records spans and counters
+    /// through (defaults to the process-global registry).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Publishes current device/cache/controller counters into the
+    /// telemetry registry. See [`MemoryController::publish_telemetry`].
+    pub fn publish_telemetry(&self) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let t = &self.telemetry;
+        let scheme = self.scheme_name();
+        let dev = self.domain.device().stats().snapshot();
+        t.counter_set("nvm_reads_total", scheme, dev.reads);
+        t.counter_set("nvm_writes_total", scheme, dev.writes);
+        t.counter_set(
+            "nvm_max_writes_to_one_block",
+            scheme,
+            dev.max_writes_to_one_block,
+        );
+        for (region, n) in &dev.writes_by_region {
+            t.counter_set("nvm_region_writes_total", region, *n);
+        }
+        let shadow = dev
+            .writes_by_region
+            .iter()
+            .filter(|(r, _)| *r == "st")
+            .map(|(_, n)| *n)
+            .sum::<u64>();
+        t.counter_set("shadow_table_writes_total", scheme, shadow);
+        t.counter_set("persist_writes_total", scheme, self.domain.persist_writes());
+        t.counter_set("ecc_corrections_total", scheme, self.ecc_corrections);
+        let cache = self.cache.stats();
+        t.counter_set("cache_hits_total", "metadata", cache.hits);
+        t.counter_set("cache_misses_total", "metadata", cache.misses);
+        if let Some(rate) = cache.hit_rate() {
+            t.gauge_set("cache_hit_rate", "metadata", rate);
+        }
+        t.gauge_set("wpq_occupancy", scheme, self.domain.wpq_occupancy() as f64);
+        t.gauge_set("wpq_capacity", scheme, self.domain.wpq_capacity() as f64);
     }
 
     /// Runs post-crash recovery with an explicit lane count, bypassing
@@ -834,5 +881,13 @@ impl MemoryController for SgxController {
         self.totals.reset();
         self.cache.reset_stats();
         self.domain.device_mut().reset_stats();
+    }
+
+    fn set_telemetry(&mut self, t: Telemetry) {
+        self.telemetry = t;
+    }
+
+    fn publish_telemetry(&self) {
+        SgxController::publish_telemetry(self);
     }
 }

@@ -26,6 +26,7 @@ use crate::parallel;
 use crate::recovery::RecoveryReport;
 use crate::shadow::StEntry;
 use crate::shadow_tree::ShadowTree;
+use crate::MemoryController;
 use anubis_crypto::{SgxCounterNode, SGX_COUNTERS_PER_NODE};
 use anubis_nvm::BlockAddr;
 use std::collections::BTreeMap;
@@ -42,6 +43,8 @@ pub(super) fn recover(
     c: &mut SgxController,
     lanes: usize,
 ) -> Result<RecoveryReport, RecoveryError> {
+    let tel = c.telemetry.clone();
+    let _recovery_span = tel.span("recovery", c.scheme_name());
     let redo_writes = c.domain.power_up() as u64;
     let mut t = Tally::default();
     match c.scheme {
@@ -60,6 +63,7 @@ pub(super) fn recover(
         }
         SgxScheme::Asit => recover_asit(c, &mut t, lanes)?,
     }
+    tel.incr("recovery_runs_total", c.scheme_name(), 1);
     Ok(RecoveryReport {
         nvm_reads: t.reads,
         nvm_writes: t.writes,
@@ -73,19 +77,26 @@ pub(super) fn recover(
 
 /// Algorithm 2 (paper §4.3.2).
 fn recover_asit(c: &mut SgxController, t: &mut Tally, lanes: usize) -> Result<(), RecoveryError> {
+    let tel = c.telemetry.clone();
     // Step 1: read the whole Shadow Table — independent slot reads, fanned
     // out across lanes, collected in slot order.
     let st_slots = c.layout.st_slots();
     let st_blocks = {
+        let _span = tel.span("recovery_phase", "st_scan").items(st_slots);
         let dev = c.domain.device();
         let layout = &c.layout;
-        parallel::map_range(lanes, st_slots, |slot| dev.read(layout.st_slot(slot)))
+        parallel::map_range_traced(lanes, st_slots, &tel, "st_scan_lane", |slot| {
+            dev.read(layout.st_slot(slot))
+        })
     };
     t.reads += st_slots;
 
     // Step 2: regenerate SHADOW_TREE_ROOT and verify against the on-chip
     // register.
-    let rebuilt = ShadowTree::rebuild(c.config.key, st_blocks.clone());
+    let rebuilt = {
+        let _span = tel.span("recovery_phase", "shadow_verify");
+        ShadowTree::rebuild(c.config.key, st_blocks.clone())
+    };
     t.hashes += rebuilt.rebuild_hash_ops();
     if rebuilt.root() != c.shadow_root {
         return Err(RecoveryError::ShadowTableTampered);
@@ -123,18 +134,27 @@ fn recover_asit(c: &mut SgxController, t: &mut Tally, lanes: usize) -> Result<()
     // independent per entry — lanes compute them, results land in address
     // order; only the cache inserts stay serial.
     let entries: Vec<(BlockAddr, StEntry)> = by_addr.into_iter().collect();
+    let splice_span = tel
+        .span("recovery_phase", "splice")
+        .items(entries.len() as u64);
     let recovered: Vec<(BlockAddr, SgxCounterNode)> = {
         let dev = c.domain.device();
-        parallel::map_slice(lanes, &entries, |&(addr, ref entry)| {
-            let stale = SgxCounterNode::from_block(&dev.read(addr));
-            let mask = (1u64 << lsb_bits) - 1;
-            let mut node = SgxCounterNode::new();
-            for i in 0..SGX_COUNTERS_PER_NODE {
-                node.set_counter(i, (stale.counter(i) & !mask) | entry.lsbs()[i]);
-            }
-            node.set_mac(entry.mac());
-            (addr, node)
-        })
+        parallel::map_slice_traced(
+            lanes,
+            &entries,
+            &tel,
+            "splice_lane",
+            |&(addr, ref entry)| {
+                let stale = SgxCounterNode::from_block(&dev.read(addr));
+                let mask = (1u64 << lsb_bits) - 1;
+                let mut node = SgxCounterNode::new();
+                for i in 0..SGX_COUNTERS_PER_NODE {
+                    node.set_counter(i, (stale.counter(i) & !mask) | entry.lsbs()[i]);
+                }
+                node.set_mac(entry.mac());
+                (addr, node)
+            },
+        )
     };
     t.reads += recovered.len() as u64;
     for (addr, node) in &recovered {
@@ -145,13 +165,18 @@ fn recover_asit(c: &mut SgxController, t: &mut Tally, lanes: usize) -> Result<()
                 since_persist: 0,
             },
         );
-        assert!(
-            outcome.evicted.is_none(),
-            "recovered nodes co-resided before the crash and must fit"
-        );
+        // Recovered nodes co-resided before the crash, so they must fit
+        // without evicting each other; an eviction means the verified ST
+        // held more distinct nodes than the cache geometry allows —
+        // corruption, reported as a typed error rather than a panic.
+        if outcome.evicted.is_some() {
+            tel.incr("recovery_errors_total", "shadow_capacity", 1);
+            return Err(RecoveryError::ShadowCapacityExceeded { addr: *addr });
+        }
         c.cache.mark_dirty(*addr);
         t.nodes_fixed += 1;
     }
+    drop(splice_span);
 
     // Step 4: verify every recovered node's MAC against its parent
     // counter (recovered parent from the cache, the on-chip top node, or
@@ -159,6 +184,9 @@ fn recover_asit(c: &mut SgxController, t: &mut Tally, lanes: usize) -> Result<()
     // parent counters are never *contents being repaired here* — so the
     // lanes verify concurrently with no ordering barrier.
     let g = c.layout.geometry().clone();
+    let mac_span = tel
+        .span("recovery_phase", "mac_verify")
+        .items(recovered.len() as u64);
     let verdicts: Vec<(u64, bool, BlockAddr)> = {
         let dev = c.domain.device();
         let layout = &c.layout;
@@ -166,33 +194,41 @@ fn recover_asit(c: &mut SgxController, t: &mut Tally, lanes: usize) -> Result<()
         let top = c.top;
         let mac_key = &c.mac_key;
         let geom = &g;
-        parallel::map_slice(lanes, &recovered, |&(addr, ref node)| {
-            let id = layout.node_of_addr(addr).expect("validated above");
-            let mut extra_reads = 0u64;
-            let pc = match geom.parent(id) {
-                None => 0,
-                Some(p) if layout.is_on_chip(p) => top.counter(geom.child_slot(id)),
-                Some(p) => {
-                    let p_addr = layout.node_addr(p);
-                    if let Some(entry) = cache.peek(p_addr) {
-                        entry.node.counter(geom.child_slot(id))
-                    } else {
-                        extra_reads += 1;
-                        let b = dev.read(p_addr);
-                        SgxCounterNode::from_block(&b).counter(geom.child_slot(id))
+        parallel::map_slice_traced(
+            lanes,
+            &recovered,
+            &tel,
+            "mac_verify_lane",
+            |&(addr, ref node)| {
+                let id = layout.node_of_addr(addr).expect("validated above");
+                let mut extra_reads = 0u64;
+                let pc = match geom.parent(id) {
+                    None => 0,
+                    Some(p) if layout.is_on_chip(p) => top.counter(geom.child_slot(id)),
+                    Some(p) => {
+                        let p_addr = layout.node_addr(p);
+                        if let Some(entry) = cache.peek(p_addr) {
+                            entry.node.counter(geom.child_slot(id))
+                        } else {
+                            extra_reads += 1;
+                            let b = dev.read(p_addr);
+                            SgxCounterNode::from_block(&b).counter(geom.child_slot(id))
+                        }
                     }
-                }
-            };
-            (extra_reads, node.verify(mac_key, pc), addr)
-        })
+                };
+                (extra_reads, node.verify(mac_key, pc), addr)
+            },
+        )
     };
     for (extra_reads, ok, addr) in verdicts {
         t.reads += extra_reads;
         t.hashes += 1;
         if !ok {
+            tel.incr("recovery_errors_total", "node_mac_mismatch", 1);
             return Err(RecoveryError::NodeMacMismatch { addr });
         }
     }
+    drop(mac_span);
 
     // Normalize the Shadow Table to the post-recovery cache state.
     //
@@ -203,16 +239,22 @@ fn recover_asit(c: &mut SgxController, t: &mut Tally, lanes: usize) -> Result<()
     // Recovery therefore rewrites each recovered node's entry at its
     // current slot and clears every other slot, re-anchoring
     // SHADOW_TREE_ROOT. O(cache) work, like the rest of Algorithm 2.
+    let _rewrite_span = tel
+        .span("recovery_phase", "st_rewrite")
+        .items(recovered.len() as u64);
     let lsb_mask = (1u64 << lsb_bits) - 1;
     let mut fresh_tree = ShadowTree::new(c.config.key, st_slots);
     t.hashes += fresh_tree.rebuild_hash_ops();
     let mut occupied = vec![false; st_slots as usize];
     for (addr, node) in &recovered {
-        let slot = c
-            .cache
-            .slot_of(*addr)
-            .expect("recovered node is resident")
-            .linear(c.cache.ways()) as u64;
+        // Residency was established by the insert loop above; a miss here
+        // would mean the cache dropped a just-inserted node — treat it as
+        // the same capacity corruption rather than panicking.
+        let Some(slot_id) = c.cache.slot_of(*addr) else {
+            tel.incr("recovery_errors_total", "shadow_capacity", 1);
+            return Err(RecoveryError::ShadowCapacityExceeded { addr: *addr });
+        };
+        let slot = slot_id.linear(c.cache.ways()) as u64;
         let mut lsbs = [0u64; SGX_COUNTERS_PER_NODE];
         for (i, l) in lsbs.iter_mut().enumerate() {
             *l = node.counter(i) & lsb_mask;

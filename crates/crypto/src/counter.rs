@@ -1,6 +1,45 @@
 //! The split-counter scheme (paper §2.2, Fig. 1).
 
 use anubis_nvm::Block;
+use core::fmt;
+
+/// Errors from counter arithmetic during recovery replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CounterError {
+    /// Replaying Osiris trials would advance a minor counter past its
+    /// 7-bit overflow boundary — more lost updates than the stop-loss
+    /// window permits, which a correct persist schedule never produces.
+    /// Reachable from corrupted NVM (a torn counter-block write can
+    /// present an arbitrary stale minor), so it must surface as an error,
+    /// not a panic.
+    StopLossExceeded {
+        /// The line whose minor counter would overflow.
+        line: usize,
+        /// The stale minor counter value read from NVM.
+        minor: u8,
+        /// The advance that was requested.
+        advance: u8,
+    },
+}
+
+impl fmt::Display for CounterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CounterError::StopLossExceeded {
+                line,
+                minor,
+                advance,
+            } => write!(
+                f,
+                "advancing minor counter for line {line} by {advance} from {minor} \
+                 would cross the overflow boundary (stop-loss exceeded)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CounterError {}
 
 /// Number of minor counters per counter block — one per 64-byte line of a
 /// 4 KiB page.
@@ -98,20 +137,35 @@ impl SplitCounterBlock {
     }
 
     /// Advances the minor counter for `line` by `n` without page
-    /// re-encryption, saturating below overflow — used by recovery code to
-    /// replay Osiris trials.
+    /// re-encryption — used by recovery code to replay Osiris trials.
+    ///
+    /// Recovery of an *intact* counter block never needs to cross an
+    /// overflow boundary (the stop-loss persist happens before it), but a
+    /// corrupted block read back from NVM can present an arbitrary stale
+    /// minor, so the boundary is a typed error rather than a panic: a torn
+    /// write must never abort the recovering process.
+    ///
+    /// # Errors
+    ///
+    /// [`CounterError::StopLossExceeded`] if the addition would overflow
+    /// the 7-bit minor counter. The counter block is left unchanged.
     ///
     /// # Panics
     ///
-    /// Panics if the addition would overflow the 7-bit minor counter, since
-    /// recovery never needs to cross an overflow boundary (the stop-loss
-    /// write happens before it).
-    pub fn advance_minor(&mut self, line: usize, n: u8) {
-        let v = self.minors[line]
-            .checked_add(n)
-            .expect("minor overflow during advance");
-        assert!(v <= MINOR_MAX, "minor counter advanced past overflow");
-        self.minors[line] = v;
+    /// Panics if `line >= 64`.
+    pub fn advance_minor(&mut self, line: usize, n: u8) -> Result<(), CounterError> {
+        let v = self.minors[line].checked_add(n).filter(|&v| v <= MINOR_MAX);
+        match v {
+            Some(v) => {
+                self.minors[line] = v;
+                Ok(())
+            }
+            None => Err(CounterError::StopLossExceeded {
+                line,
+                minor: self.minors[line],
+                advance: n,
+            }),
+        }
     }
 
     /// Serializes into a 64-byte block: word 0 = major (LE), bytes 8..64 =
@@ -222,14 +276,34 @@ mod tests {
         for _ in 0..7 {
             a.increment(4);
         }
-        b.advance_minor(4, 7);
+        b.advance_minor(4, 7).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
-    #[should_panic(expected = "past overflow")]
-    fn advance_past_overflow_panics() {
+    fn advance_past_overflow_is_a_typed_error_not_a_panic() {
         let mut c = SplitCounterBlock::new();
-        c.advance_minor(0, MINOR_MAX + 1);
+        assert_eq!(
+            c.advance_minor(0, MINOR_MAX + 1),
+            Err(CounterError::StopLossExceeded {
+                line: 0,
+                minor: 0,
+                advance: MINOR_MAX + 1,
+            })
+        );
+        // The failed advance must leave the block untouched.
+        assert_eq!(c, SplitCounterBlock::new());
+
+        // Boundary cases: up to MINOR_MAX is fine, one past is not.
+        assert!(c.advance_minor(5, MINOR_MAX).is_ok());
+        assert_eq!(c.minor(5), MINOR_MAX);
+        let err = c.advance_minor(5, 1).unwrap_err();
+        assert!(err.to_string().contains("stop-loss"));
+        assert_eq!(c.minor(5), MINOR_MAX);
+
+        // u8 wrap-around (corrupted stale minor + large gap) is caught too.
+        let mut d = SplitCounterBlock::new();
+        d.advance_minor(0, MINOR_MAX).unwrap();
+        assert!(d.advance_minor(0, 200).is_err());
     }
 }

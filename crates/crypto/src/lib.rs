@@ -35,7 +35,9 @@ mod sgx;
 mod speck;
 
 pub use codec::{DataCodec, SealedBlock};
-pub use counter::{CounterIncrement, SplitCounterBlock, MINOR_COUNTERS_PER_BLOCK, MINOR_MAX};
+pub use counter::{
+    CounterError, CounterIncrement, SplitCounterBlock, MINOR_COUNTERS_PER_BLOCK, MINOR_MAX,
+};
 pub use error::CryptoError;
 pub use sgx::{SgxCounterNode, SGX_COUNTERS_PER_NODE, SGX_COUNTER_BITS, SGX_COUNTER_MAX};
 pub use speck::Speck128;

@@ -70,7 +70,8 @@ fn split_counter_roundtrip() {
         let mut rng = SplitMix64::new(seed ^ 0x5011);
         let mut ctr = SplitCounterBlock::with_major(rng.next_u64());
         for i in 0..MINOR_COUNTERS_PER_BLOCK {
-            ctr.advance_minor(i, rng.gen_range(0..u64::from(MINOR_MAX) + 1) as u8);
+            ctr.advance_minor(i, rng.gen_range(0..u64::from(MINOR_MAX) + 1) as u8)
+                .unwrap();
         }
         let back = SplitCounterBlock::from_block(&ctr.to_block());
         assert_eq!(back, ctr, "seed {seed}");

@@ -91,6 +91,17 @@ impl PersistenceDomain {
         self.commits
     }
 
+    /// Current write-pending-queue occupancy (entries held under ADR),
+    /// exposed for the observability layer's `wpq_occupancy` gauge.
+    pub fn wpq_occupancy(&self) -> usize {
+        self.wpq.len()
+    }
+
+    /// The WPQ's capacity in entries.
+    pub fn wpq_capacity(&self) -> usize {
+        self.wpq.capacity()
+    }
+
     /// Lifetime count of device-level writes drained through
     /// [`PersistenceDomain::commit_group`]. Fault plans trigger on indices
     /// in this space, so a harness can dry-run a workload, read this

@@ -56,5 +56,5 @@ pub use error::NvmError;
 pub use fault::{FaultKind, FaultPlan};
 pub use pregs::{CommitPhase, PersistentRegisters, PREG_CAPACITY};
 pub use rng::SplitMix64;
-pub use stats::NvmStats;
+pub use stats::{NvmStats, StatsSnapshot};
 pub use wpq::{Wpq, DEFAULT_WPQ_ENTRIES};

@@ -116,6 +116,47 @@ impl NvmStats {
     pub fn reset(&mut self) {
         *self = Self::default();
     }
+
+    /// A plain-value snapshot of every counter — the bridge the
+    /// observability layer publishes into its metric registry without
+    /// `anubis-nvm` needing a telemetry dependency.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            reads: self.reads(),
+            writes: self.writes(),
+            max_writes_to_one_block: self.max_writes_to_one_block(),
+            reads_by_region: self
+                .reads_by_region
+                .lock()
+                .expect("stats mutex")
+                .iter()
+                .map(|(k, v)| (*k, *v))
+                .collect(),
+            writes_by_region: self
+                .writes_by_region
+                .lock()
+                .expect("stats mutex")
+                .iter()
+                .map(|(k, v)| (*k, *v))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`NvmStats`] as plain values, in region-name
+/// order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Total block reads served by the device.
+    pub reads: u64,
+    /// Total block writes applied to the device.
+    pub writes: u64,
+    /// The largest number of writes any single block has received.
+    pub max_writes_to_one_block: u64,
+    /// `(region, reads)` pairs in region-name order.
+    pub reads_by_region: Vec<(&'static str, u64)>,
+    /// `(region, writes)` pairs in region-name order.
+    pub writes_by_region: Vec<(&'static str, u64)>,
 }
 
 impl Clone for NvmStats {

@@ -88,6 +88,8 @@ mod tests {
             nvm_reads: reads,
             nvm_writes: writes,
             writes_per_data_write: 1.0,
+            busy_ns: 0.0,
+            channel_time_ns: total_ns,
         }
     }
 

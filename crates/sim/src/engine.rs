@@ -1,6 +1,7 @@
 //! Trace replay over a memory controller with timing accounting.
 
 use crate::timing::{Channel, ChannelStats, TimingModel};
+use anubis::telemetry::{Snapshot, Telemetry};
 use anubis::{parallel, CostAccum, DataAddr, MemError, MemoryController, LINES_PER_COUNTER_BLOCK};
 use anubis_workloads::{MemOp, OpKind, Trace};
 
@@ -25,12 +26,29 @@ pub struct RunResult {
     pub nvm_writes: u64,
     /// NVM writes per data write (endurance metric).
     pub writes_per_data_write: f64,
+    /// Channel transfer occupancy, summed across channels (ns).
+    pub busy_ns: f64,
+    /// Total channel-time, summed across channels (ns); each channel
+    /// contributes its own wall clock, so idle shards add nothing.
+    pub channel_time_ns: f64,
 }
 
 impl RunResult {
     /// Execution time normalized to a baseline result (> 1 means slower).
     pub fn normalized_to(&self, baseline: &RunResult) -> f64 {
         self.total_ns / baseline.total_ns
+    }
+
+    /// Fraction of channel-time spent transferring, in `[0, 1]`.
+    /// Invariant under sharding: a trace confined to one shard reports
+    /// the same utilization at `shards == 1` and `shards == N` (idle
+    /// shards contribute zero to both numerator and denominator).
+    pub fn utilization(&self) -> f64 {
+        if self.channel_time_ns <= 0.0 {
+            0.0
+        } else {
+            (self.busy_ns / self.channel_time_ns).clamp(0.0, 1.0)
+        }
     }
 }
 
@@ -49,18 +67,77 @@ pub fn run_trace<C: MemoryController>(
 ) -> Result<RunResult, MemError> {
     let mut channel = Channel::default();
     replay_ops(controller, trace.ops(), &mut channel, model)?;
+    controller.publish_telemetry();
+    Ok(result_of(controller, trace, &ChannelStats::of(&channel)))
+}
+
+/// Distills a finished channel + controller into a [`RunResult`].
+fn result_of<C: MemoryController>(
+    controller: &C,
+    trace: &Trace,
+    stats: &ChannelStats,
+) -> RunResult {
     let totals = *controller.total_cost();
-    Ok(RunResult {
+    RunResult {
         scheme: controller.scheme_name(),
         workload: trace.name().to_string(),
-        total_ns: channel.finish(),
-        read_stall_ns: channel.read_stall_ns,
-        write_stall_ns: channel.write_stall_ns,
+        total_ns: stats.total_ns,
+        read_stall_ns: stats.read_stall_ns,
+        write_stall_ns: stats.write_stall_ns,
         ops: trace.len(),
         nvm_reads: totals.nvm_reads,
         nvm_writes: totals.nvm_writes,
         writes_per_data_write: totals.writes_per_data_write().unwrap_or(0.0),
-    })
+        busy_ns: stats.busy_ns,
+        channel_time_ns: stats.channel_time_ns,
+    }
+}
+
+/// [`run_trace`] with periodic telemetry snapshots: after every
+/// `epoch_ops` trace operations the controller publishes its counters
+/// (device stats, cache rates, WPQ occupancy) and a [`Snapshot`] is taken
+/// from `telemetry`. Returns the run result plus the epoch snapshots in
+/// order (one final snapshot covers the tail even when the trace length
+/// is not a multiple of `epoch_ops`).
+///
+/// When telemetry is disabled the snapshot list comes back empty and the
+/// replay costs the same as [`run_trace`].
+///
+/// # Errors
+///
+/// Same as [`run_trace`].
+pub fn run_trace_with_epochs<C: MemoryController>(
+    controller: &mut C,
+    trace: &Trace,
+    model: &TimingModel,
+    epoch_ops: usize,
+    telemetry: &Telemetry,
+) -> Result<(RunResult, Vec<Snapshot>), MemError> {
+    let mut channel = Channel::default();
+    let mut snapshots = Vec::new();
+    let epoch = epoch_ops.max(1);
+    let mut done: u64 = 0;
+    for chunk in trace.ops().chunks(epoch) {
+        replay_ops(controller, chunk, &mut channel, model)?;
+        done += chunk.len() as u64;
+        if telemetry.enabled() {
+            controller.publish_telemetry();
+            telemetry.counter_set("sim_ops_total", controller.scheme_name(), done);
+            telemetry.gauge_set("sim_now_ns", controller.scheme_name(), channel.now);
+            telemetry.gauge_set(
+                "sim_utilization",
+                controller.scheme_name(),
+                ChannelStats::of(&channel).utilization(),
+            );
+            if let Some(snap) = telemetry.take_snapshot() {
+                snapshots.push(snap);
+            }
+        }
+    }
+    Ok((
+        result_of(controller, trace, &ChannelStats::of(&channel)),
+        snapshots,
+    ))
 }
 
 /// The shared op loop: drives `ops` through `controller`, feeding every
@@ -159,6 +236,7 @@ where
                 &mut channel,
                 model,
             )?;
+            controller.publish_telemetry();
             Ok(ShardOutcome {
                 stats: ChannelStats::of(&channel),
                 totals: *controller.total_cost(),
@@ -193,6 +271,8 @@ where
             nvm_reads: totals.nvm_reads,
             nvm_writes: totals.nvm_writes,
             writes_per_data_write: totals.writes_per_data_write().unwrap_or(0.0),
+            busy_ns: stats.busy_ns,
+            channel_time_ns: stats.channel_time_ns,
         },
         shards,
         lanes,
@@ -325,6 +405,113 @@ mod tests {
         assert!(sharded.shard_ns.iter().all(|&ns| ns > 0.0));
         let slowest = sharded.shard_ns.iter().cloned().fold(0.0, f64::max);
         assert_eq!(sharded.merged.total_ns, slowest);
+    }
+
+    #[test]
+    fn epoch_snapshots_are_monotone_and_cover_the_tail() {
+        let cfg = AnubisConfig::small_test();
+        let mut c = BonsaiController::new(BonsaiScheme::AgitPlus, &cfg);
+        let (reg, tel) = anubis::telemetry::Telemetry::private();
+        c.set_telemetry(tel.clone());
+        let trace = small_trace(250);
+        let (result, snaps) =
+            run_trace_with_epochs(&mut c, &trace, &TimingModel::paper(), 100, &tel).unwrap();
+        assert_eq!(result.ops, 250);
+        // 100 + 100 + 50 → three epochs.
+        assert_eq!(snaps.len(), 3);
+        for pair in snaps.windows(2) {
+            assert!(pair[1].seq > pair[0].seq);
+            assert!(pair[1].at_ns >= pair[0].at_ns);
+            for (name, labels) in &pair[0].counters {
+                for (label, value) in labels {
+                    let later = pair[1].counter(name, label);
+                    assert!(
+                        later >= *value,
+                        "counter {name}{{{label}}} regressed: {later} < {value}"
+                    );
+                }
+            }
+        }
+        let last = snaps.last().unwrap();
+        assert_eq!(last.counter("sim_ops_total", "agit-plus"), 250);
+        assert!(last.counter("nvm_writes_total", "agit-plus") > 0);
+        drop(reg);
+    }
+
+    #[test]
+    fn epoch_variant_matches_run_trace_when_disabled() {
+        let cfg = AnubisConfig::small_test();
+        let trace = small_trace(400);
+        let model = TimingModel::paper();
+        let mut a = BonsaiController::new(BonsaiScheme::Osiris, &cfg);
+        a.set_telemetry(anubis::telemetry::Telemetry::off());
+        let plain = run_trace(&mut a, &trace, &model).unwrap();
+        let mut b = BonsaiController::new(BonsaiScheme::Osiris, &cfg);
+        let off = anubis::telemetry::Telemetry::off();
+        b.set_telemetry(off.clone());
+        let (epoch, snaps) = run_trace_with_epochs(&mut b, &trace, &model, 64, &off).unwrap();
+        assert_eq!(plain, epoch);
+        assert!(snaps.is_empty());
+    }
+
+    #[test]
+    fn utilization_is_invariant_under_sharding_for_a_one_shard_trace() {
+        let cfg = AnubisConfig::small_test();
+        // Confine every op to the first counter-block group so the trace
+        // lands entirely in shard 0 at any shard count.
+        let ops: Vec<MemOp> = (0..600)
+            .map(|i| {
+                let addr = anubis_nvm::BlockAddr::new(i % LINES_PER_COUNTER_BLOCK);
+                if i % 3 == 0 {
+                    MemOp::read(addr, 10)
+                } else {
+                    MemOp::write(addr, 10)
+                }
+            })
+            .collect();
+        let trace = Trace::new("one-shard", ops);
+        let model = TimingModel::paper();
+        let run = |shards: usize| {
+            run_trace_sharded(
+                |_| BonsaiController::new(BonsaiScheme::AgitPlus, &cfg),
+                &trace,
+                &model,
+                shards,
+                1,
+            )
+            .unwrap()
+        };
+        let single = run(1);
+        let many = run(4);
+        assert!(single.merged.utilization() > 0.0);
+        assert_eq!(
+            single.merged.utilization(),
+            many.merged.utilization(),
+            "idle shards must not change utilization"
+        );
+        assert_eq!(single.merged.busy_ns, many.merged.busy_ns);
+        assert_eq!(single.merged.channel_time_ns, many.merged.channel_time_ns);
+    }
+
+    #[test]
+    fn utilization_stays_in_unit_interval_with_busy_shards() {
+        let cfg = AnubisConfig::small_test();
+        let trace = small_trace(1_500);
+        let model = TimingModel::paper();
+        let sharded = run_trace_sharded(
+            |_| BonsaiController::new(BonsaiScheme::StrictPersist, &cfg),
+            &trace,
+            &model,
+            4,
+            2,
+        )
+        .unwrap();
+        let u = sharded.merged.utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u} out of range");
+        // The old bug: dividing summed per-channel work by the max wall
+        // clock. With 4 busy shards that quotient can exceed 1.0; the
+        // summed channel-time denominator keeps it a true fraction.
+        assert!(sharded.merged.channel_time_ns >= sharded.merged.total_ns);
     }
 
     #[test]

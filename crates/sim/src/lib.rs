@@ -43,7 +43,10 @@ pub mod experiments;
 pub mod fault;
 
 pub use endurance::EnduranceModel;
-pub use engine::{payload, run_trace, run_trace_sharded, shard_of, RunResult, ShardedRunResult};
+pub use engine::{
+    payload, run_trace, run_trace_sharded, run_trace_with_epochs, shard_of, RunResult,
+    ShardedRunResult,
+};
 pub use fault::{
     bit_flip_sweep, count_persist_writes, op_payload, power_cut_sweep, run_with_fault,
     torn_write_sweep, CampaignReport, FaultVerdict, ScriptOp,

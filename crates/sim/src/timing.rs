@@ -56,6 +56,10 @@ pub(crate) struct Channel {
     pub write_stall_ns: f64,
     /// Total stall time waiting on reads (ns).
     pub read_stall_ns: f64,
+    /// Total channel occupancy: time the channel spent actually
+    /// transferring blocks (ns). Grows by exactly `latency / banks` per
+    /// scheduled access, so `busy_ns <= finish()` always holds.
+    pub busy_ns: f64,
 }
 
 impl Channel {
@@ -75,7 +79,9 @@ impl Channel {
         if cost.nvm_reads > 0 {
             let start = self.chan_free.max(self.now);
             let latency = model.read_ns + (cost.nvm_reads as f64 - 1.0) * model.read_ns / banks;
-            self.chan_free = start + cost.nvm_reads as f64 * model.read_ns / banks;
+            let occupancy = cost.nvm_reads as f64 * model.read_ns / banks;
+            self.chan_free = start + occupancy;
+            self.busy_ns += occupancy;
             let done = start + latency;
             let stall = done - self.now;
             self.read_stall_ns += stall.max(0.0);
@@ -86,8 +92,9 @@ impl Channel {
         // Writes are posted: they consume channel occupancy but the CPU
         // only stalls when the backlog exceeds the queue depth.
         if cost.nvm_writes > 0 {
-            self.chan_free =
-                self.chan_free.max(self.now) + cost.nvm_writes as f64 * model.write_ns / banks;
+            let occupancy = cost.nvm_writes as f64 * model.write_ns / banks;
+            self.chan_free = self.chan_free.max(self.now) + occupancy;
+            self.busy_ns += occupancy;
             let backlog_limit = model.write_queue_depth as f64 * model.write_ns / banks;
             if self.chan_free - self.now > backlog_limit {
                 let target = self.chan_free - backlog_limit;
@@ -121,6 +128,14 @@ pub(crate) struct ChannelStats {
     pub read_stall_ns: f64,
     /// Total write-queue back-pressure work on this channel (ns).
     pub write_stall_ns: f64,
+    /// Total transfer occupancy across the merged channels (ns, summed).
+    pub busy_ns: f64,
+    /// Total channel-time across the merged channels (ns, summed): each
+    /// channel contributes its own wall clock, so an idle shard adds
+    /// nothing. This is the correct denominator for utilization — dividing
+    /// summed per-channel work by the *max* wall clock (the merged
+    /// `total_ns`) would inflate utilization by up to the shard count.
+    pub channel_time_ns: f64,
 }
 
 impl ChannelStats {
@@ -130,14 +145,31 @@ impl ChannelStats {
             total_ns: ch.finish(),
             read_stall_ns: ch.read_stall_ns,
             write_stall_ns: ch.write_stall_ns,
+            busy_ns: ch.busy_ns,
+            channel_time_ns: ch.finish(),
         }
     }
 
-    /// Folds another shard's stats in: max wall clock, summed stalls.
+    /// Folds another shard's stats in: max wall clock, summed stalls,
+    /// summed occupancy and channel-time.
     pub fn merge(&mut self, other: &ChannelStats) {
         self.total_ns = self.total_ns.max(other.total_ns);
         self.read_stall_ns += other.read_stall_ns;
         self.write_stall_ns += other.write_stall_ns;
+        self.busy_ns += other.busy_ns;
+        self.channel_time_ns += other.channel_time_ns;
+    }
+
+    /// Fraction of channel-time spent transferring, in `[0, 1]`.
+    /// Invariant under sharding: a trace confined to one shard reports
+    /// the same utilization at `shards == 1` and `shards == N`, because
+    /// idle shards contribute zero to both numerator and denominator.
+    pub fn utilization(&self) -> f64 {
+        if self.channel_time_ns <= 0.0 {
+            0.0
+        } else {
+            (self.busy_ns / self.channel_time_ns).clamp(0.0, 1.0)
+        }
     }
 }
 
@@ -242,15 +274,54 @@ mod tests {
             total_ns: 100.0,
             read_stall_ns: 10.0,
             write_stall_ns: 1.0,
+            busy_ns: 50.0,
+            channel_time_ns: 100.0,
         };
         let b = ChannelStats {
             total_ns: 250.0,
             read_stall_ns: 5.0,
             write_stall_ns: 2.0,
+            busy_ns: 100.0,
+            channel_time_ns: 250.0,
         };
         a.merge(&b);
         assert_eq!(a.total_ns, 250.0);
         assert_eq!(a.read_stall_ns, 15.0);
         assert_eq!(a.write_stall_ns, 3.0);
+        assert_eq!(a.busy_ns, 150.0);
+        assert_eq!(a.channel_time_ns, 350.0);
+        assert!((a.utilization() - 150.0 / 350.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_tracks_occupancy_and_bounds_utilization() {
+        let m = serial();
+        let mut ch = Channel::default();
+        ch.execute(cost(2, 3, 0), &m);
+        // 2 reads * 60 + 3 writes * 150 of occupancy at banks=1.
+        assert!((ch.busy_ns - (120.0 + 450.0)).abs() < 1e-9);
+        assert!(ch.busy_ns <= ch.finish() + 1e-9);
+        let s = ChannelStats::of(&ch);
+        assert!(s.utilization() > 0.0 && s.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn idle_channel_reports_zero_utilization() {
+        let s = ChannelStats::of(&Channel::default());
+        assert_eq!(s.utilization(), 0.0);
+        assert_eq!(s.channel_time_ns, 0.0);
+    }
+
+    #[test]
+    fn idle_shards_do_not_dilute_or_inflate_utilization() {
+        let m = serial();
+        let mut ch = Channel::default();
+        ch.execute(cost(4, 4, 0), &m);
+        let active = ChannelStats::of(&ch);
+        let mut merged = ChannelStats::of(&ch);
+        for _ in 0..7 {
+            merged.merge(&ChannelStats::of(&Channel::default()));
+        }
+        assert_eq!(merged.utilization(), active.utilization());
     }
 }

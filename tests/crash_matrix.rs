@@ -209,6 +209,49 @@ fn intra_op_sweep_mode() {
 }
 
 #[test]
+fn stale_counter_beyond_stop_loss_errs_without_panic() {
+    // The stop-loss boundary: Osiris can only probe `stop_loss` minor
+    // increments past the persisted counter. Replay a stale counter block
+    // whose gap to the actual data exceeds that budget — recovery must
+    // surface a typed error, never panic, and the same crash image must
+    // still recover when the counter is left untampered.
+    use anubis::RecoveryError;
+    let cfg = AnubisConfig::small_test();
+    let mut c = BonsaiController::new(BonsaiScheme::Osiris, &cfg);
+    let a = DataAddr::new(9);
+    c.write(a, payload(0)).unwrap();
+    c.shutdown_flush().unwrap();
+    let (leaf, _) = c.layout().counter_of(a);
+    let ctr = c.layout().node_addr(leaf);
+    let stale = c.domain().device().peek(ctr);
+    // stop_loss + 2 more writes: the data line's minor is now further
+    // ahead of the recorded `stale` block than probing can bridge.
+    for i in 1..=u64::from(cfg.stop_loss) + 2 {
+        c.write(a, payload(i)).unwrap();
+    }
+    c.domain_mut().drain_wpq();
+    c.crash();
+
+    // Positive control: the honest crash image recovers.
+    let mut honest = c.clone();
+    honest
+        .recover()
+        .expect("untampered crash image must recover");
+
+    c.domain_mut().device_mut().tamper_replay(ctr, stale);
+    let err = c
+        .recover()
+        .expect_err("a counter gap beyond stop-loss must be an error, not a panic");
+    assert!(
+        matches!(
+            err,
+            RecoveryError::CounterNotRecovered { .. } | RecoveryError::StopLossExceeded { .. }
+        ),
+        "unexpected recovery error: {err}"
+    );
+}
+
+#[test]
 fn counter_write_through_survives_every_crash_point() {
     let cfg = AnubisConfig::small_test();
     run_crash_matrix(

@@ -161,6 +161,85 @@ fn strict_persist_recovery_is_lane_invariant() {
 }
 
 #[test]
+fn telemetry_snapshot_is_lane_invariant() {
+    // The determinism contract extends to telemetry: counters and gauges
+    // published during and after recovery must be bit-identical at 1, 2
+    // and 8 lanes, and whole-phase span counts must match. (Per-lane span
+    // counts legitimately vary with the lane count and span durations are
+    // wall-clock — both excluded.)
+    use anubis::telemetry::Telemetry;
+    let cfg = AnubisConfig::small_test();
+    for lanes_under_test in [1usize, 2, 8] {
+        let mut baseline = None;
+        // Bonsai (Osiris probe + tree rebuild) and SGX (ST scan + splice)
+        // exercise both recovery engines.
+        for run in 0..2 {
+            let mut ctrl = BonsaiController::new(BonsaiScheme::Osiris, &cfg);
+            for (i, (is_write, addr)) in script(48).iter().enumerate() {
+                if *is_write {
+                    ctrl.write(DataAddr::new(*addr), payload(i as u64)).unwrap();
+                } else {
+                    ctrl.read(DataAddr::new(*addr)).unwrap();
+                }
+            }
+            ctrl.crash();
+            let (reg, tel) = Telemetry::private();
+            ctrl.set_telemetry(tel);
+            let lanes = if run == 0 { 1 } else { lanes_under_test };
+            ctrl.recover_with_lanes(lanes).unwrap();
+            ctrl.publish_telemetry();
+            let snap = reg.snapshot();
+            let view = (
+                snap.counters.clone(),
+                snap.gauges.clone(),
+                reg.span_count("recovery"),
+                reg.span_count("recovery_phase"),
+            );
+            match &baseline {
+                None => baseline = Some(view),
+                Some(serial) => assert_eq!(
+                    serial, &view,
+                    "telemetry diverged between 1 and {lanes_under_test} lanes"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn sgx_telemetry_snapshot_is_lane_invariant() {
+    use anubis::telemetry::Telemetry;
+    let cfg = AnubisConfig::small_test();
+    let mut baseline = None;
+    for lanes in [1usize, 2, 8] {
+        let mut ctrl = SgxController::new(SgxScheme::Asit, &cfg);
+        for (i, (is_write, addr)) in script(48).iter().enumerate() {
+            if *is_write {
+                ctrl.write(DataAddr::new(*addr), payload(i as u64)).unwrap();
+            } else {
+                ctrl.read(DataAddr::new(*addr)).unwrap();
+            }
+        }
+        ctrl.crash();
+        let (reg, tel) = Telemetry::private();
+        ctrl.set_telemetry(tel);
+        ctrl.recover_with_lanes(lanes).unwrap();
+        ctrl.publish_telemetry();
+        let snap = reg.snapshot();
+        let view = (
+            snap.counters.clone(),
+            snap.gauges.clone(),
+            reg.span_count("recovery"),
+            reg.span_count("recovery_phase"),
+        );
+        match &baseline {
+            None => baseline = Some(view),
+            Some(serial) => assert_eq!(serial, &view, "asit telemetry diverged at {lanes} lanes"),
+        }
+    }
+}
+
+#[test]
 fn reencryption_crash_recovery_is_lane_invariant() {
     // Crash mid page-reencryption (minor counter overflow), then compare
     // the recovery across lane counts — exercises the whole-tree rebuild
