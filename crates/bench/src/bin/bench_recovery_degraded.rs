@@ -1,0 +1,172 @@
+//! Machine-readable crash-storm benchmark: supervised recovery under
+//! randomized fault plans (power cuts, torn writes, bit flips — plus
+//! write cuts injected *during* recovery), per scheme at 1/2/8 lanes.
+//!
+//! Every run must terminate in a structured `RecoveryOutcome`; the
+//! campaign fingerprint digests every run's outcome and repair counts and
+//! must be bit-identical across lane counts. Emits
+//! `BENCH_recovery_degraded.json` (override with `--out PATH`). Exit code
+//! 1 if any lane count's fingerprint diverges from the serial one.
+//!
+//! `--smoke` / `ANUBIS_SMOKE=1` runs a reduced campaign; the full scale
+//! drives 170 randomized plans per scheme (6 schemes, >1000 plans total).
+
+use anubis::{AnubisConfig, BonsaiController, BonsaiScheme, SgxController, SgxScheme, Supervised};
+use anubis_bench::json::Json;
+use anubis_bench::{host_parallelism, out_path_from_args};
+use anubis_sim::{crash_storm, StormConfig, StormReport};
+use std::time::Instant;
+
+const LANE_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("ANUBIS_SMOKE")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+    let runs_per_scheme: u64 = if smoke { 6 } else { 170 };
+    let config = AnubisConfig::small_test().with_spare_blocks(256);
+
+    println!("== Anubis reproduction :: degraded-mode recovery storm ==");
+    println!(
+        "{runs_per_scheme} randomized fault plans per scheme at lanes {LANE_COUNTS:?}, \
+         host parallelism {}",
+        host_parallelism()
+    );
+
+    let telemetry = anubis_bench::telemetry::start();
+    let mut diverged = false;
+    let mut plans_total = 0u64;
+    let mut cases = Vec::new();
+
+    let schemes: &[(&str, u64)] = &[
+        ("osiris", 0x05),
+        ("agit-read", 0xA6),
+        ("agit-plus", 0xA7),
+        ("bonsai-strict", 0xB5),
+        ("asit", 0x51),
+        ("sgx-strict", 0x55),
+    ];
+    for &(name, seed) in schemes {
+        let storm = StormConfig {
+            runs: runs_per_scheme,
+            ops: 24,
+            addr_space: 256,
+            seed,
+            lanes: 1,
+            max_retries: 3,
+            recovery_faults: true,
+        };
+        let (case, ok) = match name {
+            "osiris" => storm_case(name, &storm, || {
+                BonsaiController::new(BonsaiScheme::Osiris, &config)
+            }),
+            "agit-read" => storm_case(name, &storm, || {
+                BonsaiController::new(BonsaiScheme::AgitRead, &config)
+            }),
+            "agit-plus" => storm_case(name, &storm, || {
+                BonsaiController::new(BonsaiScheme::AgitPlus, &config)
+            }),
+            "bonsai-strict" => storm_case(name, &storm, || {
+                BonsaiController::new(BonsaiScheme::StrictPersist, &config)
+            }),
+            "asit" => storm_case(name, &storm, || {
+                SgxController::new(SgxScheme::Asit, &config)
+            }),
+            _ => storm_case(name, &storm, || {
+                SgxController::new(SgxScheme::StrictPersist, &config)
+            }),
+        };
+        diverged |= !ok;
+        plans_total += runs_per_scheme;
+        cases.push(case);
+    }
+
+    let doc = Json::obj(vec![
+        ("benchmark", Json::Str("recovery_degraded".into())),
+        ("host_parallelism", Json::Int(host_parallelism() as u64)),
+        ("smoke", Json::Bool(smoke)),
+        (
+            "config",
+            Json::obj(vec![
+                ("runs_per_scheme", Json::Int(runs_per_scheme)),
+                ("plans_total", Json::Int(plans_total)),
+                ("ops_per_run", Json::Int(24)),
+                ("spare_blocks", Json::Int(256)),
+                ("recovery_faults", Json::Bool(true)),
+            ]),
+        ),
+        ("cases", Json::Arr(cases)),
+    ]);
+    let out = out_path_from_args("BENCH_recovery_degraded.json");
+    std::fs::write(&out, doc.render()).expect("write baseline json");
+    println!("wrote {}", out.display());
+    anubis_bench::telemetry::finish(&telemetry, &out, "bench_recovery_degraded");
+
+    if diverged {
+        eprintln!("FAIL: storm fingerprints diverged across lane counts");
+        std::process::exit(1);
+    }
+    println!("all lane counts produced bit-identical storm fingerprints");
+}
+
+/// Runs the same campaign at every lane count and checks the fingerprint
+/// against the serial (lanes = 1) one. Returns the case JSON and whether
+/// all lane counts agreed.
+fn storm_case<C, F>(name: &str, storm: &StormConfig, make: F) -> (Json, bool)
+where
+    C: Supervised,
+    F: Fn() -> C,
+{
+    let mut rows = Vec::new();
+    let mut serial_fingerprint = None;
+    let mut all_match = true;
+    for &lanes in &LANE_COUNTS {
+        let cfg = storm.clone().with_lanes(lanes);
+        let t0 = Instant::now();
+        let report = crash_storm(&make, &cfg);
+        let wall_ns = t0.elapsed().as_nanos() as f64;
+        let matches = *serial_fingerprint.get_or_insert(report.fingerprint) == report.fingerprint;
+        all_match &= matches;
+        println!(
+            "{name:>14} lanes={lanes}: {:>4} recovered / {:>3} degraded / {:>3} quarantined, \
+             {} lost lines, {} recovery faults, fp {:016x}{}",
+            report.recovered,
+            report.degraded,
+            report.quarantined,
+            report.lost_lines,
+            report.recovery_faults_injected,
+            report.fingerprint,
+            if matches { "" } else { "  ** DIVERGED **" }
+        );
+        rows.push(lane_json(lanes, wall_ns, &report, matches));
+    }
+    let case = Json::obj(vec![
+        ("scheme", Json::Str(name.into())),
+        ("lanes", Json::Arr(rows)),
+    ]);
+    (case, all_match)
+}
+
+fn lane_json(lanes: usize, wall_ns: f64, r: &StormReport, matches: bool) -> Json {
+    Json::obj(vec![
+        ("lanes", Json::Int(lanes as u64)),
+        ("wall_ns", Json::Num(wall_ns)),
+        ("runs", Json::Int(r.runs)),
+        ("recovered", Json::Int(r.recovered)),
+        ("degraded", Json::Int(r.degraded)),
+        ("quarantined", Json::Int(r.quarantined)),
+        ("repaired_lines", Json::Int(r.repaired_lines)),
+        ("rebuilt_nodes", Json::Int(r.rebuilt_nodes)),
+        ("quarantined_lines", Json::Int(r.quarantined_lines)),
+        ("lost_lines", Json::Int(r.lost_lines)),
+        ("retries_total", Json::Int(r.retries_total)),
+        ("escalations_total", Json::Int(r.escalations_total)),
+        (
+            "recovery_faults_injected",
+            Json::Int(r.recovery_faults_injected),
+        ),
+        ("fingerprint", Json::Str(format!("{:016x}", r.fingerprint))),
+        ("fingerprint_matches_serial", Json::Bool(matches)),
+    ])
+}

@@ -9,6 +9,7 @@
 //! — is shared.
 
 mod recovery;
+mod repair;
 
 use crate::config::AnubisConfig;
 use crate::cost::{CostAccum, OpCost};
@@ -224,6 +225,8 @@ impl BonsaiController {
         };
         let regions = controller.layout.regions();
         controller.domain.device_mut().register_regions(regions);
+        let spares = controller.layout.spare_pool();
+        controller.domain.device_mut().install_spare_pool(spares);
         controller
     }
 

@@ -39,12 +39,12 @@ use std::collections::BTreeSet;
 
 /// Tallies recovery work separately from the run-time cost model.
 #[derive(Default)]
-struct Tally {
-    reads: u64,
-    writes: u64,
-    hashes: u64,
-    counters_fixed: u64,
-    nodes_fixed: u64,
+pub(super) struct Tally {
+    pub(super) reads: u64,
+    pub(super) writes: u64,
+    pub(super) hashes: u64,
+    pub(super) counters_fixed: u64,
+    pub(super) nodes_fixed: u64,
 }
 
 impl Tally {
@@ -61,18 +61,18 @@ impl Tally {
 /// *read* the device (access counting is atomic — see `NvmStats`); all
 /// writes are deferred to the main thread, which applies them in item
 /// order.
-struct Ctx<'a> {
-    dev: &'a NvmDevice,
-    layout: &'a BonsaiLayout,
-    codec: &'a DataCodec,
-    hasher: &'a BonsaiHasher,
-    config: &'a AnubisConfig,
+pub(super) struct Ctx<'a> {
+    pub(super) dev: &'a NvmDevice,
+    pub(super) layout: &'a BonsaiLayout,
+    pub(super) codec: &'a DataCodec,
+    pub(super) hasher: &'a BonsaiHasher,
+    pub(super) config: &'a AnubisConfig,
     canon: &'a [Block],
     edge: &'a [Block],
 }
 
 impl<'a> Ctx<'a> {
-    fn of(c: &'a BonsaiController) -> Self {
+    pub(super) fn of(c: &'a BonsaiController) -> Self {
         Ctx {
             dev: c.domain.device(),
             layout: &c.layout,
@@ -84,7 +84,7 @@ impl<'a> Ctx<'a> {
         }
     }
 
-    fn read(&self, addr: BlockAddr, t: &mut Tally) -> Block {
+    pub(super) fn read(&self, addr: BlockAddr, t: &mut Tally) -> Block {
         t.reads += 1;
         self.dev.read(addr)
     }
@@ -92,7 +92,7 @@ impl<'a> Ctx<'a> {
     /// Reads a tree node, substituting the canonical zero-state content
     /// for never-written interior nodes (see
     /// `BonsaiController::nvm_read_node`).
-    fn read_node(&self, node: NodeId, t: &mut Tally) -> Block {
+    pub(super) fn read_node(&self, node: NodeId, t: &mut Tally) -> Block {
         let raw = self.read(self.layout.node_addr(node), t);
         if node.level >= 1 && raw.is_zeroed() {
             self.canonical_node(node)
@@ -101,7 +101,7 @@ impl<'a> Ctx<'a> {
         }
     }
 
-    fn canonical_node(&self, node: NodeId) -> Block {
+    pub(super) fn canonical_node(&self, node: NodeId) -> Block {
         let g = self.layout.geometry();
         if node.index == g.nodes_at(node.level) - 1 {
             self.edge[node.level]
@@ -113,9 +113,9 @@ impl<'a> Ctx<'a> {
 
 /// One lane's result for one counter block: the repaired block to write
 /// back (if anything moved) plus the work tally.
-struct LeafFix {
-    write: Option<Block>,
-    tally: Tally,
+pub(super) struct LeafFix {
+    pub(super) write: Option<Block>,
+    pub(super) tally: Tally,
 }
 
 pub(super) fn recover(
@@ -177,7 +177,7 @@ fn dev_read(c: &mut BonsaiController, addr: BlockAddr, t: &mut Tally) -> Block {
     c.domain.device_mut().read(addr)
 }
 
-fn dev_write(c: &mut BonsaiController, addr: BlockAddr, block: Block, t: &mut Tally) {
+pub(super) fn dev_write(c: &mut BonsaiController, addr: BlockAddr, block: Block, t: &mut Tally) {
     t.writes += 1;
     c.domain.device_mut().write(addr, block);
 }
@@ -186,7 +186,7 @@ fn dev_write(c: &mut BonsaiController, addr: BlockAddr, block: Block, t: &mut Ta
 /// (counter block first, then the remaining lines). Returns the affected
 /// leaf so tree recovery can repair its path. Inherently serial: at most
 /// one page (64 lines) of sequential REDO work.
-fn complete_reencryption(
+pub(super) fn complete_reencryption(
     c: &mut BonsaiController,
     t: &mut Tally,
 ) -> Result<Option<NodeId>, RecoveryError> {
@@ -252,7 +252,7 @@ fn complete_reencryption(
 /// Osiris-fixes every counter of one counter block against its data
 /// lines. Pure with respect to the device: the repaired block is returned
 /// for the main thread to write, so lanes can run this concurrently.
-fn probe_counter_block(ctx: &Ctx<'_>, leaf: NodeId) -> Result<LeafFix, RecoveryError> {
+pub(super) fn probe_counter_block(ctx: &Ctx<'_>, leaf: NodeId) -> Result<LeafFix, RecoveryError> {
     let mut t = Tally::default();
     let leaf_addr = ctx.layout.node_addr(leaf);
     let stale = SplitCounterBlock::from_block(&ctx.read(leaf_addr, &mut t));
@@ -320,7 +320,7 @@ fn probe_counter_block(ctx: &Ctx<'_>, leaf: NodeId) -> Result<LeafFix, RecoveryE
 
 /// Recomputes one interior node from its children in NVM. Pure: returns
 /// the rebuilt block for the main thread to write.
-fn compute_interior_node(ctx: &Ctx<'_>, node: NodeId) -> (Block, Tally) {
+pub(super) fn compute_interior_node(ctx: &Ctx<'_>, node: NodeId) -> (Block, Tally) {
     let mut t = Tally::default();
     let g = ctx.layout.geometry();
     let children: Vec<NodeId> = g.children(node).collect();

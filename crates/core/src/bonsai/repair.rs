@@ -1,0 +1,325 @@
+//! Degraded-mode repair hooks for the Bonsai controller family: the
+//! [`Supervised`] implementation the recovery supervisor drives when the
+//! fast path (and its retries) cannot restore a verified state.
+//!
+//! The rungs map onto the general-tree design like this:
+//!
+//! * **Targeted repair** — Osiris-style salvage of *every* counter block
+//!   (not just shadow-tracked ones), falling back to per-line probing
+//!   when a whole-block probe fails, then a full bottom-up interior
+//!   rebuild. Unlike the fast path, the rebuilt root *re-anchors* the
+//!   on-chip register: degraded mode explicitly trades the root check
+//!   for availability and relies on the scrub pass plus per-line MACs
+//!   to bound what an attacker (or the fault) could have changed.
+//! * **Per-line repair** — re-open the line through the ECC-correcting
+//!   decoder and reseal it when correction moved any words.
+//! * **Quarantine** — retire the line's backing block into the spare
+//!   region and leave the line readable as zero under its current
+//!   counter, counting committed content as lost.
+
+use super::{recovery, BonsaiController};
+use crate::error::RecoveryError;
+use crate::layout::{DataAddr, LINES_PER_COUNTER_BLOCK};
+use crate::parallel;
+use crate::recovery::RecoveryReport;
+use crate::supervisor::{RepairSummary, Supervised};
+use anubis_crypto::otp::IvCounter;
+use anubis_crypto::{SealedBlock, SplitCounterBlock, MINOR_MAX};
+use anubis_itree::bonsai::Root;
+use anubis_itree::NodeId;
+use anubis_nvm::Block;
+use anubis_telemetry::Telemetry;
+
+impl Supervised for BonsaiController {
+    fn fast_recover(&mut self, lanes: usize) -> Result<RecoveryReport, RecoveryError> {
+        self.recover_with_lanes(lanes)
+    }
+
+    fn data_lines(&self) -> u64 {
+        self.layout.data_blocks()
+    }
+
+    fn repair_line(&mut self, addr: DataAddr) -> Result<u32, RecoveryError> {
+        let (leaf, slot) = self.layout.counter_of(addr);
+        let leaf_addr = self.layout.node_addr(leaf);
+        let stale = SplitCounterBlock::from_block(&self.domain.device_mut().read(leaf_addr));
+        let dev = self.layout.data_addr(addr);
+        let side_addr = self.layout.side_addr(addr);
+        let ciphertext = self.domain.device_mut().read(dev);
+        let side = self.domain.device_mut().read(side_addr);
+        if stale.major() == 0 && stale.minor(slot) == 0 {
+            // Zero state: clean media is all-zero; anything else cannot
+            // be opened (there is no counter to verify against).
+            return if ciphertext.is_zeroed() && side.is_zeroed() {
+                Ok(0)
+            } else {
+                Err(RecoveryError::CounterNotRecovered { addr: dev })
+            };
+        }
+        let sealed = SealedBlock {
+            ciphertext,
+            ecc: side.word(0),
+            mac: side.word(1),
+        };
+        let iv = IvCounter::split(stale.major(), stale.minor(slot) as u64);
+        match self.codec.open_correcting(dev, iv, &sealed) {
+            Ok((plaintext, fixed)) => {
+                if fixed > 0 {
+                    let resealed = self.codec.seal(dev, iv, &plaintext);
+                    self.domain.device_mut().write(dev, resealed.ciphertext);
+                    let mut side_new = Block::zeroed();
+                    side_new.set_word(0, resealed.ecc);
+                    side_new.set_word(1, resealed.mac);
+                    self.domain.device_mut().write(side_addr, side_new);
+                    self.ecc_corrections += u64::from(fixed);
+                }
+                Ok(fixed)
+            }
+            Err(_) => Err(RecoveryError::CounterNotRecovered { addr: dev }),
+        }
+    }
+
+    fn quarantine_line(&mut self, addr: DataAddr) -> Result<bool, RecoveryError> {
+        let (leaf, slot) = self.layout.counter_of(addr);
+        let leaf_addr = self.layout.node_addr(leaf);
+        let stale = SplitCounterBlock::from_block(&self.domain.device_mut().read(leaf_addr));
+        let dev = self.layout.data_addr(addr);
+        let side_addr = self.layout.side_addr(addr);
+        let had_content = stale.major() != 0 || stale.minor(slot) != 0;
+        self.domain.device_mut().quarantine_block(dev);
+        if had_content {
+            // Leave the line readable as an explicit zero under its
+            // current counter (the counter itself stays untouched so the
+            // tree digests remain valid).
+            let iv = IvCounter::split(stale.major(), stale.minor(slot) as u64);
+            let resealed = self.codec.seal(dev, iv, &Block::zeroed());
+            self.domain.device_mut().write(dev, resealed.ciphertext);
+            let mut side_new = Block::zeroed();
+            side_new.set_word(0, resealed.ecc);
+            side_new.set_word(1, resealed.mac);
+            self.domain.device_mut().write(side_addr, side_new);
+            self.domain.device_mut().record_lost_lines(1);
+        } else {
+            self.domain.device_mut().write(dev, Block::zeroed());
+            self.domain.device_mut().write(side_addr, Block::zeroed());
+        }
+        Ok(had_content)
+    }
+
+    fn targeted_repair(
+        &mut self,
+        _err: &RecoveryError,
+        lanes: usize,
+    ) -> Result<RepairSummary, RecoveryError> {
+        // The domain is already powered up (rung 1 ran `power_up`); only
+        // volatile state needs resetting before the slow rebuild.
+        self.counter_cache.invalidate_all();
+        self.tree_cache.invalidate_all();
+        self.pending.clear();
+        // Best-effort replay of an interrupted re-encryption: if even the
+        // replay fails the log is dropped and the scrub pass deals with
+        // the affected lines individually.
+        let mut t = recovery::Tally::default();
+        if recovery::complete_reencryption(self, &mut t).is_err() {
+            self.reenc_log = None;
+        }
+        let mut sum = salvage_counters(self, lanes);
+        sum.absorb(rebuild_interior(self, lanes));
+        Ok(sum)
+    }
+
+    fn reconcile_metadata(&mut self, lanes: usize) -> Result<RepairSummary, RecoveryError> {
+        self.counter_cache.invalidate_all();
+        self.tree_cache.invalidate_all();
+        self.pending.clear();
+        Ok(rebuild_interior(self, lanes))
+    }
+
+    fn persist_quarantine(&mut self) {
+        let blocks = self.domain.device().quarantine_table_blocks();
+        let cap = self.layout.qtable_blocks();
+        for (i, block) in blocks.into_iter().enumerate() {
+            if (i as u64) < cap {
+                let addr = self.layout.qtable_addr(i as u64);
+                self.domain.device_mut().write(addr, block);
+            }
+        }
+    }
+
+    fn is_line_quarantined(&self, addr: DataAddr) -> bool {
+        self.domain
+            .device()
+            .is_quarantined(self.layout.data_addr(addr))
+    }
+
+    fn supervisor_telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
+    }
+}
+
+/// Osiris-salvages every counter block: whole-block probing across lanes
+/// first, then a serial per-line salvage for blocks where probing failed
+/// (retiring only the individual lines that cannot be opened, instead of
+/// aborting recovery).
+fn salvage_counters(c: &mut BonsaiController, lanes: usize) -> RepairSummary {
+    let leaves: Vec<u64> = (0..c.layout.geometry().num_leaves()).collect();
+    let results = {
+        let ctx = recovery::Ctx::of(c);
+        parallel::map_slice(lanes, &leaves, |&leaf| {
+            recovery::probe_counter_block(&ctx, NodeId::new(0, leaf))
+        })
+    };
+    let mut sum = RepairSummary::default();
+    let mut t = recovery::Tally::default();
+    for (&leaf, result) in leaves.iter().zip(results) {
+        match result {
+            Ok(fix) => {
+                if let Some(block) = fix.write {
+                    let addr = c.layout.node_addr(NodeId::new(0, leaf));
+                    recovery::dev_write(c, addr, block, &mut t);
+                    sum.rebuilt += 1;
+                }
+            }
+            Err(_) => salvage_leaf(c, leaf, &mut sum),
+        }
+    }
+    sum
+}
+
+/// Per-line salvage of one counter block: lines that probe within the
+/// stop-loss window advance the counter; lines that do not are retired
+/// into the spare region and zero-sealed under their final counter bits.
+fn salvage_leaf(c: &mut BonsaiController, leaf: u64, sum: &mut RepairSummary) {
+    let leaf_node = NodeId::new(0, leaf);
+    let leaf_addr = c.layout.node_addr(leaf_node);
+    let stale = SplitCounterBlock::from_block(&c.domain.device_mut().read(leaf_addr));
+    let mut fixed = stale;
+    let mut changed = false;
+    for line in 0..LINES_PER_COUNTER_BLOCK as usize {
+        let Some(data_addr) = c.layout.line_of(leaf, line) else {
+            break;
+        };
+        let dev = c.layout.data_addr(data_addr);
+        let side_addr = c.layout.side_addr(data_addr);
+        let ciphertext = c.domain.device_mut().read(dev);
+        let side = c.domain.device_mut().read(side_addr);
+        let base = stale.minor(line) as u64;
+        if stale.major() == 0 && base == 0 && ciphertext.is_zeroed() && side.is_zeroed() {
+            continue;
+        }
+        let sealed = SealedBlock {
+            ciphertext,
+            ecc: side.word(0),
+            mac: side.word(1),
+        };
+        let mut hit = None;
+        for gap in 0..=c.config.stop_loss as u64 {
+            let minor = base + gap;
+            if minor > MINOR_MAX as u64 {
+                break;
+            }
+            if stale.major() == 0 && minor == 0 {
+                continue;
+            }
+            let iv = IvCounter::split(stale.major(), minor);
+            if c.codec.probe(dev, iv, &sealed).is_some() {
+                hit = Some(gap as u8);
+                break;
+            }
+        }
+        let advanced = match hit {
+            Some(0) => true,
+            Some(gap) if fixed.advance_minor(line, gap).is_ok() => {
+                changed = true;
+                sum.rebuilt += 1;
+                true
+            }
+            // No candidate opened the line, or the salvaged minor would
+            // overflow on replay: retire it.
+            _ => false,
+        };
+        if !advanced {
+            retire_line(c, data_addr, &stale, line, sum);
+        }
+    }
+    if changed {
+        c.domain.device_mut().write(leaf_addr, fixed.to_block());
+    }
+}
+
+/// Retires one data line whose content cannot be opened under any
+/// counter candidate: remap the backing block, zero-seal the line under
+/// its (unadvanced) counter bits, and count committed content as lost.
+fn retire_line(
+    c: &mut BonsaiController,
+    data_addr: DataAddr,
+    stale: &SplitCounterBlock,
+    line: usize,
+    sum: &mut RepairSummary,
+) {
+    let dev = c.layout.data_addr(data_addr);
+    let side_addr = c.layout.side_addr(data_addr);
+    let had_content = stale.major() != 0 || stale.minor(line) != 0;
+    c.domain.device_mut().quarantine_block(dev);
+    if had_content {
+        let iv = IvCounter::split(stale.major(), stale.minor(line) as u64);
+        let resealed = c.codec.seal(dev, iv, &Block::zeroed());
+        c.domain.device_mut().write(dev, resealed.ciphertext);
+        let mut side_new = Block::zeroed();
+        side_new.set_word(0, resealed.ecc);
+        side_new.set_word(1, resealed.mac);
+        c.domain.device_mut().write(side_addr, side_new);
+        c.domain.device_mut().record_lost_lines(1);
+        sum.lost += 1;
+    } else {
+        c.domain.device_mut().write(dev, Block::zeroed());
+        c.domain.device_mut().write(side_addr, Block::zeroed());
+    }
+    sum.quarantined += 1;
+}
+
+/// Rebuilds every interior level bottom-up from the (salvaged) leaves and
+/// re-anchors the on-chip root to the result. Only nodes whose stored
+/// content differs from the recomputation are written — the zero-state
+/// tree stays unmaterialized — so `rebuilt` counts genuine reconstruction.
+fn rebuild_interior(c: &mut BonsaiController, lanes: usize) -> RepairSummary {
+    let g = c.layout.geometry().clone();
+    let mut sum = RepairSummary::default();
+    for level in 1..g.num_levels() {
+        let indices: Vec<u64> = (0..g.nodes_at(level)).collect();
+        let results = {
+            let ctx = recovery::Ctx::of(c);
+            parallel::map_slice(lanes, &indices, |&index| {
+                recovery::compute_interior_node(&ctx, NodeId::new(level, index))
+            })
+        };
+        for (&index, (block, _tally)) in indices.iter().zip(results) {
+            let node = NodeId::new(level, index);
+            let addr = c.layout.node_addr(node);
+            let old = c.domain.device_mut().read(addr);
+            let effective_old = if old.is_zeroed() {
+                c.canonical_node(node)
+            } else {
+                old
+            };
+            if effective_old != block {
+                c.domain.device_mut().write(addr, block);
+                sum.rebuilt += 1;
+            }
+        }
+    }
+    // Degraded mode re-anchors the register to the rebuilt tree: the
+    // fast path's root *check* already failed, so the choice is between
+    // refusing service and trusting NVM contents that every per-line MAC
+    // and the scrub pass still vouch for.
+    let top = g.top();
+    let top_addr = c.layout.node_addr(top);
+    let raw = c.domain.device_mut().read(top_addr);
+    let top_block = if top.level >= 1 && raw.is_zeroed() {
+        c.canonical_node(top)
+    } else {
+        raw
+    };
+    c.root = Root(c.hasher.digest(&top_block));
+    sum
+}

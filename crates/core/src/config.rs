@@ -36,6 +36,9 @@ pub struct AnubisConfig {
     /// Number of counter LSBs stored per ST entry (paper: 49). Lowering
     /// this in tests forces the LSB-overflow persistence path.
     pub st_lsb_bits: u32,
+    /// Spare blocks reserved for bad-block quarantine: unrecoverable
+    /// lines are remapped here by the recovery supervisor's last rung.
+    pub spare_blocks: u64,
     /// Master key; every working key is derived from it.
     pub key: Key,
 }
@@ -55,6 +58,7 @@ impl AnubisConfig {
             metadata_cache_ways: 16,
             stop_loss: 4,
             st_lsb_bits: 49,
+            spare_blocks: 64,
             key: Key([0x0041_4e55_4249_5300, 0x0049_5343_415f_3139]),
         }
     }
@@ -73,6 +77,7 @@ impl AnubisConfig {
             metadata_cache_ways: 4,
             stop_loss: 4,
             st_lsb_bits: 49,
+            spare_blocks: 64,
             key: Key([7, 13]),
         }
     }
@@ -105,6 +110,12 @@ impl AnubisConfig {
     pub fn with_st_lsb_bits(mut self, bits: u32) -> Self {
         assert!((1..=49).contains(&bits), "ST LSB width must be 1..=49");
         self.st_lsb_bits = bits;
+        self
+    }
+
+    /// Returns a copy with a different quarantine spare-pool size.
+    pub fn with_spare_blocks(mut self, blocks: u64) -> Self {
+        self.spare_blocks = blocks;
         self
     }
 
@@ -141,12 +152,14 @@ mod tests {
             .with_capacity(2 << 20)
             .with_cache_bytes(8 * 1024)
             .with_stop_loss(8)
-            .with_st_lsb_bits(8);
+            .with_st_lsb_bits(8)
+            .with_spare_blocks(16);
         assert_eq!(c.capacity_bytes, 2 << 20);
         assert_eq!(c.counter_cache_bytes, 8 * 1024);
         assert_eq!(c.metadata_cache_bytes, 16 * 1024);
         assert_eq!(c.stop_loss, 8);
         assert_eq!(c.st_lsb_bits, 8);
+        assert_eq!(c.spare_blocks, 16);
     }
 
     #[test]

@@ -152,6 +152,13 @@ pub enum RecoveryError {
         /// Address of the node that did not fit.
         addr: BlockAddr,
     },
+    /// A data line failed read verification during the recovery
+    /// supervisor's scrub pass (after the fast path already succeeded or
+    /// was repaired) — the hint handed to targeted repair.
+    ScrubFailed {
+        /// The failing data line.
+        addr: DataAddr,
+    },
     /// Device failure during recovery.
     Nvm(NvmError),
 }
@@ -189,6 +196,9 @@ impl fmt::Display for RecoveryError {
                     "shadow table tracks more nodes than the metadata cache holds \
                      (node at {addr} does not fit)"
                 )
+            }
+            RecoveryError::ScrubFailed { addr } => {
+                write!(f, "data line {addr} failed verification during scrub")
             }
             RecoveryError::Nvm(e) => write!(f, "nvm error during recovery: {e}"),
         }

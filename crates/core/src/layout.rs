@@ -3,7 +3,7 @@
 
 use crate::config::AnubisConfig;
 use anubis_itree::{NodeId, TreeGeometry};
-use anubis_nvm::{BlockAddr, Region, RegionAllocator};
+use anubis_nvm::{BlockAddr, Region, RegionAllocator, RemapTable};
 
 /// Index of a 64-byte line within the *data region* — the address space
 /// the CPU sees. Newtype so data addresses cannot be confused with device
@@ -46,7 +46,9 @@ pub const LINES_PER_SGX_LEAF: u64 = 8;
 /// Regions, in order: `data`, `side` (per-line ECC+MAC words, physically
 /// co-located with data on a real DIMM — see DESIGN.md), `counters`
 /// (split-counter blocks, the tree leaves), `tree` (interior nodes),
-/// `sct` (Shadow Counter Table) and `smt` (Shadow Merkle-tree Table).
+/// `sct` (Shadow Counter Table), `smt` (Shadow Merkle-tree Table),
+/// `spare` (bad-block quarantine pool) and `qtable` (the persisted remap
+/// table).
 #[derive(Clone, Debug)]
 pub struct BonsaiLayout {
     data: Region,
@@ -55,6 +57,8 @@ pub struct BonsaiLayout {
     tree: Region,
     sct: Region,
     smt: Region,
+    spare: Region,
+    qtable: Region,
     geometry: TreeGeometry,
     total_blocks: u64,
     regions: RegionAllocator,
@@ -74,6 +78,11 @@ impl BonsaiLayout {
         let tree = alloc.alloc("tree", geometry.interior_blocks().max(1));
         let sct = alloc.alloc("sct", sct_slots);
         let smt = alloc.alloc("smt", smt_slots);
+        let n_spare = config.spare_blocks.max(1);
+        let spare = alloc.alloc("spare", n_spare);
+        // Sized for the table's full capacity: remapped entries plus an
+        // equal budget of in-place retirements (see RemapTable::capacity).
+        let qtable = alloc.alloc("qtable", RemapTable::blocks_for(2 * n_spare));
         let total_blocks = alloc.total_blocks();
         BonsaiLayout {
             data,
@@ -82,6 +91,8 @@ impl BonsaiLayout {
             tree,
             sct,
             smt,
+            spare,
+            qtable,
             geometry,
             total_blocks,
             regions: alloc,
@@ -177,13 +188,30 @@ impl BonsaiLayout {
     pub fn smt_slots(&self) -> u64 {
         self.smt.len()
     }
+
+    /// The quarantine spare pool: device addresses reserved for remapping
+    /// retired blocks.
+    pub fn spare_pool(&self) -> Vec<BlockAddr> {
+        (0..self.spare.len()).map(|i| self.spare.nth(i)).collect()
+    }
+
+    /// Device address of the `i`-th block of the persisted remap table.
+    pub fn qtable_addr(&self, i: u64) -> BlockAddr {
+        self.qtable.nth(i)
+    }
+
+    /// Capacity of the remap-table region, in blocks.
+    pub fn qtable_blocks(&self) -> u64 {
+        self.qtable.len()
+    }
 }
 
 /// NVM layout for the SGX-style controller family.
 ///
 /// Regions: `data`, `side`, `leaves` (SGX counter leaves, 8 lines each),
-/// `tree` (interior SGX nodes, excluding the on-chip top node), and `st`
-/// (the ASIT Shadow Table).
+/// `tree` (interior SGX nodes, excluding the on-chip top node), `st`
+/// (the ASIT Shadow Table), `spare` (bad-block quarantine pool) and
+/// `qtable` (the persisted remap table).
 #[derive(Clone, Debug)]
 pub struct SgxLayout {
     data: Region,
@@ -191,6 +219,8 @@ pub struct SgxLayout {
     leaves: Region,
     tree: Region,
     st: Region,
+    spare: Region,
+    qtable: Region,
     geometry: TreeGeometry,
     total_blocks: u64,
     regions: RegionAllocator,
@@ -211,6 +241,9 @@ impl SgxLayout {
         let interior_wo_top = geometry.interior_blocks().saturating_sub(1);
         let tree = alloc.alloc("tree", interior_wo_top.max(1));
         let st = alloc.alloc("st", st_slots);
+        let n_spare = config.spare_blocks.max(1);
+        let spare = alloc.alloc("spare", n_spare);
+        let qtable = alloc.alloc("qtable", RemapTable::blocks_for(2 * n_spare));
         let total_blocks = alloc.total_blocks();
         SgxLayout {
             data,
@@ -218,6 +251,8 @@ impl SgxLayout {
             leaves,
             tree,
             st,
+            spare,
+            qtable,
             geometry,
             total_blocks,
             regions: alloc,
@@ -305,6 +340,22 @@ impl SgxLayout {
     pub fn st_slots(&self) -> u64 {
         self.st.len()
     }
+
+    /// The quarantine spare pool: device addresses reserved for remapping
+    /// retired blocks.
+    pub fn spare_pool(&self) -> Vec<BlockAddr> {
+        (0..self.spare.len()).map(|i| self.spare.nth(i)).collect()
+    }
+
+    /// Device address of the `i`-th block of the persisted remap table.
+    pub fn qtable_addr(&self, i: u64) -> BlockAddr {
+        self.qtable.nth(i)
+    }
+
+    /// Capacity of the remap-table region, in blocks.
+    pub fn qtable_blocks(&self) -> u64 {
+        self.qtable.len()
+    }
 }
 
 #[cfg(test)]
@@ -318,13 +369,29 @@ mod tests {
     #[test]
     fn bonsai_regions_cover_everything_disjointly() {
         let l = BonsaiLayout::new(&cfg(), 64, 64);
-        // 1 MiB data = 16384 lines, 256 counter blocks.
+        // 1 MiB data = 16384 lines, 256 counter blocks; 64 quarantine
+        // spares plus 1 + ceil(128/4) = 33 remap-table blocks (the table
+        // holds up to 2x the pool: remaps plus in-place retirements).
         assert_eq!(l.data_blocks(), 16384);
         assert_eq!(l.geometry().num_leaves(), 256);
+        assert_eq!(l.spare_pool().len(), 64);
+        assert_eq!(l.qtable_blocks(), RemapTable::blocks_for(128));
         assert_eq!(
             l.device_bytes() / 64,
-            16384 + 16384 + 256 + l.geometry().interior_blocks() + 128
+            16384 + 16384 + 256 + l.geometry().interior_blocks() + 128 + 64 + 33
         );
+    }
+
+    #[test]
+    fn quarantine_regions_are_disjoint_from_metadata() {
+        let b = BonsaiLayout::new(&cfg(), 64, 64);
+        let spares = b.spare_pool();
+        assert!(spares.iter().all(|a| b.node_of_addr(*a).is_none()));
+        assert!(b.node_of_addr(b.qtable_addr(0)).is_none());
+        let s = SgxLayout::new(&cfg(), 128);
+        let spares = s.spare_pool();
+        assert!(spares.iter().all(|a| s.node_of_addr(*a).is_none()));
+        assert!(s.node_of_addr(s.qtable_addr(0)).is_none());
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod bonsai;
 pub mod parallel;
 pub mod recovery;
 pub mod sgx;
+pub mod supervisor;
 
 pub use bonsai::{BonsaiController, BonsaiScheme};
 pub use config::AnubisConfig;
@@ -66,6 +67,7 @@ pub use layout::{BonsaiLayout, DataAddr, SgxLayout, LINES_PER_COUNTER_BLOCK};
 pub use recovery::RecoveryReport;
 pub use sgx::{SgxController, SgxScheme};
 pub use shadow::{ShadowAddrEntry, StEntry};
+pub use supervisor::{RecoveryOutcome, RepairSummary, Supervised, SupervisedRecovery, Supervisor};
 
 pub use anubis_telemetry as telemetry;
 

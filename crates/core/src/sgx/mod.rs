@@ -8,6 +8,7 @@
 //! written back (paper §2.3.2, Vault/Synergy style).
 
 mod recovery;
+mod repair;
 
 #[cfg(test)]
 mod tests;
@@ -139,6 +140,7 @@ impl SgxController {
         let layout = SgxLayout::new(config, cache.num_slots() as u64);
         let mut domain = PersistenceDomain::new(layout.device_bytes());
         domain.device_mut().register_regions(layout.regions());
+        domain.device_mut().install_spare_pool(layout.spare_pool());
         let mac_key = Hasher64::new(config.key.derive("sgx-mac"));
         let mut canonical_zero = SgxCounterNode::new();
         canonical_zero.seal(&mac_key, 0);
@@ -281,6 +283,21 @@ impl SgxController {
         self.cache
             .slot_of(addr)
             .map(|s| s.linear(self.cache.ways()) as u64)
+    }
+
+    /// Test/debug hook: re-anchors `SHADOW_TREE_ROOT` (and the volatile
+    /// shadow tree) to the Shadow Table image currently in NVM, as if
+    /// every slot had been written through the normal ST path. Lets
+    /// crash-matrix tests stage hand-crafted ST contents that pass the
+    /// recovery root check.
+    #[doc(hidden)]
+    pub fn debug_refresh_shadow_root_from_nvm(&mut self) {
+        let st_blocks: Vec<Block> = (0..self.layout.st_slots())
+            .map(|s| self.domain.device().read(self.layout.st_slot(s)))
+            .collect();
+        let tree = ShadowTree::rebuild(self.config.key, st_blocks);
+        self.shadow_root = tree.root();
+        self.shadow_tree = Some(tree);
     }
 
     // ------------------------------------------------------------------

@@ -102,38 +102,15 @@ fn recover_asit(c: &mut SgxController, t: &mut Tally, lanes: usize) -> Result<()
         return Err(RecoveryError::ShadowTableTampered);
     }
 
-    // Parse entries; deduplicate by node address keeping the freshest
-    // (componentwise-largest counters — counters only ever grow, and a
-    // stale duplicate always equals the NVM copy; see DESIGN.md). The
-    // ordered map fixes the processing order to node-address order, so
-    // cache placement below is deterministic.
+    // Parse and deduplicate the entries in node-address order (shared
+    // with the degraded-mode spill splice in the `repair` module).
     let lsb_bits = c.config.st_lsb_bits;
-    let mut by_addr: BTreeMap<BlockAddr, StEntry> = BTreeMap::new();
-    for block in &st_blocks {
-        let Some(entry) = StEntry::from_block(block) else {
-            continue;
-        };
-        // Ignore entries pointing outside the metadata regions (possible
-        // only through tampering that also defeated the shadow root — but
-        // stay defensive).
-        if c.layout.node_of_addr(entry.addr()).is_none() {
-            continue;
-        }
-        by_addr
-            .entry(entry.addr())
-            .and_modify(|existing| {
-                if lsb_sum(&entry) > lsb_sum(existing) {
-                    *existing = entry;
-                }
-            })
-            .or_insert(entry);
-    }
+    let entries = dedup_st_entries(c, &st_blocks);
 
     // Step 3: recover each tracked node: stale NVM MSBs + shadow LSBs,
     // MAC replaced from the shadow entry. The stale reads and splices are
     // independent per entry — lanes compute them, results land in address
     // order; only the cache inserts stay serial.
-    let entries: Vec<(BlockAddr, StEntry)> = by_addr.into_iter().collect();
     let splice_span = tel
         .span("recovery_phase", "splice")
         .items(entries.len() as u64);
@@ -146,13 +123,7 @@ fn recover_asit(c: &mut SgxController, t: &mut Tally, lanes: usize) -> Result<()
             "splice_lane",
             |&(addr, ref entry)| {
                 let stale = SgxCounterNode::from_block(&dev.read(addr));
-                let mask = (1u64 << lsb_bits) - 1;
-                let mut node = SgxCounterNode::new();
-                for i in 0..SGX_COUNTERS_PER_NODE {
-                    node.set_counter(i, (stale.counter(i) & !mask) | entry.lsbs()[i]);
-                }
-                node.set_mac(entry.mac());
-                (addr, node)
+                (addr, splice_node(&stale, entry, lsb_bits))
             },
         )
     };
@@ -281,6 +252,52 @@ fn recover_asit(c: &mut SgxController, t: &mut Tally, lanes: usize) -> Result<()
     Ok(())
 }
 
-fn lsb_sum(e: &StEntry) -> u128 {
+/// Parses an ST image into deduplicated `(address, entry)` pairs in
+/// node-address order, keeping the freshest duplicate (componentwise-
+/// largest counters — counters only ever grow, and a stale duplicate
+/// always equals the NVM copy; see DESIGN.md). Entries pointing outside
+/// the metadata regions are dropped — possible only through tampering
+/// that also defeated the shadow root, but stay defensive.
+pub(super) fn dedup_st_entries(
+    c: &SgxController,
+    st_blocks: &[anubis_nvm::Block],
+) -> Vec<(BlockAddr, StEntry)> {
+    let mut by_addr: BTreeMap<BlockAddr, StEntry> = BTreeMap::new();
+    for block in st_blocks {
+        let Some(entry) = StEntry::from_block(block) else {
+            continue;
+        };
+        if c.layout.node_of_addr(entry.addr()).is_none() {
+            continue;
+        }
+        by_addr
+            .entry(entry.addr())
+            .and_modify(|existing| {
+                if lsb_sum(&entry) > lsb_sum(existing) {
+                    *existing = entry;
+                }
+            })
+            .or_insert(entry);
+    }
+    by_addr.into_iter().collect()
+}
+
+/// Splices a shadow entry onto the stale NVM copy of its node: shadow
+/// LSBs replace the counters' low bits, the MAC comes from the entry.
+pub(super) fn splice_node(
+    stale: &SgxCounterNode,
+    entry: &StEntry,
+    lsb_bits: u32,
+) -> SgxCounterNode {
+    let mask = (1u64 << lsb_bits) - 1;
+    let mut node = SgxCounterNode::new();
+    for i in 0..SGX_COUNTERS_PER_NODE {
+        node.set_counter(i, (stale.counter(i) & !mask) | entry.lsbs()[i]);
+    }
+    node.set_mac(entry.mac());
+    node
+}
+
+pub(super) fn lsb_sum(e: &StEntry) -> u128 {
     e.lsbs().iter().map(|&v| v as u128).sum()
 }

@@ -1,0 +1,295 @@
+//! Degraded-mode repair hooks for the SGX-style controller family: the
+//! [`Supervised`] implementation the recovery supervisor drives when
+//! Algorithm 2 (and its retries) cannot restore a verified state.
+//!
+//! SGX-style trees cannot be rebuilt bottom-up — interior version
+//! counters are not derivable from leaves — so degraded mode works
+//! *top-down* from the on-chip top node instead:
+//!
+//! * **Spill splice** — when a verified Shadow Table tracks more nodes
+//!   than the cache can hold (`ShadowCapacityExceeded`), splice entries
+//!   straight into NVM, parents before children, keeping only splices
+//!   that MAC-verify against their (already-spliced) parent counter.
+//! * **Verify-and-reseal cascade** — walk every level below the on-chip
+//!   top node; a node that fails MAC verification against its finalized
+//!   parent counter keeps its *stored counters* and is re-sealed in
+//!   place. Trusting NVM counters restores self-consistency without
+//!   wiping subtrees: a genuinely corrupted counter word surfaces one
+//!   level down (a child that no longer verifies) or at the data lines
+//!   (a line that no longer opens), where the scrub pass repairs or
+//!   quarantines exactly the damaged extent. The top node itself stays
+//!   the hardware-anchored source of truth.
+//! * **Quarantine** — retire unrecoverable data lines into the spare
+//!   region, readable as zero under their current leaf counter.
+
+use super::{recovery, SgxController, SgxScheme};
+use crate::error::RecoveryError;
+use crate::layout::DataAddr;
+use crate::parallel;
+use crate::recovery::RecoveryReport;
+use crate::shadow_tree::ShadowTree;
+use crate::supervisor::{RepairSummary, Supervised};
+use crate::MemoryController;
+use anubis_crypto::otp::IvCounter;
+use anubis_crypto::{SealedBlock, SgxCounterNode};
+use anubis_itree::NodeId;
+use anubis_nvm::Block;
+use anubis_telemetry::Telemetry;
+
+impl Supervised for SgxController {
+    fn fast_recover(&mut self, lanes: usize) -> Result<RecoveryReport, RecoveryError> {
+        self.recover_with_lanes(lanes)
+    }
+
+    fn data_lines(&self) -> u64 {
+        self.layout.data_blocks()
+    }
+
+    fn repair_line(&mut self, addr: DataAddr) -> Result<u32, RecoveryError> {
+        let ctr = self.line_counter(addr);
+        let dev = self.layout.data_addr(addr);
+        let side_addr = self.layout.side_addr(addr);
+        let ciphertext = self.domain.device_mut().read(dev);
+        let side = self.domain.device_mut().read(side_addr);
+        if ctr == 0 {
+            return if ciphertext.is_zeroed() && side.is_zeroed() {
+                Ok(0)
+            } else {
+                Err(RecoveryError::CounterNotRecovered { addr: dev })
+            };
+        }
+        let sealed = SealedBlock {
+            ciphertext,
+            ecc: side.word(0),
+            mac: side.word(1),
+        };
+        let iv = IvCounter::monolithic(ctr);
+        match self.codec.open_correcting(dev, iv, &sealed) {
+            Ok((plaintext, fixed)) => {
+                if fixed > 0 {
+                    let resealed = self.codec.seal(dev, iv, &plaintext);
+                    self.domain.device_mut().write(dev, resealed.ciphertext);
+                    let mut side_new = Block::zeroed();
+                    side_new.set_word(0, resealed.ecc);
+                    side_new.set_word(1, resealed.mac);
+                    self.domain.device_mut().write(side_addr, side_new);
+                    self.ecc_corrections += u64::from(fixed);
+                }
+                Ok(fixed)
+            }
+            Err(_) => Err(RecoveryError::CounterNotRecovered { addr: dev }),
+        }
+    }
+
+    fn quarantine_line(&mut self, addr: DataAddr) -> Result<bool, RecoveryError> {
+        let ctr = self.line_counter(addr);
+        let dev = self.layout.data_addr(addr);
+        let side_addr = self.layout.side_addr(addr);
+        let had_content = ctr != 0;
+        self.domain.device_mut().quarantine_block(dev);
+        if had_content {
+            // Readable as an explicit zero under the current counter; the
+            // leaf counter itself stays untouched so node MACs hold.
+            let resealed = self
+                .codec
+                .seal(dev, IvCounter::monolithic(ctr), &Block::zeroed());
+            self.domain.device_mut().write(dev, resealed.ciphertext);
+            let mut side_new = Block::zeroed();
+            side_new.set_word(0, resealed.ecc);
+            side_new.set_word(1, resealed.mac);
+            self.domain.device_mut().write(side_addr, side_new);
+            self.domain.device_mut().record_lost_lines(1);
+        } else {
+            self.domain.device_mut().write(dev, Block::zeroed());
+            self.domain.device_mut().write(side_addr, Block::zeroed());
+        }
+        Ok(had_content)
+    }
+
+    fn targeted_repair(
+        &mut self,
+        err: &RecoveryError,
+        lanes: usize,
+    ) -> Result<RepairSummary, RecoveryError> {
+        let mut sum = RepairSummary::default();
+        if self.scheme == SgxScheme::Asit
+            && matches!(err, RecoveryError::ShadowCapacityExceeded { .. })
+        {
+            sum.absorb(spill_splice(self, lanes));
+        }
+        sum.absorb(degrade(self, lanes));
+        Ok(sum)
+    }
+
+    fn reconcile_metadata(&mut self, lanes: usize) -> Result<RepairSummary, RecoveryError> {
+        Ok(degrade(self, lanes))
+    }
+
+    fn persist_quarantine(&mut self) {
+        let blocks = self.domain.device().quarantine_table_blocks();
+        let cap = self.layout.qtable_blocks();
+        for (i, block) in blocks.into_iter().enumerate() {
+            if (i as u64) < cap {
+                let addr = self.layout.qtable_addr(i as u64);
+                self.domain.device_mut().write(addr, block);
+            }
+        }
+    }
+
+    fn is_line_quarantined(&self, addr: DataAddr) -> bool {
+        self.domain
+            .device()
+            .is_quarantined(self.layout.data_addr(addr))
+    }
+
+    fn supervisor_telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
+    }
+}
+
+impl SgxController {
+    /// The current counter for a data line: from the resident leaf if
+    /// cached (recovered nodes live there dirty), the on-chip top node
+    /// for the degenerate single-leaf tree, or the NVM copy.
+    fn line_counter(&mut self, addr: DataAddr) -> u64 {
+        let (leaf, slot) = self.layout.leaf_of(addr);
+        if self.layout.is_on_chip(leaf) {
+            return self.top.counter(slot);
+        }
+        let leaf_addr = self.layout.node_addr(leaf);
+        if let Some(entry) = self.cache.peek(leaf_addr) {
+            return entry.node.counter(slot);
+        }
+        SgxCounterNode::from_block(&self.domain.device_mut().read(leaf_addr)).counter(slot)
+    }
+}
+
+/// Splices a verified-but-over-capacity Shadow Table straight into NVM,
+/// bypassing the cache: parents before children, each splice kept only if
+/// it MAC-verifies against its (already-spliced) parent counter. Entries
+/// that fail are left stale for the cascade.
+fn spill_splice(c: &mut SgxController, lanes: usize) -> RepairSummary {
+    let mut sum = RepairSummary::default();
+    let st_slots = c.layout.st_slots();
+    let st_blocks: Vec<Block> = {
+        let dev = c.domain.device();
+        let layout = &c.layout;
+        parallel::map_range(lanes, st_slots, |slot| dev.read(layout.st_slot(slot)))
+    };
+    // Only splice from a table the on-chip root still vouches for.
+    if ShadowTree::rebuild(c.config.key, st_blocks.clone()).root() != c.shadow_root {
+        return sum;
+    }
+    let g = c.layout.geometry().clone();
+    let mut entries = recovery::dedup_st_entries(c, &st_blocks);
+    entries.sort_by_key(|(addr, _)| {
+        std::cmp::Reverse(c.layout.node_of_addr(*addr).map(|n| n.level).unwrap_or(0))
+    });
+    let lsb_bits = c.config.st_lsb_bits;
+    for (addr, entry) in entries {
+        let Some(id) = c.layout.node_of_addr(addr) else {
+            continue;
+        };
+        let stale = SgxCounterNode::from_block(&c.domain.device_mut().read(addr));
+        let node = recovery::splice_node(&stale, &entry, lsb_bits);
+        let pc = match g.parent(id) {
+            None => 0,
+            Some(p) if c.layout.is_on_chip(p) => c.top.counter(g.child_slot(id)),
+            Some(p) => {
+                let p_addr = c.layout.node_addr(p);
+                SgxCounterNode::from_block(&c.domain.device_mut().read(p_addr))
+                    .counter(g.child_slot(id))
+            }
+        };
+        if node.verify(&c.mac_key, pc) {
+            c.domain.device_mut().write(addr, node.to_block());
+            sum.rebuilt += 1;
+        }
+    }
+    sum
+}
+
+/// The shared degraded-mode path: flush whatever the cache still holds,
+/// run the verify-and-reseal cascade over the whole tree, and (ASIT)
+/// reset the Shadow Table to match the now-empty cache.
+fn degrade(c: &mut SgxController, lanes: usize) -> RepairSummary {
+    // The ASIT flush path stages ST entries through the volatile shadow
+    // tree; after a crash it is gone until recovery succeeds.
+    if c.scheme == SgxScheme::Asit && c.shadow_tree.is_none() {
+        c.shadow_tree = Some(ShadowTree::new(c.config.key, c.layout.st_slots()));
+    }
+    // Best-effort flush of dirty (possibly splice-recovered) nodes so the
+    // cascade sees them in NVM; verification failures mid-flush are
+    // exactly what the cascade then repairs.
+    let _ = c.shutdown_flush();
+    c.cache.invalidate_all();
+    c.pending.clear();
+    c.pending_shadow_root = None;
+    let sum = verify_reseal_cascade(c, lanes);
+    if c.scheme == SgxScheme::Asit {
+        // ST invariant: entries exist only for resident nodes — none now.
+        for slot in 0..c.layout.st_slots() {
+            let st_addr = c.layout.st_slot(slot);
+            if !c.domain.device_mut().read(st_addr).is_zeroed() {
+                c.domain.device_mut().write(st_addr, Block::zeroed());
+            }
+        }
+        let fresh = ShadowTree::new(c.config.key, c.layout.st_slots());
+        c.shadow_root = fresh.root();
+        c.shadow_tree = Some(fresh);
+    }
+    c.lost_dirty_metadata = false;
+    sum
+}
+
+/// Walks every level below the on-chip top node, top-down. Lanes verify
+/// each node's MAC against its parent counter (finalized by the level
+/// above); failures are re-sealed in place over their stored counters,
+/// applied serially in index order — bit-identical at any lane count.
+fn verify_reseal_cascade(c: &mut SgxController, lanes: usize) -> RepairSummary {
+    let g = c.layout.geometry().clone();
+    let mut sum = RepairSummary::default();
+    let top_level = g.num_levels() - 1;
+    for level in (0..top_level).rev() {
+        let fixes: Vec<Option<Block>> = {
+            let dev = c.domain.device();
+            let layout = &c.layout;
+            let mac_key = &c.mac_key;
+            let top = c.top;
+            let geom = &g;
+            parallel::map_range(lanes, g.nodes_at(level), |index| {
+                let node = NodeId::new(level, index);
+                let raw = dev.read(layout.node_addr(node));
+                let pc = match geom.parent(node) {
+                    None => 0,
+                    Some(p) if layout.is_on_chip(p) => top.counter(geom.child_slot(node)),
+                    Some(p) => SgxCounterNode::from_block(&dev.read(layout.node_addr(p)))
+                        .counter(geom.child_slot(node)),
+                };
+                let mut val = if raw.is_zeroed() {
+                    if pc == 0 {
+                        // Canonical zero state verifies implicitly.
+                        return None;
+                    }
+                    SgxCounterNode::new()
+                } else {
+                    SgxCounterNode::from_block(&raw)
+                };
+                if val.verify(mac_key, pc) {
+                    None
+                } else {
+                    val.seal(mac_key, pc);
+                    Some(val.to_block())
+                }
+            })
+        };
+        for (index, fix) in fixes.into_iter().enumerate() {
+            if let Some(block) = fix {
+                let addr = c.layout.node_addr(NodeId::new(level, index as u64));
+                c.domain.device_mut().write(addr, block);
+                sum.rebuilt += 1;
+            }
+        }
+    }
+    sum
+}

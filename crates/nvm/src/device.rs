@@ -3,8 +3,21 @@
 use crate::addr::{BlockAddr, Region, RegionAllocator};
 use crate::block::Block;
 use crate::error::NvmError;
+use crate::quarantine::{QuarantineError, RemapTable};
 use crate::stats::NvmStats;
 use std::collections::HashMap;
+
+/// Countdown for a power cut *during recovery*: once it expires, every
+/// subsequent counted write is silently dropped (the cells never see it),
+/// modeling the tail of a recovery pass that was still in flight when
+/// power died. Recovery writes go straight to the device (they bypass the
+/// two-stage commit), so this lives here rather than in the domain's
+/// [`crate::FaultPlan`] machinery.
+#[derive(Clone, Debug)]
+struct WriteCut {
+    remaining: u64,
+    fired: bool,
+}
 
 /// A sparse, block-addressable non-volatile memory device.
 ///
@@ -34,6 +47,8 @@ pub struct NvmDevice {
     write_counts: HashMap<u64, u64>,
     regions: RegionAllocator,
     stats: NvmStats,
+    quarantine: RemapTable,
+    write_cut: Option<WriteCut>,
 }
 
 impl NvmDevice {
@@ -47,6 +62,8 @@ impl NvmDevice {
             write_counts: HashMap::new(),
             regions: RegionAllocator::new(),
             stats: NvmStats::new(),
+            quarantine: RemapTable::new(),
+            write_cut: None,
         }
     }
 
@@ -76,7 +93,8 @@ impl NvmDevice {
     pub fn try_read(&self, addr: BlockAddr) -> Result<Block, NvmError> {
         self.check(addr)?;
         self.stats.record_read(self.region_name(addr));
-        Ok(self.store.get(&addr.index()).copied().unwrap_or_default())
+        let phys = self.quarantine.resolve(addr);
+        Ok(self.store.get(&phys.index()).copied().unwrap_or_default())
     }
 
     /// Reads a block, counting the access.
@@ -102,11 +120,22 @@ impl NvmDevice {
     /// Returns [`NvmError::OutOfRange`] if `addr` is beyond capacity.
     pub fn try_write(&mut self, addr: BlockAddr, block: Block) -> Result<(), NvmError> {
         self.check(addr)?;
-        let count = self.write_counts.entry(addr.index()).or_insert(0);
+        if let Some(cut) = self.write_cut.as_mut() {
+            if cut.remaining == 0 {
+                // Power died mid-recovery: the write never reaches the
+                // cells. Reported via `write_cut_fired`, not an error —
+                // a dying platform gets no error path either.
+                cut.fired = true;
+                return Ok(());
+            }
+            cut.remaining -= 1;
+        }
+        let phys = self.quarantine.resolve(addr);
+        let count = self.write_counts.entry(phys.index()).or_insert(0);
         *count += 1;
         let count = *count;
         self.stats.record_write(self.region_name(addr), count, addr);
-        self.store.insert(addr.index(), block);
+        self.store.insert(phys.index(), block);
         Ok(())
     }
 
@@ -159,6 +188,75 @@ impl NvmDevice {
     /// Resets access statistics (contents and wear counts are kept).
     pub fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+
+    /// Registers the spare pool used by [`NvmDevice::quarantine_block`].
+    /// A no-op once a pool is present (see [`RemapTable::install_spares`]).
+    pub fn install_spare_pool(&mut self, spares: Vec<BlockAddr>) {
+        self.quarantine.install_spares(spares);
+    }
+
+    /// Quarantines `addr`: future counted reads/writes of `addr` are
+    /// redirected to the returned spare block. Returns the existing
+    /// mapping if already quarantined, or `None` when the spare pool is
+    /// exhausted (the block is then retired in place by the caller).
+    pub fn quarantine_block(&mut self, addr: BlockAddr) -> Option<BlockAddr> {
+        self.quarantine.quarantine(addr)
+    }
+
+    /// Whether `addr` has been remapped into the spare region.
+    pub fn is_quarantined(&self, addr: BlockAddr) -> bool {
+        self.quarantine.is_quarantined(addr)
+    }
+
+    /// The bad-block remap table (mappings, spares left, lost-line count).
+    pub fn quarantine_table(&self) -> &RemapTable {
+        &self.quarantine
+    }
+
+    /// Records `n` permanently lost data lines in the remap table.
+    pub fn record_lost_lines(&mut self, n: u64) {
+        self.quarantine.record_lost(n);
+    }
+
+    /// Serializes the remap table for persistence into a `qtable` region.
+    pub fn quarantine_table_blocks(&self) -> Vec<Block> {
+        self.quarantine.to_blocks()
+    }
+
+    /// Restores the remap table from blocks previously produced by
+    /// [`NvmDevice::quarantine_table_blocks`], keeping the installed
+    /// spare pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QuarantineError`] for malformed input; the current
+    /// table is left untouched on error.
+    pub fn load_quarantine_table(&mut self, blocks: &[Block]) -> Result<(), QuarantineError> {
+        let mut table = RemapTable::from_blocks(blocks)?;
+        table.inherit_pool(&self.quarantine);
+        self.quarantine = table;
+        Ok(())
+    }
+
+    /// Arms a power cut during recovery: the next `after` counted writes
+    /// land, every write past that is silently dropped until
+    /// [`NvmDevice::clear_write_cut`].
+    pub fn arm_write_cut(&mut self, after: u64) {
+        self.write_cut = Some(WriteCut {
+            remaining: after,
+            fired: false,
+        });
+    }
+
+    /// Whether an armed write cut has started dropping writes.
+    pub fn write_cut_fired(&self) -> bool {
+        self.write_cut.as_ref().is_some_and(|c| c.fired)
+    }
+
+    /// Disarms the write cut; subsequent writes land normally.
+    pub fn clear_write_cut(&mut self) {
+        self.write_cut = None;
     }
 
     fn region_name(&self, addr: BlockAddr) -> Option<&'static str> {
@@ -245,6 +343,61 @@ mod tests {
         let b = dev.peek(BlockAddr::new(3));
         let ones: u32 = b.as_bytes().iter().map(|x| x.count_ones()).sum();
         assert_eq!(ones, 1);
+    }
+
+    #[test]
+    fn quarantined_block_redirects_counted_io_only() {
+        let mut dev = NvmDevice::new(1 << 20);
+        dev.install_spare_pool(vec![BlockAddr::new(100), BlockAddr::new(101)]);
+        let a = BlockAddr::new(7);
+        dev.write(a, Block::filled(0xEE));
+        let spare = dev.quarantine_block(a).expect("pool has spares");
+        assert_eq!(spare, BlockAddr::new(100));
+        assert!(dev.is_quarantined(a));
+        // Counted I/O follows the remap: the stale physical cells are
+        // invisible, the spare starts zeroed.
+        assert!(dev.read(a).is_zeroed());
+        dev.write(a, Block::filled(0x11));
+        assert_eq!(dev.read(a), Block::filled(0x11));
+        assert_eq!(dev.peek(spare), Block::filled(0x11));
+        // Raw access still sees the retired cells.
+        assert_eq!(dev.peek(a), Block::filled(0xEE));
+    }
+
+    #[test]
+    fn quarantine_table_persists_and_reloads() {
+        let mut dev = NvmDevice::new(1 << 20);
+        dev.install_spare_pool(vec![BlockAddr::new(200), BlockAddr::new(201)]);
+        dev.quarantine_block(BlockAddr::new(3));
+        dev.record_lost_lines(1);
+        let image = dev.quarantine_table_blocks();
+        let mut fresh = NvmDevice::new(1 << 20);
+        fresh.install_spare_pool(vec![BlockAddr::new(200), BlockAddr::new(201)]);
+        fresh.load_quarantine_table(&image).unwrap();
+        assert!(fresh.is_quarantined(BlockAddr::new(3)));
+        assert_eq!(fresh.quarantine_table().lost_lines(), 1);
+        // The reloaded table keeps consuming the pool past used spares.
+        assert_eq!(
+            fresh.quarantine_block(BlockAddr::new(9)),
+            Some(BlockAddr::new(201))
+        );
+    }
+
+    #[test]
+    fn write_cut_drops_the_tail() {
+        let mut dev = NvmDevice::new(1 << 20);
+        dev.arm_write_cut(2);
+        dev.write(BlockAddr::new(0), Block::filled(1));
+        dev.write(BlockAddr::new(1), Block::filled(2));
+        assert!(!dev.write_cut_fired());
+        dev.write(BlockAddr::new(2), Block::filled(3)); // dropped
+        dev.write(BlockAddr::new(3), Block::filled(4)); // dropped
+        assert!(dev.write_cut_fired());
+        assert_eq!(dev.peek(BlockAddr::new(1)), Block::filled(2));
+        assert!(dev.peek(BlockAddr::new(2)).is_zeroed());
+        dev.clear_write_cut();
+        dev.write(BlockAddr::new(2), Block::filled(5));
+        assert_eq!(dev.peek(BlockAddr::new(2)), Block::filled(5));
     }
 
     #[test]

@@ -39,6 +39,44 @@
 
 use crate::block::Block;
 
+/// A rejected [`FaultPlan`] construction: the requested fault shape is not
+/// physically meaningful (a 0- or 8-word "tear" is not a tear; a bit flip
+/// needs at least one in-range bit).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// `TornWrite { words }` outside `1..=7`: landing 0 words is a power
+    /// cut, landing all 8 is a clean write.
+    TornWidth {
+        /// The rejected word count.
+        words: usize,
+    },
+    /// A bit-flip plan with an empty bit list.
+    EmptyBitFlip,
+    /// A bit-flip index at or beyond the 512 bits of a block.
+    BitOutOfRange {
+        /// The rejected bit index.
+        bit: usize,
+    },
+}
+
+impl core::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FaultPlanError::TornWidth { words } => write!(
+                f,
+                "a torn write must land 1..={} words, got {words}",
+                Block::WORDS - 1
+            ),
+            FaultPlanError::EmptyBitFlip => write!(f, "bit-flip fault needs at least one bit"),
+            FaultPlanError::BitOutOfRange { bit } => {
+                write!(f, "bit index out of range: {bit} (block has 512 bits)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// What kind of fault fires when a [`FaultPlan`] triggers.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FaultKind {
@@ -81,16 +119,24 @@ impl FaultPlan {
     /// # Panics
     ///
     /// Panics unless `1 <= words <= 7` (0 or 8 words would not be a tear).
+    /// [`FaultPlan::try_torn_write_after`] is the non-panicking variant.
     pub fn torn_write_after(k: u64, words: usize) -> Self {
-        assert!(
-            (1..Block::WORDS).contains(&words),
-            "a torn write must land 1..={} words, got {words}",
-            Block::WORDS - 1
-        );
-        FaultPlan {
+        Self::try_torn_write_after(k, words).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Torn write, validated at construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError::TornWidth`] unless `1 <= words <= 7`.
+    pub fn try_torn_write_after(k: u64, words: usize) -> Result<Self, FaultPlanError> {
+        if !(1..Block::WORDS).contains(&words) {
+            return Err(FaultPlanError::TornWidth { words });
+        }
+        Ok(FaultPlan {
             after: k,
             kind: FaultKind::TornWrite { words },
-        }
+        })
     }
 
     /// Bit flips: the write with counted index `k` lands with `bits`
@@ -99,16 +145,28 @@ impl FaultPlan {
     /// # Panics
     ///
     /// Panics if `bits` is empty or any index is >= 512.
+    /// [`FaultPlan::try_bit_flip_after`] is the non-panicking variant.
     pub fn bit_flip_after(k: u64, bits: Vec<usize>) -> Self {
-        assert!(!bits.is_empty(), "bit-flip fault needs at least one bit");
-        assert!(
-            bits.iter().all(|&b| b < 512),
-            "bit index out of range: {bits:?}"
-        );
-        FaultPlan {
+        Self::try_bit_flip_after(k, bits).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Bit flips, validated at construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError::EmptyBitFlip`] for an empty bit list and
+    /// [`FaultPlanError::BitOutOfRange`] for any index >= 512.
+    pub fn try_bit_flip_after(k: u64, bits: Vec<usize>) -> Result<Self, FaultPlanError> {
+        if bits.is_empty() {
+            return Err(FaultPlanError::EmptyBitFlip);
+        }
+        if let Some(&bit) = bits.iter().find(|&&b| b >= 512) {
+            return Err(FaultPlanError::BitOutOfRange { bit });
+        }
+        Ok(FaultPlan {
             after: k,
             kind: FaultKind::BitFlip { bits },
-        }
+        })
     }
 
     /// The counted write index this plan triggers on.
@@ -168,6 +226,31 @@ mod tests {
     #[should_panic(expected = "torn write")]
     fn full_width_tear_rejected() {
         let _ = FaultPlan::torn_write_after(0, 8);
+    }
+
+    #[test]
+    fn fallible_constructors_reject_invalid_shapes() {
+        assert_eq!(
+            FaultPlan::try_torn_write_after(0, 0),
+            Err(FaultPlanError::TornWidth { words: 0 })
+        );
+        assert_eq!(
+            FaultPlan::try_torn_write_after(0, Block::WORDS),
+            Err(FaultPlanError::TornWidth { words: 8 })
+        );
+        for words in 1..Block::WORDS {
+            let p = FaultPlan::try_torn_write_after(4, words).expect("1..=7 words is a tear");
+            assert_eq!(p.kind(), &FaultKind::TornWrite { words });
+        }
+        assert_eq!(
+            FaultPlan::try_bit_flip_after(0, Vec::new()),
+            Err(FaultPlanError::EmptyBitFlip)
+        );
+        assert_eq!(
+            FaultPlan::try_bit_flip_after(0, vec![3, 512]),
+            Err(FaultPlanError::BitOutOfRange { bit: 512 })
+        );
+        assert!(FaultPlan::try_bit_flip_after(0, vec![0, 511]).is_ok());
     }
 
     #[test]

@@ -44,6 +44,7 @@ mod domain;
 mod error;
 mod fault;
 mod pregs;
+mod quarantine;
 mod rng;
 mod stats;
 mod wpq;
@@ -53,8 +54,9 @@ pub use block::Block;
 pub use device::NvmDevice;
 pub use domain::{PersistenceDomain, WriteOp};
 pub use error::NvmError;
-pub use fault::{FaultKind, FaultPlan};
+pub use fault::{FaultKind, FaultPlan, FaultPlanError};
 pub use pregs::{CommitPhase, PersistentRegisters, PREG_CAPACITY};
+pub use quarantine::{QuarantineError, RemapTable};
 pub use rng::SplitMix64;
 pub use stats::{NvmStats, StatsSnapshot};
 pub use wpq::{Wpq, DEFAULT_WPQ_ENTRIES};

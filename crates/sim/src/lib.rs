@@ -41,6 +41,7 @@ mod timing;
 
 pub mod experiments;
 pub mod fault;
+pub mod storm;
 
 pub use endurance::EnduranceModel;
 pub use engine::{
@@ -52,4 +53,5 @@ pub use fault::{
     torn_write_sweep, CampaignReport, FaultVerdict, ScriptOp,
 };
 pub use report::Table;
+pub use storm::{crash_storm, StormConfig, StormReport};
 pub use timing::TimingModel;

@@ -252,6 +252,49 @@ fn stale_counter_beyond_stop_loss_errs_without_panic() {
 }
 
 #[test]
+fn shadow_capacity_exceeded_is_lane_invariant() {
+    // A verified Shadow Table tracking more same-set nodes than the
+    // metadata cache's associativity can hold must fail ASIT recovery
+    // with `ShadowCapacityExceeded` — and the same offending address —
+    // at 1, 2, and 8 recovery lanes.
+    use anubis::{RecoveryError, StEntry};
+    use anubis_itree::NodeId;
+
+    let cfg = AnubisConfig::small_test();
+    let sets = (cfg.metadata_cache_bytes / 64 / cfg.metadata_cache_ways) as u64;
+    let conflicting = cfg.metadata_cache_ways as u64 + 1;
+    let mut c = SgxController::new(SgxScheme::Asit, &cfg);
+    // Leaf node addresses `sets` blocks apart share a cache set, so
+    // ways + 1 of them can never co-reside.
+    for j in 0..conflicting {
+        let addr = c.layout().node_addr(NodeId::new(0, j * sets));
+        let entry = StEntry::new(addr, 0, [0u64; 8]);
+        let slot = c.layout().st_slot(j);
+        c.domain_mut().device_mut().poke(slot, entry.to_block());
+    }
+    c.debug_refresh_shadow_root_from_nvm();
+
+    let mut failing = Vec::new();
+    for lanes in [1usize, 2, 8] {
+        let mut run = c.clone();
+        run.crash();
+        match run.recover_with_lanes(lanes) {
+            Err(RecoveryError::ShadowCapacityExceeded { addr }) => failing.push(addr),
+            Err(e) => panic!("lanes {lanes}: expected ShadowCapacityExceeded, got {e}"),
+            Ok(_) => panic!("lanes {lanes}: over-capacity shadow table must not recover"),
+        }
+    }
+    assert_eq!(
+        failing[0], failing[1],
+        "lanes 1 vs 2 disagree on the address"
+    );
+    assert_eq!(
+        failing[0], failing[2],
+        "lanes 1 vs 8 disagree on the address"
+    );
+}
+
+#[test]
 fn counter_write_through_survives_every_crash_point() {
     let cfg = AnubisConfig::small_test();
     run_crash_matrix(

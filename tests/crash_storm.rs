@@ -1,0 +1,124 @@
+//! Crash-storm campaign over every recoverable scheme: randomized fault
+//! plans (power cuts, torn writes, bit flips, plus write cuts injected
+//! *during* recovery) must all terminate in a structured
+//! `RecoveryOutcome` with the acknowledged-write contract intact, and the
+//! campaign fingerprint must be bit-identical across lane counts.
+//!
+//! The smoke-sized campaign always runs; set `ANUBIS_CRASH_SWEEP=1` for
+//! the exhaustive sweep (>1000 randomized plans, the scale
+//! `bench_recovery_degraded` ships as an artifact).
+
+use anubis::{AnubisConfig, BonsaiController, BonsaiScheme, SgxController, SgxScheme, Supervised};
+use anubis_sim::{crash_storm, StormConfig, StormReport};
+
+fn config() -> AnubisConfig {
+    AnubisConfig::small_test().with_spare_blocks(256)
+}
+
+fn storm_lane_pair<C, F>(make: F, cfg: &StormConfig, lanes: usize) -> StormReport
+where
+    C: Supervised,
+    F: Fn() -> C,
+{
+    let serial = crash_storm(&make, cfg);
+    assert_eq!(
+        serial.recovered + serial.degraded + serial.quarantined,
+        serial.runs,
+        "{}: every run must end in a structured outcome",
+        serial.scheme
+    );
+    let wide = crash_storm(&make, &cfg.clone().with_lanes(lanes));
+    assert_eq!(
+        serial.fingerprint, wide.fingerprint,
+        "{}: storm fingerprint diverged between 1 and {lanes} lanes",
+        serial.scheme
+    );
+    serial
+}
+
+#[test]
+fn crash_storm_smoke_bonsai_family() {
+    let cfg = StormConfig::smoke(0xC5).with_runs(6);
+    storm_lane_pair(
+        || BonsaiController::new(BonsaiScheme::Osiris, &config()),
+        &cfg,
+        2,
+    );
+    storm_lane_pair(
+        || BonsaiController::new(BonsaiScheme::AgitRead, &config()),
+        &cfg,
+        8,
+    );
+    storm_lane_pair(
+        || BonsaiController::new(BonsaiScheme::AgitPlus, &config()),
+        &cfg,
+        2,
+    );
+    storm_lane_pair(
+        || BonsaiController::new(BonsaiScheme::StrictPersist, &config()),
+        &cfg,
+        8,
+    );
+}
+
+#[test]
+fn crash_storm_smoke_sgx_family() {
+    let cfg = StormConfig::smoke(0x5C).with_runs(6);
+    storm_lane_pair(|| SgxController::new(SgxScheme::Asit, &config()), &cfg, 8);
+    storm_lane_pair(
+        || SgxController::new(SgxScheme::StrictPersist, &config()),
+        &cfg,
+        2,
+    );
+}
+
+#[test]
+fn crash_storm_exhaustive_sweep() {
+    // >1000 randomized plans across the six recoverable schemes; gated
+    // behind ANUBIS_CRASH_SWEEP=1 (nightly CI).
+    if std::env::var_os("ANUBIS_CRASH_SWEEP").is_none() {
+        return;
+    }
+    let cfg = StormConfig {
+        runs: 170,
+        ops: 24,
+        addr_space: 256,
+        seed: 0xEE,
+        lanes: 1,
+        max_retries: 3,
+        recovery_faults: true,
+    };
+    let mut plans = 0;
+    plans += storm_lane_pair(
+        || BonsaiController::new(BonsaiScheme::Osiris, &config()),
+        &cfg,
+        8,
+    )
+    .runs;
+    plans += storm_lane_pair(
+        || BonsaiController::new(BonsaiScheme::AgitRead, &config()),
+        &cfg,
+        8,
+    )
+    .runs;
+    plans += storm_lane_pair(
+        || BonsaiController::new(BonsaiScheme::AgitPlus, &config()),
+        &cfg,
+        8,
+    )
+    .runs;
+    plans += storm_lane_pair(
+        || BonsaiController::new(BonsaiScheme::StrictPersist, &config()),
+        &cfg,
+        8,
+    )
+    .runs;
+    plans += storm_lane_pair(|| SgxController::new(SgxScheme::Asit, &config()), &cfg, 8).runs;
+    plans += storm_lane_pair(
+        || SgxController::new(SgxScheme::StrictPersist, &config()),
+        &cfg,
+        8,
+    )
+    .runs;
+    assert!(plans >= 1000, "sweep must exercise at least 1000 plans");
+}
