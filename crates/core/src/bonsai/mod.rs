@@ -23,8 +23,17 @@ use anubis_crypto::otp::IvCounter;
 use anubis_crypto::{DataCodec, SplitCounterBlock, MINOR_MAX};
 use anubis_itree::bonsai::{BonsaiHasher, Root};
 use anubis_itree::NodeId;
-use anubis_nvm::{Block, BlockAddr, PersistenceDomain, WriteOp};
+use anubis_nvm::{Block, BlockAddr, MemBackend, NvmBackend, PersistenceDomain, WriteOp};
 use anubis_telemetry::Telemetry;
+
+/// Backend register slot mirroring the on-chip Merkle-root register.
+pub(crate) const REG_ROOT: u8 = 0;
+/// Backend register slot mirroring the re-encryption log header
+/// (word 0 = active flag, word 1 = leaf index, word 2 = next line).
+pub(crate) const REG_REENC: u8 = 1;
+/// Backend register slot mirroring the re-encryption log's old counter
+/// block.
+pub(crate) const REG_REENC_OLD: u8 = 2;
 
 /// Which §6.1 scheme a [`BonsaiController`] runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -151,13 +160,18 @@ pub(crate) struct ReencLog {
 
 /// The general-tree secure memory controller (paper §4.2 and baselines).
 ///
+/// Generic over the NVM storage backend: the default in-memory
+/// [`MemBackend`] for simulation, or a durable backend (e.g.
+/// `anubis_nvm::FileBackend`) whose image survives process death and can
+/// be reopened with [`BonsaiController::reopen`].
+///
 /// See the crate-level docs for an end-to-end example.
 #[derive(Clone, Debug)]
-pub struct BonsaiController {
+pub struct BonsaiController<B: NvmBackend = MemBackend> {
     scheme: BonsaiScheme,
     config: AnubisConfig,
     layout: BonsaiLayout,
-    domain: PersistenceDomain,
+    domain: PersistenceDomain<B>,
     codec: DataCodec,
     hasher: BonsaiHasher,
     counter_cache: MetadataCache<CtrEntry>,
@@ -184,12 +198,25 @@ pub struct BonsaiController {
 }
 
 impl BonsaiController {
-    /// Builds a controller over a fresh all-zero NVM image.
+    /// Builds a controller over a fresh all-zero in-memory NVM image.
     ///
     /// The initial tree state (all counters zero, all nodes absent) is
     /// represented lazily: unwritten NVM reads as zeros, and the on-chip
     /// root is initialized to the digest of that all-zero tree.
     pub fn new(scheme: BonsaiScheme, config: &AnubisConfig) -> Self {
+        Self::assemble(scheme, config, |layout| {
+            PersistenceDomain::new(layout.device_bytes())
+        })
+    }
+}
+
+impl<B: NvmBackend> BonsaiController<B> {
+    /// Shared construction over any persistence domain.
+    fn assemble(
+        scheme: BonsaiScheme,
+        config: &AnubisConfig,
+        make_domain: impl FnOnce(&BonsaiLayout) -> PersistenceDomain<B>,
+    ) -> Self {
         let counter_cache: MetadataCache<CtrEntry> =
             MetadataCache::new(config.counter_cache_bytes, config.counter_cache_ways);
         let tree_cache: MetadataCache<Block> =
@@ -199,7 +226,7 @@ impl BonsaiController {
             counter_cache.num_slots() as u64,
             tree_cache.num_slots() as u64,
         );
-        let domain = PersistenceDomain::new(layout.device_bytes());
+        let domain = make_domain(&layout);
         let hasher = BonsaiHasher::new(config.key);
         let (canon, edge) = Self::zero_state_contents(&hasher, &layout);
         let root = Root(hasher.digest(&edge[layout.geometry().top_level()]));
@@ -228,6 +255,64 @@ impl BonsaiController {
         let spares = controller.layout.spare_pool();
         controller.domain.device_mut().install_spare_pool(spares);
         controller
+    }
+
+    /// Reopens a controller over an existing device image (e.g. a
+    /// `FileBackend` replayed from disk after the previous process died).
+    ///
+    /// The on-chip persistent registers (Merkle root, re-encryption log)
+    /// are restored from the register mirrors the previous incarnation
+    /// committed alongside each group; the bad-block remap table is
+    /// reloaded from its persisted region. The caller must still run
+    /// recovery ([`crate::Supervisor::recover`]) before serving reads:
+    /// reopen restores *registers*, recovery restores *verified state*.
+    ///
+    /// A corrupt persisted quarantine table does not fail the reopen; the
+    /// controller proceeds with an empty table and the second element
+    /// carries [`RecoveryError::CorruptImage`] for the supervisor to feed
+    /// into targeted repair ([`crate::Supervisor::repair_then_recover`]).
+    pub fn reopen(
+        scheme: BonsaiScheme,
+        config: &AnubisConfig,
+        backend: B,
+    ) -> (Self, Option<RecoveryError>) {
+        let mut c = Self::assemble(scheme, config, move |layout| {
+            PersistenceDomain::with_backend(layout.device_bytes(), backend)
+        });
+        if let Some(b) = c.domain.reg(REG_ROOT) {
+            c.root = Root(b.word(0));
+        }
+        if let Some(meta) = c.domain.reg(REG_REENC) {
+            if meta.word(0) == 1 {
+                let old = c.domain.reg(REG_REENC_OLD).unwrap_or_else(Block::zeroed);
+                c.reenc_log = Some(ReencLog {
+                    leaf: meta.word(1),
+                    old: SplitCounterBlock::from_block(&old),
+                    next_line: meta.word(2).min(LINES_PER_COUNTER_BLOCK) as u8,
+                });
+            }
+        }
+        let hint = c.reload_quarantine_table();
+        (c, hint)
+    }
+
+    /// Reloads the persisted bad-block remap table from the qtable
+    /// region; returns the corrupt-image hint on parse failure.
+    fn reload_quarantine_table(&mut self) -> Option<RecoveryError> {
+        let blocks: Vec<Block> = (0..self.layout.qtable_blocks())
+            .map(|i| self.domain.device().peek(self.layout.qtable_addr(i)))
+            .collect();
+        match blocks.first() {
+            // Fresh image: no table was ever persisted.
+            None => None,
+            Some(header) if header.is_zeroed() => None,
+            Some(_) => match self.domain.device_mut().load_quarantine_table(&blocks) {
+                Ok(()) => None,
+                Err(_) => Some(RecoveryError::CorruptImage {
+                    what: "quarantine table",
+                }),
+            },
+        }
     }
 
     /// Computes the canonical zero-state node contents per level.
@@ -320,12 +405,12 @@ impl BonsaiController {
     }
 
     /// Direct access to the persistence domain (tamper API, device stats).
-    pub fn domain_mut(&mut self) -> &mut PersistenceDomain {
+    pub fn domain_mut(&mut self) -> &mut PersistenceDomain<B> {
         &mut self.domain
     }
 
     /// Read-only access to the persistence domain.
-    pub fn domain(&self) -> &PersistenceDomain {
+    pub fn domain(&self) -> &PersistenceDomain<B> {
         &self.domain
     }
 
@@ -445,8 +530,28 @@ impl BonsaiController {
             return Ok(());
         }
         let ops = std::mem::take(&mut self.pending);
-        self.domain.commit_group(ops)?;
+        let regs = self.reg_mirrors();
+        self.domain.commit_group_with_regs(ops, &regs)?;
         Ok(())
+    }
+
+    /// Backend mirrors of the on-chip persistent registers, committed
+    /// (and made durable) with every group so a restart can restore them
+    /// via [`BonsaiController::reopen`]. The mirrors ride the same
+    /// backend barrier as the group's writes: a crash before the ack
+    /// drops both together.
+    fn reg_mirrors(&self) -> [(u8, Block); 3] {
+        let mut root = Block::zeroed();
+        root.set_word(0, self.root.0);
+        let mut meta = Block::zeroed();
+        let mut old = Block::zeroed();
+        if let Some(log) = &self.reenc_log {
+            meta.set_word(0, 1);
+            meta.set_word(1, log.leaf);
+            meta.set_word(2, log.next_line as u64);
+            old = log.old.to_block();
+        }
+        [(REG_ROOT, root), (REG_REENC, meta), (REG_REENC_OLD, old)]
     }
 
     fn digest(&mut self, content: &Block) -> u64 {
@@ -916,16 +1021,18 @@ impl BonsaiController {
     }
 }
 
-impl MemoryController for BonsaiController {
+impl<B: NvmBackend> MemoryController for BonsaiController<B> {
+    type Backend = B;
+
     fn scheme_name(&self) -> &'static str {
         self.scheme.name()
     }
 
-    fn domain(&self) -> &PersistenceDomain {
+    fn domain(&self) -> &PersistenceDomain<B> {
         &self.domain
     }
 
-    fn domain_mut(&mut self) -> &mut PersistenceDomain {
+    fn domain_mut(&mut self) -> &mut PersistenceDomain<B> {
         &mut self.domain
     }
 
@@ -1123,7 +1230,7 @@ impl MemoryController for BonsaiController {
     }
 
     fn publish_telemetry(&self) {
-        BonsaiController::publish_telemetry(self);
+        Self::publish_telemetry(self);
     }
 }
 

@@ -34,7 +34,7 @@ use anubis_crypto::otp::IvCounter;
 use anubis_crypto::{DataCodec, SealedBlock, SplitCounterBlock};
 use anubis_itree::bonsai::{BonsaiHasher, Root};
 use anubis_itree::NodeId;
-use anubis_nvm::{Block, BlockAddr, NvmDevice};
+use anubis_nvm::{Block, BlockAddr, NvmBackend, NvmDevice};
 use std::collections::BTreeSet;
 
 /// Tallies recovery work separately from the run-time cost model.
@@ -61,8 +61,8 @@ impl Tally {
 /// *read* the device (access counting is atomic — see `NvmStats`); all
 /// writes are deferred to the main thread, which applies them in item
 /// order.
-pub(super) struct Ctx<'a> {
-    pub(super) dev: &'a NvmDevice,
+pub(super) struct Ctx<'a, B: NvmBackend> {
+    pub(super) dev: &'a NvmDevice<B>,
     pub(super) layout: &'a BonsaiLayout,
     pub(super) codec: &'a DataCodec,
     pub(super) hasher: &'a BonsaiHasher,
@@ -71,8 +71,8 @@ pub(super) struct Ctx<'a> {
     edge: &'a [Block],
 }
 
-impl<'a> Ctx<'a> {
-    pub(super) fn of(c: &'a BonsaiController) -> Self {
+impl<'a, B: NvmBackend> Ctx<'a, B> {
+    pub(super) fn of(c: &'a BonsaiController<B>) -> Self {
         Ctx {
             dev: c.domain.device(),
             layout: &c.layout,
@@ -118,8 +118,8 @@ pub(super) struct LeafFix {
     pub(super) tally: Tally,
 }
 
-pub(super) fn recover(
-    c: &mut BonsaiController,
+pub(super) fn recover<B: NvmBackend>(
+    c: &mut BonsaiController<B>,
     lanes: usize,
 ) -> Result<RecoveryReport, RecoveryError> {
     let tel = c.telemetry.clone();
@@ -172,12 +172,17 @@ pub(super) fn recover(
     })
 }
 
-fn dev_read(c: &mut BonsaiController, addr: BlockAddr, t: &mut Tally) -> Block {
+fn dev_read<B: NvmBackend>(c: &mut BonsaiController<B>, addr: BlockAddr, t: &mut Tally) -> Block {
     t.reads += 1;
     c.domain.device_mut().read(addr)
 }
 
-pub(super) fn dev_write(c: &mut BonsaiController, addr: BlockAddr, block: Block, t: &mut Tally) {
+pub(super) fn dev_write<B: NvmBackend>(
+    c: &mut BonsaiController<B>,
+    addr: BlockAddr,
+    block: Block,
+    t: &mut Tally,
+) {
     t.writes += 1;
     c.domain.device_mut().write(addr, block);
 }
@@ -186,8 +191,8 @@ pub(super) fn dev_write(c: &mut BonsaiController, addr: BlockAddr, block: Block,
 /// (counter block first, then the remaining lines). Returns the affected
 /// leaf so tree recovery can repair its path. Inherently serial: at most
 /// one page (64 lines) of sequential REDO work.
-pub(super) fn complete_reencryption(
-    c: &mut BonsaiController,
+pub(super) fn complete_reencryption<B: NvmBackend>(
+    c: &mut BonsaiController<B>,
     t: &mut Tally,
 ) -> Result<Option<NodeId>, RecoveryError> {
     let Some(ReencLog {
@@ -252,7 +257,10 @@ pub(super) fn complete_reencryption(
 /// Osiris-fixes every counter of one counter block against its data
 /// lines. Pure with respect to the device: the repaired block is returned
 /// for the main thread to write, so lanes can run this concurrently.
-pub(super) fn probe_counter_block(ctx: &Ctx<'_>, leaf: NodeId) -> Result<LeafFix, RecoveryError> {
+pub(super) fn probe_counter_block<B: NvmBackend>(
+    ctx: &Ctx<'_, B>,
+    leaf: NodeId,
+) -> Result<LeafFix, RecoveryError> {
     let mut t = Tally::default();
     let leaf_addr = ctx.layout.node_addr(leaf);
     let stale = SplitCounterBlock::from_block(&ctx.read(leaf_addr, &mut t));
@@ -320,7 +328,10 @@ pub(super) fn probe_counter_block(ctx: &Ctx<'_>, leaf: NodeId) -> Result<LeafFix
 
 /// Recomputes one interior node from its children in NVM. Pure: returns
 /// the rebuilt block for the main thread to write.
-pub(super) fn compute_interior_node(ctx: &Ctx<'_>, node: NodeId) -> (Block, Tally) {
+pub(super) fn compute_interior_node<B: NvmBackend>(
+    ctx: &Ctx<'_, B>,
+    node: NodeId,
+) -> (Block, Tally) {
     let mut t = Tally::default();
     let g = ctx.layout.geometry();
     let children: Vec<NodeId> = g.children(node).collect();
@@ -339,8 +350,8 @@ pub(super) fn compute_interior_node(ctx: &Ctx<'_>, node: NodeId) -> (Block, Tall
 /// repairs in leaf order. On a probe failure the repairs of preceding
 /// leaves are still applied (matching the serial sweep's partial
 /// progress) before the error is returned.
-fn fix_counter_blocks(
-    c: &mut BonsaiController,
+fn fix_counter_blocks<B: NvmBackend>(
+    c: &mut BonsaiController<B>,
     t: &mut Tally,
     leaves: &[u64],
     lanes: usize,
@@ -379,8 +390,8 @@ fn fix_counter_blocks(
 /// bottom-up: a parent must hash its children's *repaired* contents, so
 /// the level boundary is a hard barrier (unlike ASIT ST verification,
 /// where nodes verify independently against parent counters).
-fn fix_node_level(
-    c: &mut BonsaiController,
+fn fix_node_level<B: NvmBackend>(
+    c: &mut BonsaiController<B>,
     t: &mut Tally,
     level: usize,
     indices: &[u64],
@@ -404,7 +415,10 @@ fn fix_node_level(
 
 /// Recomputes the root digest from the NVM top node and compares it with
 /// the on-chip register.
-fn check_root(c: &mut BonsaiController, t: &mut Tally) -> Result<(), RecoveryError> {
+fn check_root<B: NvmBackend>(
+    c: &mut BonsaiController<B>,
+    t: &mut Tally,
+) -> Result<(), RecoveryError> {
     let tel = c.telemetry.clone();
     let _span = tel.span("recovery_phase", "root_check");
     let top = c.layout.geometry().top();
@@ -427,7 +441,11 @@ fn check_root(c: &mut BonsaiController, t: &mut Tally) -> Result<(), RecoveryErr
 /// Recomputes the ancestors of `leaf` from NVM, bottom-up (used after an
 /// interrupted re-encryption under strict persistence). A single path is
 /// a strict chain — nothing to parallelize.
-fn fix_path(c: &mut BonsaiController, leaf: NodeId, t: &mut Tally) -> Result<(), RecoveryError> {
+fn fix_path<B: NvmBackend>(
+    c: &mut BonsaiController<B>,
+    leaf: NodeId,
+    t: &mut Tally,
+) -> Result<(), RecoveryError> {
     let g = c.layout.geometry().clone();
     for node in g.path_to_top(leaf) {
         let (block, tally) = {
@@ -442,8 +460,8 @@ fn fix_path(c: &mut BonsaiController, leaf: NodeId, t: &mut Tally) -> Result<(),
 
 /// Whole-memory recovery: optionally Osiris-fix every counter block, then
 /// rebuild every interior node bottom-up and compare the root.
-fn rebuild_whole_tree(
-    c: &mut BonsaiController,
+fn rebuild_whole_tree<B: NvmBackend>(
+    c: &mut BonsaiController<B>,
     t: &mut Tally,
     probe_counters: bool,
     lanes: usize,
@@ -462,8 +480,8 @@ fn rebuild_whole_tree(
 
 /// Algorithm 1 (paper §4.2.3): fix tracked counters, then tracked nodes
 /// level by level, then verify the root.
-fn recover_agit(
-    c: &mut BonsaiController,
+fn recover_agit<B: NvmBackend>(
+    c: &mut BonsaiController<B>,
     t: &mut Tally,
     reenc_leaf: Option<NodeId>,
     lanes: usize,

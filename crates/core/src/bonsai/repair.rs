@@ -27,10 +27,10 @@ use anubis_crypto::otp::IvCounter;
 use anubis_crypto::{SealedBlock, SplitCounterBlock, MINOR_MAX};
 use anubis_itree::bonsai::Root;
 use anubis_itree::NodeId;
-use anubis_nvm::Block;
+use anubis_nvm::{Block, NvmBackend};
 use anubis_telemetry::Telemetry;
 
-impl Supervised for BonsaiController {
+impl<B: NvmBackend> Supervised for BonsaiController<B> {
     fn fast_recover(&mut self, lanes: usize) -> Result<RecoveryReport, RecoveryError> {
         self.recover_with_lanes(lanes)
     }
@@ -161,7 +161,7 @@ impl Supervised for BonsaiController {
 /// first, then a serial per-line salvage for blocks where probing failed
 /// (retiring only the individual lines that cannot be opened, instead of
 /// aborting recovery).
-fn salvage_counters(c: &mut BonsaiController, lanes: usize) -> RepairSummary {
+fn salvage_counters<B: NvmBackend>(c: &mut BonsaiController<B>, lanes: usize) -> RepairSummary {
     let leaves: Vec<u64> = (0..c.layout.geometry().num_leaves()).collect();
     let results = {
         let ctx = recovery::Ctx::of(c);
@@ -189,7 +189,7 @@ fn salvage_counters(c: &mut BonsaiController, lanes: usize) -> RepairSummary {
 /// Per-line salvage of one counter block: lines that probe within the
 /// stop-loss window advance the counter; lines that do not are retired
 /// into the spare region and zero-sealed under their final counter bits.
-fn salvage_leaf(c: &mut BonsaiController, leaf: u64, sum: &mut RepairSummary) {
+fn salvage_leaf<B: NvmBackend>(c: &mut BonsaiController<B>, leaf: u64, sum: &mut RepairSummary) {
     let leaf_node = NodeId::new(0, leaf);
     let leaf_addr = c.layout.node_addr(leaf_node);
     let stale = SplitCounterBlock::from_block(&c.domain.device_mut().read(leaf_addr));
@@ -250,8 +250,8 @@ fn salvage_leaf(c: &mut BonsaiController, leaf: u64, sum: &mut RepairSummary) {
 /// Retires one data line whose content cannot be opened under any
 /// counter candidate: remap the backing block, zero-seal the line under
 /// its (unadvanced) counter bits, and count committed content as lost.
-fn retire_line(
-    c: &mut BonsaiController,
+fn retire_line<B: NvmBackend>(
+    c: &mut BonsaiController<B>,
     data_addr: DataAddr,
     stale: &SplitCounterBlock,
     line: usize,
@@ -282,7 +282,7 @@ fn retire_line(
 /// re-anchors the on-chip root to the result. Only nodes whose stored
 /// content differs from the recomputation are written — the zero-state
 /// tree stays unmaterialized — so `rebuilt` counts genuine reconstruction.
-fn rebuild_interior(c: &mut BonsaiController, lanes: usize) -> RepairSummary {
+fn rebuild_interior<B: NvmBackend>(c: &mut BonsaiController<B>, lanes: usize) -> RepairSummary {
     let g = c.layout.geometry().clone();
     let mut sum = RepairSummary::default();
     for level in 1..g.num_levels() {

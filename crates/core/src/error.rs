@@ -159,6 +159,15 @@ pub enum RecoveryError {
         /// The failing data line.
         addr: DataAddr,
     },
+    /// A reopened device image carried a corrupted persistent structure
+    /// (e.g. a quarantine table whose header or payload failed to parse).
+    /// Non-structural: the controller proceeds with a fresh copy of the
+    /// structure and the supervisor feeds this hint into targeted repair
+    /// (rung 3) to rebuild whatever the corrupt structure protected.
+    CorruptImage {
+        /// Which persistent structure failed to parse.
+        what: &'static str,
+    },
     /// Device failure during recovery.
     Nvm(NvmError),
 }
@@ -199,6 +208,9 @@ impl fmt::Display for RecoveryError {
             }
             RecoveryError::ScrubFailed { addr } => {
                 write!(f, "data line {addr} failed verification during scrub")
+            }
+            RecoveryError::CorruptImage { what } => {
+                write!(f, "reopened device image has a corrupt {what}")
             }
             RecoveryError::Nvm(e) => write!(f, "nvm error during recovery: {e}"),
         }

@@ -71,7 +71,7 @@ pub use supervisor::{RecoveryOutcome, RepairSummary, Supervised, SupervisedRecov
 
 pub use anubis_telemetry as telemetry;
 
-use anubis_nvm::{Block, PersistenceDomain};
+use anubis_nvm::{Block, NvmBackend, PersistenceDomain};
 
 /// The uniform controller surface shared by every scheme.
 ///
@@ -81,7 +81,16 @@ use anubis_nvm::{Block, PersistenceDomain};
 /// after each call; crash-recovery experiments call
 /// [`MemoryController::crash`] at arbitrary points and then
 /// [`MemoryController::recover`].
+///
+/// Controllers are generic over the [`NvmBackend`] their persistence
+/// domain stores blocks in: the default in-memory map for simulation, or
+/// a durable file-backed store (see `anubis_nvm::FileBackend`) for
+/// restart-survivable images. [`MemoryController::Backend`] names that
+/// choice so harnesses stay generic over both.
 pub trait MemoryController {
+    /// The storage backend of the controller's persistence domain.
+    type Backend: NvmBackend;
+
     /// Scheme name for reports (e.g. `"agit-plus"`).
     fn scheme_name(&self) -> &'static str;
 
@@ -126,12 +135,12 @@ pub trait MemoryController {
     /// Read-only access to the controller's persistence domain — used by
     /// fault-injection campaigns to inspect the lifetime persist-write
     /// counter and by experiments to read device statistics.
-    fn domain(&self) -> &PersistenceDomain;
+    fn domain(&self) -> &PersistenceDomain<Self::Backend>;
 
     /// Mutable access to the persistence domain — the hook through which
     /// fault-injection campaigns arm [`anubis_nvm::FaultPlan`]s and
     /// tamper experiments corrupt NVM contents.
-    fn domain_mut(&mut self) -> &mut PersistenceDomain;
+    fn domain_mut(&mut self) -> &mut PersistenceDomain<Self::Backend>;
 
     /// Cost of the most recent `read`/`write` call, for the timing model.
     fn last_cost(&self) -> OpCost;

@@ -27,8 +27,13 @@ use anubis_crypto::otp::IvCounter;
 use anubis_crypto::{DataCodec, SgxCounterNode, SGX_COUNTERS_PER_NODE};
 use anubis_itree::bonsai::Root;
 use anubis_itree::NodeId;
-use anubis_nvm::{Block, BlockAddr, PersistenceDomain, WriteOp};
+use anubis_nvm::{Block, BlockAddr, MemBackend, NvmBackend, PersistenceDomain, WriteOp};
 use anubis_telemetry::Telemetry;
+
+/// Backend register slot mirroring the on-chip top counter node.
+pub(crate) const REG_TOP: u8 = 0;
+/// Backend register slot mirroring `SHADOW_TREE_ROOT` (word 0).
+pub(crate) const REG_SHADOW: u8 = 1;
 
 /// Which §6.2 scheme an [`SgxController`] runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -97,12 +102,17 @@ pub(crate) struct SgxEntry {
 }
 
 /// The SGX-style secure memory controller (paper §4.3 and baselines).
+///
+/// Generic over the NVM storage backend, like
+/// [`crate::BonsaiController`]: the default in-memory [`MemBackend`], or
+/// a durable backend whose image can be reopened with
+/// [`SgxController::reopen`] after the process died.
 #[derive(Clone, Debug)]
-pub struct SgxController {
+pub struct SgxController<B: NvmBackend = MemBackend> {
     scheme: SgxScheme,
     config: AnubisConfig,
     layout: SgxLayout,
-    domain: PersistenceDomain,
+    domain: PersistenceDomain<B>,
     codec: DataCodec,
     mac_key: Hasher64,
     cache: MetadataCache<SgxEntry>,
@@ -133,12 +143,25 @@ pub struct SgxController {
 }
 
 impl SgxController {
-    /// Builds a controller over a fresh all-zero NVM image.
+    /// Builds a controller over a fresh all-zero in-memory NVM image.
     pub fn new(scheme: SgxScheme, config: &AnubisConfig) -> Self {
+        Self::assemble(scheme, config, |layout| {
+            PersistenceDomain::new(layout.device_bytes())
+        })
+    }
+}
+
+impl<B: NvmBackend> SgxController<B> {
+    /// Shared construction over any persistence domain.
+    fn assemble(
+        scheme: SgxScheme,
+        config: &AnubisConfig,
+        make_domain: impl FnOnce(&SgxLayout) -> PersistenceDomain<B>,
+    ) -> Self {
         let cache: MetadataCache<SgxEntry> =
             MetadataCache::new(config.metadata_cache_bytes, config.metadata_cache_ways);
         let layout = SgxLayout::new(config, cache.num_slots() as u64);
-        let mut domain = PersistenceDomain::new(layout.device_bytes());
+        let mut domain = make_domain(&layout);
         domain.device_mut().register_regions(layout.regions());
         domain.device_mut().install_spare_pool(layout.spare_pool());
         let mac_key = Hasher64::new(config.key.derive("sgx-mac"));
@@ -169,6 +192,72 @@ impl SgxController {
         }
     }
 
+    /// Reopens a controller over an existing device image (e.g. a
+    /// `FileBackend` replayed from disk after the previous process died).
+    ///
+    /// The on-chip persistent registers (top counter node,
+    /// `SHADOW_TREE_ROOT`) are restored from the register mirrors the
+    /// previous incarnation committed alongside each group; the bad-block
+    /// remap table is reloaded from its persisted region. The caller must
+    /// still run recovery before serving reads.
+    ///
+    /// A process kill is indistinguishable from a power cut that
+    /// destroyed dirty cached metadata, so the write-back family
+    /// (write-back, eager write-back, Osiris) reopens with
+    /// `lost_dirty_metadata` set and will refuse to recover — only
+    /// strict persistence and ASIT survive an unclean restart, exactly
+    /// as across an in-process crash.
+    ///
+    /// A corrupt persisted quarantine table does not fail the reopen; the
+    /// controller proceeds with an empty table and the second element
+    /// carries [`RecoveryError::CorruptImage`] for
+    /// [`crate::Supervisor::repair_then_recover`].
+    pub fn reopen(
+        scheme: SgxScheme,
+        config: &AnubisConfig,
+        backend: B,
+    ) -> (Self, Option<RecoveryError>) {
+        let mut c = Self::assemble(scheme, config, move |layout| {
+            PersistenceDomain::with_backend(layout.device_bytes(), backend)
+        });
+        if let Some(b) = c.domain.reg(REG_TOP) {
+            c.top = SgxCounterNode::from_block(&b);
+        }
+        if let Some(b) = c.domain.reg(REG_SHADOW) {
+            c.shadow_root = Root(b.word(0));
+        }
+        // The volatile shadow-tree interior did not survive the process;
+        // ASIT recovery rebuilds it from the persisted Shadow Table and
+        // verifies it against the restored register.
+        if scheme == SgxScheme::Asit {
+            c.shadow_tree = None;
+        }
+        c.lost_dirty_metadata = matches!(
+            scheme,
+            SgxScheme::WriteBack | SgxScheme::EagerWriteBack | SgxScheme::Osiris
+        );
+        let hint = c.reload_quarantine_table();
+        (c, hint)
+    }
+
+    /// Reloads the persisted bad-block remap table from the qtable
+    /// region; returns the corrupt-image hint on parse failure.
+    fn reload_quarantine_table(&mut self) -> Option<RecoveryError> {
+        let blocks: Vec<Block> = (0..self.layout.qtable_blocks())
+            .map(|i| self.domain.device().peek(self.layout.qtable_addr(i)))
+            .collect();
+        match blocks.first() {
+            None => None,
+            Some(header) if header.is_zeroed() => None,
+            Some(_) => match self.domain.device_mut().load_quarantine_table(&blocks) {
+                Ok(()) => None,
+                Err(_) => Some(RecoveryError::CorruptImage {
+                    what: "quarantine table",
+                }),
+            },
+        }
+    }
+
     /// The scheme this controller runs.
     pub fn scheme(&self) -> SgxScheme {
         self.scheme
@@ -190,12 +279,12 @@ impl SgxController {
     }
 
     /// Direct access to the persistence domain (tamper API, device stats).
-    pub fn domain_mut(&mut self) -> &mut PersistenceDomain {
+    pub fn domain_mut(&mut self) -> &mut PersistenceDomain<B> {
         &mut self.domain
     }
 
     /// Read-only access to the persistence domain.
-    pub fn domain(&self) -> &PersistenceDomain {
+    pub fn domain(&self) -> &PersistenceDomain<B> {
         &self.domain
     }
 
@@ -336,7 +425,10 @@ impl SgxController {
             Ok(())
         } else {
             let ops = std::mem::take(&mut self.pending);
-            self.domain.commit_group(ops).map_err(MemError::from)
+            let regs = self.reg_mirrors();
+            self.domain
+                .commit_group_with_regs(ops, &regs)
+                .map_err(MemError::from)
         };
         // The SHADOW_TREE_ROOT register update rides the commit: atomic
         // with the ST writes from the hardware's perspective. A power cut
@@ -353,6 +445,19 @@ impl SgxController {
             Err(_) => {}
         }
         result
+    }
+
+    /// Backend mirrors of the on-chip persistent registers, committed
+    /// (and made durable) with every group so a restart can restore them
+    /// via [`SgxController::reopen`]. The shadow-root mirror carries the
+    /// value the register will hold once this commit lands
+    /// (`pending_shadow_root`), keeping the durable mirror atomic with
+    /// the ST writes it protects — the same barrier acks both.
+    fn reg_mirrors(&self) -> [(u8, Block); 2] {
+        let mut shadow = Block::zeroed();
+        let root = self.pending_shadow_root.unwrap_or(self.shadow_root);
+        shadow.set_word(0, root.0);
+        [(REG_TOP, self.top.to_block()), (REG_SHADOW, shadow)]
     }
 
     // ------------------------------------------------------------------
@@ -735,16 +840,18 @@ impl SgxController {
     }
 }
 
-impl MemoryController for SgxController {
+impl<B: NvmBackend> MemoryController for SgxController<B> {
+    type Backend = B;
+
     fn scheme_name(&self) -> &'static str {
         self.scheme.name()
     }
 
-    fn domain(&self) -> &PersistenceDomain {
+    fn domain(&self) -> &PersistenceDomain<B> {
         &self.domain
     }
 
-    fn domain_mut(&mut self) -> &mut PersistenceDomain {
+    fn domain_mut(&mut self) -> &mut PersistenceDomain<B> {
         &mut self.domain
     }
 
@@ -905,6 +1012,6 @@ impl MemoryController for SgxController {
     }
 
     fn publish_telemetry(&self) {
-        SgxController::publish_telemetry(self);
+        Self::publish_telemetry(self);
     }
 }

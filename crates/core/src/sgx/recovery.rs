@@ -28,7 +28,7 @@ use crate::shadow::StEntry;
 use crate::shadow_tree::ShadowTree;
 use crate::MemoryController;
 use anubis_crypto::{SgxCounterNode, SGX_COUNTERS_PER_NODE};
-use anubis_nvm::BlockAddr;
+use anubis_nvm::{BlockAddr, NvmBackend};
 use std::collections::BTreeMap;
 
 #[derive(Default)]
@@ -39,8 +39,8 @@ struct Tally {
     nodes_fixed: u64,
 }
 
-pub(super) fn recover(
-    c: &mut SgxController,
+pub(super) fn recover<B: NvmBackend>(
+    c: &mut SgxController<B>,
     lanes: usize,
 ) -> Result<RecoveryReport, RecoveryError> {
     let tel = c.telemetry.clone();
@@ -76,7 +76,11 @@ pub(super) fn recover(
 }
 
 /// Algorithm 2 (paper §4.3.2).
-fn recover_asit(c: &mut SgxController, t: &mut Tally, lanes: usize) -> Result<(), RecoveryError> {
+fn recover_asit<B: NvmBackend>(
+    c: &mut SgxController<B>,
+    t: &mut Tally,
+    lanes: usize,
+) -> Result<(), RecoveryError> {
     let tel = c.telemetry.clone();
     // Step 1: read the whole Shadow Table — independent slot reads, fanned
     // out across lanes, collected in slot order.
@@ -258,8 +262,8 @@ fn recover_asit(c: &mut SgxController, t: &mut Tally, lanes: usize) -> Result<()
 /// always equals the NVM copy; see DESIGN.md). Entries pointing outside
 /// the metadata regions are dropped — possible only through tampering
 /// that also defeated the shadow root, but stay defensive.
-pub(super) fn dedup_st_entries(
-    c: &SgxController,
+pub(super) fn dedup_st_entries<B: NvmBackend>(
+    c: &SgxController<B>,
     st_blocks: &[anubis_nvm::Block],
 ) -> Vec<(BlockAddr, StEntry)> {
     let mut by_addr: BTreeMap<BlockAddr, StEntry> = BTreeMap::new();

@@ -33,10 +33,10 @@ use crate::MemoryController;
 use anubis_crypto::otp::IvCounter;
 use anubis_crypto::{SealedBlock, SgxCounterNode};
 use anubis_itree::NodeId;
-use anubis_nvm::Block;
+use anubis_nvm::{Block, NvmBackend};
 use anubis_telemetry::Telemetry;
 
-impl Supervised for SgxController {
+impl<B: NvmBackend> Supervised for SgxController<B> {
     fn fast_recover(&mut self, lanes: usize) -> Result<RecoveryReport, RecoveryError> {
         self.recover_with_lanes(lanes)
     }
@@ -147,7 +147,7 @@ impl Supervised for SgxController {
     }
 }
 
-impl SgxController {
+impl<B: NvmBackend> SgxController<B> {
     /// The current counter for a data line: from the resident leaf if
     /// cached (recovered nodes live there dirty), the on-chip top node
     /// for the degenerate single-leaf tree, or the NVM copy.
@@ -168,7 +168,7 @@ impl SgxController {
 /// bypassing the cache: parents before children, each splice kept only if
 /// it MAC-verifies against its (already-spliced) parent counter. Entries
 /// that fail are left stale for the cascade.
-fn spill_splice(c: &mut SgxController, lanes: usize) -> RepairSummary {
+fn spill_splice<B: NvmBackend>(c: &mut SgxController<B>, lanes: usize) -> RepairSummary {
     let mut sum = RepairSummary::default();
     let st_slots = c.layout.st_slots();
     let st_blocks: Vec<Block> = {
@@ -212,7 +212,7 @@ fn spill_splice(c: &mut SgxController, lanes: usize) -> RepairSummary {
 /// The shared degraded-mode path: flush whatever the cache still holds,
 /// run the verify-and-reseal cascade over the whole tree, and (ASIT)
 /// reset the Shadow Table to match the now-empty cache.
-fn degrade(c: &mut SgxController, lanes: usize) -> RepairSummary {
+fn degrade<B: NvmBackend>(c: &mut SgxController<B>, lanes: usize) -> RepairSummary {
     // The ASIT flush path stages ST entries through the volatile shadow
     // tree; after a crash it is gone until recovery succeeds.
     if c.scheme == SgxScheme::Asit && c.shadow_tree.is_none() {
@@ -246,7 +246,7 @@ fn degrade(c: &mut SgxController, lanes: usize) -> RepairSummary {
 /// each node's MAC against its parent counter (finalized by the level
 /// above); failures are re-sealed in place over their stored counters,
 /// applied serially in index order — bit-identical at any lane count.
-fn verify_reseal_cascade(c: &mut SgxController, lanes: usize) -> RepairSummary {
+fn verify_reseal_cascade<B: NvmBackend>(c: &mut SgxController<B>, lanes: usize) -> RepairSummary {
     let g = c.layout.geometry().clone();
     let mut sum = RepairSummary::default();
     let top_level = g.num_levels() - 1;

@@ -327,18 +327,50 @@ impl Supervisor {
         if out.quarantined_lines > 0 {
             ctrl.persist_quarantine();
         }
-        out.outcome = if out.lost_lines > 0 {
-            RecoveryOutcome::Quarantined {
-                lost_lines: out.lost_lines,
-            }
-        } else if out.repaired_lines + out.rebuilt_nodes + out.quarantined_lines > 0 {
-            RecoveryOutcome::Degraded {
-                repaired: out.repaired_lines,
-                rebuilt: out.rebuilt_nodes,
-            }
-        } else {
-            RecoveryOutcome::Recovered
+        out.outcome = outcome_of(&out);
+        Ok(out)
+    }
+
+    /// Enters the ladder at rung 3 with a known corruption hint, then
+    /// runs the full ladder.
+    ///
+    /// This is the restart path for a reopened device image whose
+    /// controller reported a non-structural [`RecoveryError`] at reopen
+    /// (e.g. [`RecoveryError::CorruptImage`] for an unparseable persisted
+    /// quarantine table): the corruption is already known, so waiting for
+    /// the fast path to trip over it wastes the retry budget. Targeted
+    /// repair runs first with the hint — valid on a freshly reopened,
+    /// powered device — and its repair work is merged into the accounting
+    /// of the subsequent [`Supervisor::recover`] run.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Supervisor::recover`].
+    pub fn repair_then_recover<C: Supervised + ?Sized>(
+        &self,
+        ctrl: &mut C,
+        err: &RecoveryError,
+    ) -> Result<SupervisedRecovery, RecoveryError> {
+        let tel = ctrl.supervisor_telemetry();
+        let scheme = ctrl.scheme_name();
+        // Drain any REDO group left in the persistent registers before
+        // repairing over the image (idempotent; rung 1 repeats it).
+        let _ = ctrl.domain_mut().power_up();
+        tel.incr("supervisor_escalations_total", scheme, 1);
+        let pre = {
+            let _g = tel.span("supervisor_rung", "targeted");
+            ctrl.targeted_repair(err, self.lanes)?
         };
+        let mut out = self.recover(ctrl)?;
+        out.escalations += 1;
+        out.repaired_lines += pre.repaired;
+        out.rebuilt_nodes += pre.rebuilt;
+        out.quarantined_lines += pre.quarantined;
+        out.lost_lines += pre.lost;
+        if pre.quarantined > 0 {
+            ctrl.persist_quarantine();
+        }
+        out.outcome = outcome_of(&out);
         Ok(out)
     }
 
@@ -441,6 +473,22 @@ impl Supervisor {
 impl Default for Supervisor {
     fn default() -> Self {
         Supervisor::new()
+    }
+}
+
+/// Synthesizes the outcome from the accumulated repair accounting.
+fn outcome_of(out: &SupervisedRecovery) -> RecoveryOutcome {
+    if out.lost_lines > 0 {
+        RecoveryOutcome::Quarantined {
+            lost_lines: out.lost_lines,
+        }
+    } else if out.repaired_lines + out.rebuilt_nodes + out.quarantined_lines > 0 {
+        RecoveryOutcome::Degraded {
+            repaired: out.repaired_lines,
+            rebuilt: out.rebuilt_nodes,
+        }
+    } else {
+        RecoveryOutcome::Recovered
     }
 }
 

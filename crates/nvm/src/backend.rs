@@ -1,0 +1,181 @@
+//! Pluggable storage backends for the sparse NVM device.
+//!
+//! [`NvmDevice`](crate::NvmDevice) is generic over an [`NvmBackend`] that
+//! owns the actual block contents. Two implementations exist:
+//!
+//! * [`MemBackend`] — the original process-lifetime hash map. Zero-cost,
+//!   volatile across process death; the default everywhere.
+//! * [`FileBackend`](crate::FileBackend) — a write-ahead-logged file image
+//!   whose durability boundary matches the simulated persistence domain:
+//!   persisted bytes never reflect an unflushed commit group, so a
+//!   SIGKILLed process can be restarted against the image and recovered.
+//!
+//! The backend also hosts the *persistent register file*: a small set of
+//! numbered 64-byte register images the controllers use to mirror their
+//! on-chip persistent registers (tree root, reencryption log, shadow-table
+//! root) so restart-entry recovery can restore them.
+
+use crate::block::Block;
+use crate::error::NvmError;
+use std::collections::{BTreeMap, HashMap};
+
+/// FNV-1a 64-bit checksum — the in-tree integrity check for WAL frames and
+/// snapshot images (no external dependencies).
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Storage abstraction behind [`NvmDevice`](crate::NvmDevice).
+///
+/// Implementations own the sparse block map plus the persistent register
+/// file. The `Send + Sync` supertraits let recovery lanes share a device
+/// reference across threads.
+///
+/// # Durability contract
+///
+/// [`NvmBackend::store`] and [`NvmBackend::journal`] may buffer; only
+/// [`NvmBackend::barrier`] makes buffered records durable, and it must do
+/// so atomically (a torn barrier must be indistinguishable from no
+/// barrier on reopen). The persistence domain calls `barrier` exactly at
+/// the points where the simulated hardware guarantees persistence: the
+/// end of a two-stage commit group, an ADR flush on power failure, and
+/// the REDO pass at power-up.
+pub trait NvmBackend: std::fmt::Debug + Send + Sync {
+    /// Loads the block at physical index `phys`, if ever stored.
+    fn load(&self, phys: u64) -> Option<Block>;
+
+    /// Stores a block at physical index `phys`.
+    fn store(&mut self, phys: u64, block: Block);
+
+    /// Number of distinct physical blocks ever stored (materialized
+    /// footprint).
+    fn touched(&self) -> usize;
+
+    /// Every stored block, sorted by physical index.
+    fn entries(&self) -> Vec<(u64, Block)>;
+
+    /// Stores one persistent-register image.
+    fn store_reg(&mut self, idx: u8, block: Block);
+
+    /// Loads a persistent-register image.
+    fn reg(&self, idx: u8) -> Option<Block>;
+
+    /// Every register image, sorted by index.
+    fn regs(&self) -> Vec<(u8, Block)>;
+
+    /// Journals a write that is in the persistent domain but still
+    /// WPQ-resident in this process: durable backends must replay it on
+    /// reopen without updating the live block map (the in-process WPQ
+    /// still holds it). Volatile backends ignore it.
+    fn journal(&mut self, phys: u64, block: Block) {
+        let _ = (phys, block);
+    }
+
+    /// Makes everything stored/journaled so far durable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvmError::Backend`] when the underlying medium fails.
+    fn barrier(&mut self) -> Result<(), NvmError> {
+        Ok(())
+    }
+
+    /// Power died (write cut fired mid-recovery): discard unflushed
+    /// journal records and turn every subsequent [`NvmBackend::barrier`]
+    /// into a no-op — a dying platform flushes nothing more.
+    fn suppress_flushes(&mut self) {}
+}
+
+/// The original in-memory backend: a sparse hash map, volatile across
+/// process death. [`NvmBackend::barrier`] is a no-op — within one process
+/// the map itself is the persistence model.
+#[derive(Clone, Debug, Default)]
+pub struct MemBackend {
+    store: HashMap<u64, Block>,
+    regs: BTreeMap<u8, Block>,
+}
+
+impl MemBackend {
+    /// Creates an empty in-memory backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl NvmBackend for MemBackend {
+    fn load(&self, phys: u64) -> Option<Block> {
+        self.store.get(&phys).copied()
+    }
+
+    fn store(&mut self, phys: u64, block: Block) {
+        self.store.insert(phys, block);
+    }
+
+    fn touched(&self) -> usize {
+        self.store.len()
+    }
+
+    fn entries(&self) -> Vec<(u64, Block)> {
+        let mut v: Vec<_> = self.store.iter().map(|(&k, &b)| (k, b)).collect();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
+    }
+
+    fn store_reg(&mut self, idx: u8, block: Block) {
+        self.regs.insert(idx, block);
+    }
+
+    fn reg(&self, idx: u8) -> Option<Block> {
+        self.regs.get(&idx).copied()
+    }
+
+    fn regs(&self) -> Vec<(u8, Block)> {
+        self.regs.iter().map(|(&i, &b)| (i, b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_backend_roundtrip() {
+        let mut b = MemBackend::new();
+        assert_eq!(b.load(7), None);
+        b.store(7, Block::filled(0xAA));
+        b.store(3, Block::filled(0xBB));
+        assert_eq!(b.load(7), Some(Block::filled(0xAA)));
+        assert_eq!(b.touched(), 2);
+        let e = b.entries();
+        assert_eq!(e[0].0, 3);
+        assert_eq!(e[1].0, 7);
+        b.barrier().unwrap();
+        b.journal(9, Block::filled(1)); // no-op for the volatile backend
+        assert_eq!(b.load(9), None);
+    }
+
+    #[test]
+    fn mem_backend_registers() {
+        let mut b = MemBackend::new();
+        assert_eq!(b.reg(0), None);
+        b.store_reg(2, Block::filled(2));
+        b.store_reg(0, Block::filled(0));
+        assert_eq!(b.reg(2), Some(Block::filled(2)));
+        let r = b.regs();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].0, 0);
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Known FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a64(b"abc"), fnv1a64(b"acb"));
+    }
+}

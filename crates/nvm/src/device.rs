@@ -1,6 +1,7 @@
 //! The sparse NVM device model.
 
 use crate::addr::{BlockAddr, Region, RegionAllocator};
+use crate::backend::{MemBackend, NvmBackend};
 use crate::block::Block;
 use crate::error::NvmError;
 use crate::quarantine::{QuarantineError, RemapTable};
@@ -26,6 +27,11 @@ struct WriteCut {
 /// Contents survive [`crate::PersistenceDomain::power_fail`]; only the
 /// caches and queues in front of the device are volatile.
 ///
+/// The device is generic over a storage [`NvmBackend`] that owns the
+/// block contents: the default [`MemBackend`] keeps them in a hash map,
+/// while [`crate::FileBackend`] persists them to a write-ahead-logged
+/// file image that survives process death.
+///
 /// Blocks can be attributed to named [`Region`]s (registered via
 /// [`NvmDevice::register_regions`]) so per-region read/write counts are
 /// available for endurance and write-amplification studies.
@@ -41,9 +47,9 @@ struct WriteCut {
 /// assert_eq!(dev.read(a), Block::filled(7));
 /// ```
 #[derive(Clone, Debug)]
-pub struct NvmDevice {
+pub struct NvmDevice<B: NvmBackend = MemBackend> {
     capacity_blocks: u64,
-    store: HashMap<u64, Block>,
+    store: B,
     write_counts: HashMap<u64, u64>,
     regions: RegionAllocator,
     stats: NvmStats,
@@ -51,20 +57,67 @@ pub struct NvmDevice {
     write_cut: Option<WriteCut>,
 }
 
-impl NvmDevice {
-    /// Creates a device of `capacity_bytes` bytes (rounded down to whole
-    /// 64-byte blocks). Capacity is an addressing limit, not an allocation:
-    /// memory is materialized lazily per touched block.
+impl NvmDevice<MemBackend> {
+    /// Creates an in-memory device of `capacity_bytes` bytes (rounded down
+    /// to whole 64-byte blocks). Capacity is an addressing limit, not an
+    /// allocation: memory is materialized lazily per touched block.
     pub fn new(capacity_bytes: u64) -> Self {
+        NvmDevice::with_backend(capacity_bytes, MemBackend::new())
+    }
+}
+
+impl<B: NvmBackend> NvmDevice<B> {
+    /// Creates a device of `capacity_bytes` bytes over an existing storage
+    /// backend (e.g. a [`crate::FileBackend`] replayed from an image).
+    pub fn with_backend(capacity_bytes: u64, backend: B) -> Self {
         NvmDevice {
             capacity_blocks: capacity_bytes / crate::BLOCK_BYTES as u64,
-            store: HashMap::new(),
+            store: backend,
             write_counts: HashMap::new(),
             regions: RegionAllocator::new(),
             stats: NvmStats::new(),
             quarantine: RemapTable::new(),
             write_cut: None,
         }
+    }
+
+    /// The storage backend (block contents and register file).
+    pub fn backend(&self) -> &B {
+        &self.store
+    }
+
+    /// Mutable access to the storage backend.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.store
+    }
+
+    /// Flushes the backend's write-ahead buffer — the ordered durability
+    /// point. A no-op for the in-memory backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvmError::Backend`] when the storage medium fails.
+    pub fn flush_backend(&mut self) -> Result<(), NvmError> {
+        self.store.barrier()
+    }
+
+    /// Stores one persistent-register image (controllers mirror their
+    /// on-chip persistent registers here so restart recovery can restore
+    /// them). Durable at the next [`NvmDevice::flush_backend`].
+    pub fn set_reg(&mut self, idx: u8, block: Block) {
+        self.store.store_reg(idx, block);
+    }
+
+    /// Loads a persistent-register image.
+    pub fn reg(&self, idx: u8) -> Option<Block> {
+        self.store.reg(idx)
+    }
+
+    /// Journals a write that entered the persistent domain but is still
+    /// WPQ-resident, so durable backends replay it on reopen.
+    pub(crate) fn journal_write(&mut self, addr: BlockAddr, block: Block) {
+        let phys = self.quarantine.resolve(addr);
+        self.store.journal(phys.index(), block);
     }
 
     /// Registers the region map used to attribute accesses in
@@ -81,7 +134,7 @@ impl NvmDevice {
     /// Number of blocks that have ever been written (the materialized
     /// footprint).
     pub fn touched_blocks(&self) -> usize {
-        self.store.len()
+        self.store.touched()
     }
 
     /// Checked read. Takes `&self`: reading does not logically mutate the
@@ -94,7 +147,7 @@ impl NvmDevice {
         self.check(addr)?;
         self.stats.record_read(self.region_name(addr));
         let phys = self.quarantine.resolve(addr);
-        Ok(self.store.get(&phys.index()).copied().unwrap_or_default())
+        Ok(self.store.load(phys.index()).unwrap_or_default())
     }
 
     /// Reads a block, counting the access.
@@ -110,7 +163,7 @@ impl NvmDevice {
     /// Reads without counting the access — for inspection by tests and
     /// reporting code that must not perturb statistics.
     pub fn peek(&self, addr: BlockAddr) -> Block {
-        self.store.get(&addr.index()).copied().unwrap_or_default()
+        self.store.load(addr.index()).unwrap_or_default()
     }
 
     /// Checked write.
@@ -124,8 +177,11 @@ impl NvmDevice {
             if cut.remaining == 0 {
                 // Power died mid-recovery: the write never reaches the
                 // cells. Reported via `write_cut_fired`, not an error —
-                // a dying platform gets no error path either.
+                // a dying platform gets no error path either. A dying
+                // platform also flushes nothing more, so durable
+                // backends stop persisting from this instant.
                 cut.fired = true;
+                self.store.suppress_flushes();
                 return Ok(());
             }
             cut.remaining -= 1;
@@ -135,7 +191,7 @@ impl NvmDevice {
         *count += 1;
         let count = *count;
         self.stats.record_write(self.region_name(addr), count, addr);
-        self.store.insert(phys.index(), block);
+        self.store.store(phys.index(), block);
         Ok(())
     }
 
@@ -158,7 +214,7 @@ impl NvmDevice {
             "poke at {addr} beyond capacity of {} blocks",
             self.capacity_blocks
         );
-        self.store.insert(addr.index(), block);
+        self.store.store(addr.index(), block);
     }
 
     /// Flips one bit of one block in place — the attacker primitive for
@@ -166,13 +222,13 @@ impl NvmDevice {
     pub fn tamper_flip_bit(&mut self, addr: BlockAddr, bit: usize) {
         let mut b = self.peek(addr);
         b.flip_bit(bit);
-        self.store.insert(addr.index(), b);
+        self.store.store(addr.index(), b);
     }
 
     /// Replays an old value into a block (replay-attack primitive).
     /// Does not perturb statistics.
     pub fn tamper_replay(&mut self, addr: BlockAddr, old: Block) {
-        self.store.insert(addr.index(), old);
+        self.store.store(addr.index(), old);
     }
 
     /// Number of times `addr` has been written (endurance tracking).

@@ -1,11 +1,13 @@
 //! The persistence domain: device + WPQ + persistent registers.
 
 use crate::addr::BlockAddr;
+use crate::backend::{MemBackend, NvmBackend};
 use crate::block::Block;
 use crate::device::NvmDevice;
 use crate::error::NvmError;
 use crate::fault::{tear_block, FaultKind, FaultPlan};
 use crate::pregs::{PersistentRegisters, PREG_CAPACITY};
+use crate::snapshot::{Snapshot, SnapshotError};
 use crate::wpq::Wpq;
 
 /// One block write destined for NVM.
@@ -36,8 +38,8 @@ impl WriteOp {
 /// the WPQ is flushed by ADR, in-flight staged groups are lost, and any
 /// group caught mid-drain is REDOne by [`PersistenceDomain::power_up`].
 #[derive(Clone, Debug)]
-pub struct PersistenceDomain {
-    device: NvmDevice,
+pub struct PersistenceDomain<B: NvmBackend = MemBackend> {
+    device: NvmDevice<B>,
     wpq: Wpq,
     pregs: PersistentRegisters,
     powered: bool,
@@ -49,16 +51,24 @@ pub struct PersistenceDomain {
     fault_fired: Option<FaultKind>,
 }
 
-impl PersistenceDomain {
-    /// Creates a powered-up domain over a fresh device of
+impl PersistenceDomain<MemBackend> {
+    /// Creates a powered-up domain over a fresh in-memory device of
     /// `capacity_bytes` bytes with a default-sized WPQ.
     pub fn new(capacity_bytes: u64) -> Self {
         Self::with_device(NvmDevice::new(capacity_bytes))
     }
+}
+
+impl<B: NvmBackend> PersistenceDomain<B> {
+    /// Creates a powered-up domain of `capacity_bytes` bytes over an
+    /// existing storage backend (e.g. a reopened file image).
+    pub fn with_backend(capacity_bytes: u64, backend: B) -> Self {
+        Self::with_device(NvmDevice::with_backend(capacity_bytes, backend))
+    }
 
     /// Creates a powered-up domain over an existing device (e.g. one with a
     /// prepared memory image).
-    pub fn with_device(device: NvmDevice) -> Self {
+    pub fn with_device(device: NvmDevice<B>) -> Self {
         PersistenceDomain {
             device,
             wpq: Wpq::default(),
@@ -72,13 +82,35 @@ impl PersistenceDomain {
     }
 
     /// The underlying device (contents, statistics, tamper API).
-    pub fn device(&self) -> &NvmDevice {
+    pub fn device(&self) -> &NvmDevice<B> {
         &self.device
     }
 
     /// Mutable access to the underlying device.
-    pub fn device_mut(&mut self) -> &mut NvmDevice {
+    pub fn device_mut(&mut self) -> &mut NvmDevice<B> {
         &mut self.device
+    }
+
+    /// Stores one persistent-register image (see [`NvmDevice::set_reg`]).
+    /// Controllers mirror on-chip persistent registers here *before*
+    /// committing so the image lands in the same durable flush as the
+    /// commit group.
+    pub fn set_reg(&mut self, idx: u8, block: Block) {
+        self.device.set_reg(idx, block);
+    }
+
+    /// Loads a persistent-register image.
+    pub fn reg(&self, idx: u8) -> Option<Block> {
+        self.device.reg(idx)
+    }
+
+    /// Forces the backend's ordered durability point (no-op in memory).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvmError::Backend`] when the storage medium fails.
+    pub fn barrier(&mut self) -> Result<(), NvmError> {
+        self.device.flush_backend()
     }
 
     /// Whether the domain is currently powered.
@@ -170,6 +202,28 @@ impl PersistenceDomain {
     where
         I: IntoIterator<Item = WriteOp>,
     {
+        self.commit_group_with_regs(ops, &[])
+    }
+
+    /// [`PersistenceDomain::commit_group`] plus persistent-register
+    /// mirrors made durable **atomically with the group**: the register
+    /// images are staged after group validation and flushed in the same
+    /// backend barrier, so a reopened image never pairs a committed group
+    /// with stale registers (or vice versa).
+    ///
+    /// # Errors
+    ///
+    /// As [`PersistenceDomain::commit_group`]; on
+    /// [`NvmError::CommitGroupTooLarge`] neither the group nor the
+    /// register mirrors are persisted.
+    pub fn commit_group_with_regs<I>(
+        &mut self,
+        ops: I,
+        regs: &[(u8, Block)],
+    ) -> Result<(), NvmError>
+    where
+        I: IntoIterator<Item = WriteOp>,
+    {
         if !self.powered {
             return Err(NvmError::PoweredOff);
         }
@@ -186,8 +240,17 @@ impl PersistenceDomain {
             }
             staged += 1;
         }
+        // The group is valid: the register mirrors now belong to the same
+        // durability unit (same barrier frame) as the group itself.
+        for &(idx, block) in regs {
+            self.device.set_reg(idx, block);
+        }
         if staged == 0 {
-            return Ok(());
+            return if regs.is_empty() {
+                Ok(())
+            } else {
+                self.device.flush_backend()
+            };
         }
         // Commit: set DONE_BIT then drain into the WPQ. Each drained entry
         // is one counted device-level write — the granularity at which
@@ -206,6 +269,7 @@ impl PersistenceDomain {
                             // DONE_BIT set and is REDOne at power_up.
                             self.wpq.flush(&mut self.device);
                             self.powered = false;
+                            let _ = self.device.flush_backend();
                             return Err(NvmError::PowerLost);
                         }
                         FaultKind::TornWrite { words } => {
@@ -220,6 +284,7 @@ impl PersistenceDomain {
                             self.pregs.torn_discard();
                             self.wpq.flush(&mut self.device);
                             self.powered = false;
+                            let _ = self.device.flush_backend();
                             return Err(NvmError::PowerLost);
                         }
                         FaultKind::BitFlip { bits } => {
@@ -234,9 +299,16 @@ impl PersistenceDomain {
                 }
             }
             self.persist_writes += 1;
+            // The write is now in the persistent domain even though it may
+            // sit in the WPQ for a while: journal it so durable backends
+            // replay it after a restart.
+            self.device.journal_write(op.addr, op.block);
             self.wpq.insert(op, &mut self.device);
         }
         self.commits += 1;
+        // The ack point: once this barrier returns, the whole group (and
+        // its register mirrors) is durable across process death.
+        self.device.flush_backend()?;
         Ok(())
     }
 
@@ -247,6 +319,10 @@ impl PersistenceDomain {
     pub fn power_fail(&mut self) {
         self.wpq.flush(&mut self.device);
         self.powered = false;
+        // ADR residual energy also covers the backend flush; best-effort
+        // by design — a failing medium during power-down has no error
+        // path on real hardware either.
+        let _ = self.device.flush_backend();
         // Note: pregs keep their state; semantics resolve at power_up.
     }
 
@@ -261,6 +337,7 @@ impl PersistenceDomain {
             self.wpq.insert(op, &mut self.device);
         }
         self.wpq.flush(&mut self.device);
+        let _ = self.device.flush_backend();
         n
     }
 
@@ -268,6 +345,54 @@ impl PersistenceDomain {
     /// inspecting device contents mid-run.
     pub fn drain_wpq(&mut self) {
         self.wpq.flush(&mut self.device);
+        let _ = self.device.flush_backend();
+    }
+
+    /// Captures the full persistent state — device contents, register
+    /// file, persistent-register commit machinery, and the serialized
+    /// quarantine table. Drains the WPQ first so the image is
+    /// self-contained.
+    pub fn snapshot(&mut self) -> Snapshot {
+        self.drain_wpq();
+        Snapshot {
+            entries: self.device.backend().entries(),
+            regs: self.device.backend().regs(),
+            pregs_entries: self.pregs.entries().to_vec(),
+            pregs_done: self.pregs.done_bit(),
+            pregs_drained: self.pregs.drained() as u64,
+            qtable: self.device.quarantine_table_blocks(),
+        }
+    }
+
+    /// Restores a snapshot into this domain: block contents and registers
+    /// are written into the backend, the quarantine table and the
+    /// persistent-register state are reinstated, and the result is made
+    /// durable with one barrier.
+    ///
+    /// # Errors
+    ///
+    /// [`NvmError::Snapshot`] (with
+    /// [`SnapshotError::BadQuarantineTable`]) if the embedded quarantine
+    /// table fails to parse; [`NvmError::Backend`] if the final barrier
+    /// fails. The device contents may be partially restored on error.
+    pub fn apply_snapshot(&mut self, snap: &Snapshot) -> Result<(), NvmError> {
+        for &(phys, block) in &snap.entries {
+            self.device.backend_mut().store(phys, block);
+        }
+        for &(idx, block) in &snap.regs {
+            self.device.set_reg(idx, block);
+        }
+        if !snap.qtable.is_empty() {
+            self.device
+                .load_quarantine_table(&snap.qtable)
+                .map_err(|_| NvmError::Snapshot(SnapshotError::BadQuarantineTable))?;
+        }
+        self.pregs = PersistentRegisters::from_parts(
+            snap.pregs_entries.clone(),
+            snap.pregs_done,
+            snap.pregs_drained as usize,
+        );
+        self.device.flush_backend()
     }
 
     /// Test hook: leaves a group staged (resp. draining) so crash tests can
@@ -278,7 +403,7 @@ impl PersistenceDomain {
     }
 }
 
-impl NvmDevice {
+impl<B: NvmBackend> NvmDevice<B> {
     /// Records a read that was served by WPQ forwarding (still one logical
     /// metadata access for statistics purposes).
     pub(crate) fn stats_read_only(&self, addr: BlockAddr) {

@@ -38,25 +38,31 @@
 #![warn(missing_docs)]
 
 mod addr;
+mod backend;
 mod block;
 mod device;
 mod domain;
 mod error;
 mod fault;
+mod file_backend;
 mod pregs;
 mod quarantine;
 mod rng;
+mod snapshot;
 mod stats;
 mod wpq;
 
 pub use addr::{BlockAddr, Region, RegionAllocator, BLOCK_BYTES};
+pub use backend::{MemBackend, NvmBackend};
 pub use block::Block;
 pub use device::NvmDevice;
 pub use domain::{PersistenceDomain, WriteOp};
 pub use error::NvmError;
 pub use fault::{FaultKind, FaultPlan, FaultPlanError};
+pub use file_backend::FileBackend;
 pub use pregs::{CommitPhase, PersistentRegisters, PREG_CAPACITY};
 pub use quarantine::{QuarantineError, RemapTable};
 pub use rng::SplitMix64;
+pub use snapshot::{Snapshot, SnapshotError};
 pub use stats::{NvmStats, StatsSnapshot};
 pub use wpq::{Wpq, DEFAULT_WPQ_ENTRIES};

@@ -1,0 +1,306 @@
+//! Versioned, checksummed snapshots of the full persistent state.
+//!
+//! A [`Snapshot`] captures everything that survives power loss: device
+//! block contents, the persistent register file, the persistent-register
+//! commit machinery ([`crate::PersistentRegisters`]), and the serialized
+//! bad-block [`crate::RemapTable`]. The byte format:
+//!
+//! ```text
+//! "ANUBSNP1" (8) | version u32 LE | fnv1a64(body) u64 LE | body
+//! body:
+//!   entry count u64 | (phys u64 | 64 bytes)*
+//!   reg count u32   | (idx u8   | 64 bytes)*
+//!   pregs: done u8 | drained u64 | count u32 | (addr u64 | 64 bytes)*
+//!   qtable block count u32 | (64 bytes)*
+//! ```
+//!
+//! Malformed images surface as typed [`SnapshotError`]s — never a panic —
+//! so a supervisor can feed them into its repair ladder.
+
+use crate::block::Block;
+use crate::domain::WriteOp;
+use crate::{backend::fnv1a64, BlockAddr, BLOCK_BYTES};
+use core::fmt;
+
+const MAGIC: &[u8; 8] = b"ANUBSNP1";
+const VERSION: u32 = 1;
+const HEADER_BYTES: usize = 20;
+
+/// Why a snapshot image failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// The image does not start with the snapshot magic.
+    BadMagic,
+    /// The image's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The image ends before its sections do.
+    Truncated,
+    /// The body checksum does not match the header.
+    ChecksumMismatch,
+    /// The embedded quarantine-table blocks failed to parse.
+    BadQuarantineTable,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "snapshot image has bad magic"),
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported snapshot version {found} (expected {VERSION})"
+                )
+            }
+            SnapshotError::Truncated => write!(f, "snapshot image is truncated"),
+            SnapshotError::ChecksumMismatch => {
+                write!(f, "snapshot body checksum mismatch (bit corruption)")
+            }
+            SnapshotError::BadQuarantineTable => {
+                write!(f, "snapshot quarantine table is malformed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A point-in-time image of the entire persistent domain state.
+///
+/// Produced by [`crate::PersistenceDomain::snapshot`], serialized with
+/// [`Snapshot::to_bytes`], and restored with [`Snapshot::from_bytes`] +
+/// [`crate::PersistenceDomain::apply_snapshot`] in a fresh process.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Device block contents, sorted by physical index.
+    pub entries: Vec<(u64, Block)>,
+    /// Persistent register file images, sorted by index.
+    pub regs: Vec<(u8, Block)>,
+    /// Staged entries of the persistent-register commit machinery.
+    pub pregs_entries: Vec<WriteOp>,
+    /// Whether `DONE_BIT` was set when the snapshot was taken.
+    pub pregs_done: bool,
+    /// How many staged entries had already drained.
+    pub pregs_drained: u64,
+    /// Serialized bad-block remap table (empty = no quarantine state).
+    pub qtable: Vec<Block>,
+}
+
+impl Snapshot {
+    /// Serializes the snapshot with header and checksum.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        body.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for (phys, block) in &self.entries {
+            body.extend_from_slice(&phys.to_le_bytes());
+            body.extend_from_slice(block.as_bytes());
+        }
+        body.extend_from_slice(&(self.regs.len() as u32).to_le_bytes());
+        for (idx, block) in &self.regs {
+            body.push(*idx);
+            body.extend_from_slice(block.as_bytes());
+        }
+        body.push(self.pregs_done as u8);
+        body.extend_from_slice(&self.pregs_drained.to_le_bytes());
+        body.extend_from_slice(&(self.pregs_entries.len() as u32).to_le_bytes());
+        for op in &self.pregs_entries {
+            body.extend_from_slice(&op.addr.index().to_le_bytes());
+            body.extend_from_slice(op.block.as_bytes());
+        }
+        body.extend_from_slice(&(self.qtable.len() as u32).to_le_bytes());
+        for block in &self.qtable {
+            body.extend_from_slice(block.as_bytes());
+        }
+
+        let mut out = Vec::with_capacity(HEADER_BYTES + body.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&body).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Parses and validates a serialized snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`SnapshotError`] for any malformation: bad magic,
+    /// unknown version, truncation, or checksum mismatch.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < HEADER_BYTES {
+            return if bytes.len() >= 8 && &bytes[..8] != MAGIC {
+                Err(SnapshotError::BadMagic)
+            } else {
+                Err(SnapshotError::Truncated)
+            };
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4-byte slice"));
+        if version != VERSION {
+            return Err(SnapshotError::UnsupportedVersion { found: version });
+        }
+        let checksum = u64::from_le_bytes(bytes[12..20].try_into().expect("8-byte slice"));
+        let body = &bytes[HEADER_BYTES..];
+        if fnv1a64(body) != checksum {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+
+        let mut r = Reader { body, pos: 0 };
+        let entry_count = r.u64()?;
+        let mut entries = Vec::new();
+        for _ in 0..entry_count {
+            let phys = r.u64()?;
+            entries.push((phys, r.block()?));
+        }
+        let reg_count = r.u32()?;
+        let mut regs = Vec::new();
+        for _ in 0..reg_count {
+            let idx = r.u8()?;
+            regs.push((idx, r.block()?));
+        }
+        let pregs_done = r.u8()? != 0;
+        let pregs_drained = r.u64()?;
+        let preg_count = r.u32()?;
+        let mut pregs_entries = Vec::new();
+        for _ in 0..preg_count {
+            let addr = r.u64()?;
+            pregs_entries.push(WriteOp::new(BlockAddr::new(addr), r.block()?));
+        }
+        let qtable_count = r.u32()?;
+        let mut qtable = Vec::new();
+        for _ in 0..qtable_count {
+            qtable.push(r.block()?);
+        }
+
+        Ok(Snapshot {
+            entries,
+            regs,
+            pregs_entries,
+            pregs_done,
+            pregs_drained,
+            qtable,
+        })
+    }
+}
+
+struct Reader<'a> {
+    body: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.body.len())
+            .ok_or(SnapshotError::Truncated)?;
+        let s = &self.body[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4-byte slice"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8-byte slice"),
+        ))
+    }
+
+    fn block(&mut self) -> Result<Block, SnapshotError> {
+        Ok(Block::from_bytes(
+            self.take(BLOCK_BYTES)?.try_into().expect("64-byte slice"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            entries: vec![(3, Block::filled(0x33)), (9, Block::filled(0x99))],
+            regs: vec![(0, Block::filled(1)), (7, Block::filled(7))],
+            pregs_entries: vec![WriteOp::new(BlockAddr::new(12), Block::filled(0xAB))],
+            pregs_done: true,
+            pregs_drained: 1,
+            qtable: vec![Block::filled(0x51)],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        let snap = sample();
+        let bytes = snap.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let snap = Snapshot::default();
+        let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] ^= 0xFF;
+        assert_eq!(Snapshot::from_bytes(&bytes), Err(SnapshotError::BadMagic));
+    }
+
+    #[test]
+    fn unknown_version_is_typed() {
+        let mut bytes = sample().to_bytes();
+        bytes[8] = 0xEE;
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_typed_never_a_panic() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            let err = Snapshot::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated
+                        | SnapshotError::BadMagic
+                        | SnapshotError::ChecksumMismatch
+                ),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn body_bit_flip_is_checksum_mismatch() {
+        let mut bytes = sample().to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert_eq!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::ChecksumMismatch)
+        );
+    }
+}

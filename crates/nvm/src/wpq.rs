@@ -1,6 +1,7 @@
 //! The Write Pending Queue (WPQ).
 
 use crate::addr::BlockAddr;
+use crate::backend::NvmBackend;
 use crate::block::Block;
 use crate::device::NvmDevice;
 use crate::domain::WriteOp;
@@ -67,7 +68,7 @@ impl Wpq {
     ///
     /// Writes to the same address coalesce onto the existing entry, as in a
     /// real write queue.
-    pub fn insert(&mut self, op: WriteOp, device: &mut NvmDevice) {
+    pub fn insert<B: NvmBackend>(&mut self, op: WriteOp, device: &mut NvmDevice<B>) {
         if let Some(existing) = self.entries.iter_mut().find(|e| e.addr == op.addr) {
             existing.block = op.block;
             return;
@@ -104,7 +105,7 @@ impl Wpq {
     }
 
     /// Drains every pending entry to the device (ADR flush or idle drain).
-    pub fn flush(&mut self, device: &mut NvmDevice) {
+    pub fn flush<B: NvmBackend>(&mut self, device: &mut NvmDevice<B>) {
         for op in self.entries.drain(..) {
             device.write(op.addr, op.block);
         }
