@@ -27,8 +27,8 @@ fn main() {
     ]);
     // Baseline for normalization: write-back at the same scale.
     let base_cfg = AnubisConfig::paper();
-    let trace = TraceGenerator::new(trace_spec.clone(), base_cfg.capacity_bytes)
-        .generate(scale.ops, scale.seed);
+    let trace =
+        TraceGenerator::new(trace_spec, base_cfg.capacity_bytes).generate(scale.ops, scale.seed);
     let mut wb = BonsaiController::new(BonsaiScheme::WriteBack, &base_cfg);
     let base = run_trace(&mut wb, &trace, &model).expect("baseline");
 

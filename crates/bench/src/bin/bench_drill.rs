@@ -137,6 +137,7 @@ fn main() -> ExitCode {
 
     let doc = Json::obj(vec![
         ("benchmark", Json::Str("drill".into())),
+        ("host", anubis_bench::host_info_json()),
         ("seed", Json::Int(seed)),
         ("sweep", Json::Bool(sweep)),
         ("script_len", Json::Int(spec.script_len as u64)),

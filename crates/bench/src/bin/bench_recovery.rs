@@ -110,6 +110,7 @@ fn main() {
 
     let doc = Json::obj(vec![
         ("benchmark", Json::Str("recovery".into())),
+        ("host", anubis_bench::host_info_json()),
         ("host_parallelism", Json::Int(host_parallelism() as u64)),
         ("smoke", Json::Bool(smoke)),
         (

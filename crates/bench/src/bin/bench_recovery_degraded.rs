@@ -84,6 +84,7 @@ fn main() {
 
     let doc = Json::obj(vec![
         ("benchmark", Json::Str("recovery_degraded".into())),
+        ("host", anubis_bench::host_info_json()),
         ("host_parallelism", Json::Int(host_parallelism() as u64)),
         ("smoke", Json::Bool(smoke)),
         (

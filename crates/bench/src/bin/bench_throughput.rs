@@ -41,24 +41,25 @@ fn main() {
         trace.len(),
         host_parallelism()
     );
+    anubis_bench::warn_if_single_core();
 
     let mut diverged = false;
     let mut cases = Vec::new();
 
     {
-        let cfg = config.clone();
+        let cfg = &config;
         let (case, bad) = bench_scheme(
             "agit-plus",
             &trace,
             &model,
             reps,
             |t, m| {
-                let mut c = BonsaiController::new(BonsaiScheme::AgitPlus, &cfg);
+                let mut c = BonsaiController::new(BonsaiScheme::AgitPlus, cfg);
                 run_trace(&mut c, t, m).expect("serial replay")
             },
             |t, m, lanes| {
                 run_trace_sharded(
-                    |_| BonsaiController::new(BonsaiScheme::AgitPlus, &cfg),
+                    |_| BonsaiController::new(BonsaiScheme::AgitPlus, cfg),
                     t,
                     m,
                     SHARDS,
@@ -71,19 +72,19 @@ fn main() {
         cases.push(case);
     }
     {
-        let cfg = config.clone();
+        let cfg = &config;
         let (case, bad) = bench_scheme(
             "asit",
             &trace,
             &model,
             reps,
             |t, m| {
-                let mut c = SgxController::new(SgxScheme::Asit, &cfg);
+                let mut c = SgxController::new(SgxScheme::Asit, cfg);
                 run_trace(&mut c, t, m).expect("serial replay")
             },
             |t, m, lanes| {
                 run_trace_sharded(
-                    |_| SgxController::new(SgxScheme::Asit, &cfg),
+                    |_| SgxController::new(SgxScheme::Asit, cfg),
                     t,
                     m,
                     SHARDS,
@@ -98,6 +99,7 @@ fn main() {
 
     let doc = Json::obj(vec![
         ("benchmark", Json::Str("throughput".into())),
+        ("host", anubis_bench::host_info_json()),
         ("host_parallelism", Json::Int(host_parallelism() as u64)),
         ("smoke", Json::Bool(smoke)),
         (

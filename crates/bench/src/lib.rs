@@ -84,6 +84,10 @@ pub fn time_case_batched<S>(
 /// emit.
 pub mod json {
     /// A JSON value.
+    ///
+    /// Besides rendering, the module also parses the documents it emits
+    /// (see [`parse`]) so harnesses can diff a fresh run against a
+    /// committed baseline — the `bench_hotpath --check` regression gate.
     #[derive(Clone, Debug)]
     pub enum Json {
         /// `null`.
@@ -180,6 +184,202 @@ pub mod json {
                 }
             }
         }
+
+        /// Object field lookup (`None` for non-objects / missing keys).
+        pub fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The array items, if this is an array.
+        pub fn as_arr(&self) -> Option<&[Json]> {
+            match self {
+                Json::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The string value, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The numeric value (`Int` or `Num`), if any.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Json::Int(n) => Some(*n as f64),
+                Json::Num(x) => Some(*x),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses a JSON document (the subset [`Json`] renders: no scientific
+    /// notation is produced by the writer, but the parser accepts it).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the byte offset of the problem.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        if b.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {pos}", c as char))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'{') => {
+                *pos += 1;
+                let mut pairs = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = parse_string(b, pos)?;
+                    skip_ws(b, pos);
+                    expect(b, pos, b':')?;
+                    let value = parse_value(b, pos)?;
+                    pairs.push((key, value));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Json::Obj(pairs));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+            Some(b't') if b[*pos..].starts_with(b"true") => {
+                *pos += 4;
+                Ok(Json::Bool(true))
+            }
+            Some(b'f') if b[*pos..].starts_with(b"false") => {
+                *pos += 5;
+                Ok(Json::Bool(false))
+            }
+            Some(b'n') if b[*pos..].starts_with(b"null") => {
+                *pos += 4;
+                Ok(Json::Null)
+            }
+            Some(_) => parse_number(b, pos),
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let mut s = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {pos}")),
+                    }
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar from the source text.
+                    let rest = &b[*pos..];
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    let c = text.chars().next().expect("non-empty");
+                    s.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        let text = std::str::from_utf8(&b[start..*pos]).expect("ascii digits");
+        if !text.contains(['.', 'e', 'E']) {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::Int(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number at byte {start}"))
     }
 }
 
@@ -248,6 +448,61 @@ pub fn host_parallelism() -> usize {
         .unwrap_or(1)
 }
 
+/// The toolchain version that built/ran the benchmark (`rustc --version`
+/// of the toolchain on `PATH`; `"unknown"` if it cannot be queried).
+pub fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// The CPU model name from `/proc/cpuinfo` (`"unknown"` off Linux or when
+/// the field is absent).
+pub fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|v| v.trim().to_string())
+        })
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// The standard `"host"` header object every `BENCH_*.json` carries:
+/// toolchain, CPU model and available core count, so a committed baseline
+/// states the machine its numbers came from.
+pub fn host_info_json() -> json::Json {
+    json::Json::obj(vec![
+        ("rustc", json::Json::Str(rustc_version())),
+        ("cpu_model", json::Json::Str(cpu_model())),
+        ("cores", json::Json::Int(host_parallelism() as u64)),
+    ])
+}
+
+/// Prints a loud warning when the host has a single available core —
+/// `speedup_vs_serial` figures are meaningless without real parallelism.
+/// Returns `true` when the warning fired (for tests).
+pub fn warn_if_single_core() -> bool {
+    if host_parallelism() > 1 {
+        return false;
+    }
+    eprintln!("+----------------------------------------------------------------+");
+    eprintln!("| WARNING: only 1 core available on this host.                   |");
+    eprintln!("| Threaded lanes serialize onto one CPU, so any                  |");
+    eprintln!("| speedup_vs_serial recorded in this run is meaningless.         |");
+    eprintln!("| Re-run on a multi-core host before comparing speedups.         |");
+    eprintln!("+----------------------------------------------------------------+");
+    true
+}
+
 /// Parses `--out PATH` from the CLI, defaulting to `default` in the
 /// current directory.
 pub fn out_path_from_args(default: &str) -> std::path::PathBuf {
@@ -269,6 +524,58 @@ mod tests {
         std::env::remove_var("ANUBIS_SMOKE");
         let s = scale_from_args();
         assert!(s.ops >= Scale::smoke().ops);
+    }
+
+    #[test]
+    fn json_parse_roundtrips_rendered_documents() {
+        use json::Json;
+        let doc = Json::obj(vec![
+            ("name", Json::Str("hotpath \"x\"\n".into())),
+            ("count", Json::Int(42)),
+            ("ns", Json::Num(17.25)),
+            ("neg", Json::Num(-0.5)),
+            ("on", Json::Bool(true)),
+            ("off", Json::Bool(false)),
+            ("nothing", Json::Null),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::obj(vec![])),
+            (
+                "rows",
+                Json::Arr(vec![
+                    Json::obj(vec![("a", Json::Int(1))]),
+                    Json::obj(vec![("a", Json::Num(2.5))]),
+                ]),
+            ),
+        ]);
+        let parsed = json::parse(&doc.render()).expect("parse own output");
+        assert_eq!(
+            parsed.get("name").and_then(Json::as_str),
+            Some("hotpath \"x\"\n")
+        );
+        assert_eq!(parsed.get("count").and_then(Json::as_f64), Some(42.0));
+        assert_eq!(parsed.get("ns").and_then(Json::as_f64), Some(17.25));
+        assert_eq!(parsed.get("neg").and_then(Json::as_f64), Some(-0.5));
+        let rows = parsed.get("rows").and_then(Json::as_arr).expect("rows");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].get("a").and_then(Json::as_f64), Some(2.5));
+        // Render → parse → render is a fixed point.
+        assert_eq!(parsed.render(), doc.render());
+    }
+
+    #[test]
+    fn json_parse_rejects_garbage() {
+        assert!(json::parse("{\"a\": }").is_err());
+        assert!(json::parse("[1, 2").is_err());
+        assert!(json::parse("{} trailing").is_err());
+        assert!(json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn host_info_has_all_fields() {
+        let info = host_info_json();
+        assert!(info.get("rustc").and_then(json::Json::as_str).is_some());
+        assert!(info.get("cpu_model").and_then(json::Json::as_str).is_some());
+        assert!(info.get("cores").and_then(json::Json::as_f64).unwrap() >= 1.0);
     }
 
     #[test]

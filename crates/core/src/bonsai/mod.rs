@@ -20,7 +20,7 @@ use crate::shadow::ShadowAddrEntry;
 use crate::MemoryController;
 use anubis_cache::{Eviction, MetadataCache};
 use anubis_crypto::otp::IvCounter;
-use anubis_crypto::{DataCodec, SplitCounterBlock, MINOR_MAX};
+use anubis_crypto::{DataCodec, MacCache, SealedBlock, SplitCounterBlock, MINOR_MAX};
 use anubis_itree::bonsai::{BonsaiHasher, Root};
 use anubis_itree::NodeId;
 use anubis_nvm::{Block, BlockAddr, MemBackend, NvmBackend, PersistenceDomain, WriteOp};
@@ -194,6 +194,18 @@ pub struct BonsaiController<B: NvmBackend = MemBackend> {
     cost: OpCost,
     totals: CostAccum,
     pending: Vec<WriteOp>,
+    /// Volatile cache of MAC-verified line fingerprints: reads of
+    /// unmodified lines skip the MAC recomputation (cleared on crash).
+    mac_cache: MacCache,
+    /// Data seals deferred to commit time, where the whole group is
+    /// sealed through the batch crypto path: `(addr, iv, plaintext)`.
+    seal_jobs: Vec<(BlockAddr, IvCounter, Block)>,
+    /// Indices into `pending` of the placeholder (ciphertext, side) ops
+    /// each seal job fills in, parallel to `seal_jobs`.
+    seal_slots: Vec<(usize, usize)>,
+    /// Reused output buffer for the batch seal (allocation-free steady
+    /// state).
+    seal_out: Vec<SealedBlock>,
     telemetry: Telemetry,
 }
 
@@ -248,6 +260,10 @@ impl<B: NvmBackend> BonsaiController<B> {
             cost: OpCost::zero(),
             totals: CostAccum::default(),
             pending: Vec::new(),
+            mac_cache: MacCache::default(),
+            seal_jobs: Vec::new(),
+            seal_slots: Vec::new(),
+            seal_out: Vec::new(),
             telemetry: Telemetry::global(),
         };
         let regions = controller.layout.regions();
@@ -525,7 +541,51 @@ impl<B: NvmBackend> BonsaiController<B> {
         self.pending.push(WriteOp::new(addr, block));
     }
 
+    /// Stages a data-line seal for the current commit group without
+    /// computing it yet: placeholder ciphertext/side ops hold the group
+    /// positions, and [`resolve_seals`](Self::resolve_seals) fills them in
+    /// at commit time through the batch crypto path. This is how the write
+    /// path — scalar and batched alike — routes every seal of a commit
+    /// group through one `seal_batch_into` call.
+    fn stage_sealed(&mut self, dev: BlockAddr, side_addr: BlockAddr, iv: IvCounter, data: Block) {
+        self.cost.hash_ops += 2; // pad + MAC
+        let data_idx = self.pending.len();
+        self.stage(dev, Block::zeroed());
+        let side_idx = self.pending.len();
+        self.stage_free(side_addr, Block::zeroed());
+        self.seal_jobs.push((dev, iv, data));
+        self.seal_slots.push((data_idx, side_idx));
+    }
+
+    /// Seals every deferred data line of the current group in one batch
+    /// and patches the placeholder ops. Also primes the MAC cache: a
+    /// freshly sealed line is by construction MAC-verified.
+    fn resolve_seals(&mut self) {
+        if self.seal_jobs.is_empty() {
+            return;
+        }
+        self.codec
+            .seal_batch_into(&self.seal_jobs, &mut self.seal_out);
+        for (((dev, iv, _), (data_idx, side_idx)), sealed) in self
+            .seal_jobs
+            .iter()
+            .zip(&self.seal_slots)
+            .zip(&self.seal_out)
+        {
+            self.pending[*data_idx].block = sealed.ciphertext;
+            let mut side = Block::zeroed();
+            side.set_word(0, sealed.ecc);
+            side.set_word(1, sealed.mac);
+            self.pending[*side_idx].block = side;
+            self.codec
+                .note_sealed(&mut self.mac_cache, *dev, *iv, sealed);
+        }
+        self.seal_jobs.clear();
+        self.seal_slots.clear();
+    }
+
     fn commit(&mut self) -> Result<(), MemError> {
+        self.resolve_seals();
         if self.pending.is_empty() {
             return Ok(());
         }
@@ -990,13 +1050,7 @@ impl<B: NvmBackend> BonsaiController<B> {
                 }
             }
         };
-        self.cost.hash_ops += 2;
-        let resealed = self.codec.seal(dev, new_ctr, &plaintext);
-        self.stage(dev, resealed.ciphertext);
-        let mut side_new = Block::zeroed();
-        side_new.set_word(0, resealed.ecc);
-        side_new.set_word(1, resealed.mac);
-        self.stage_free(side, side_new);
+        self.stage_sealed(dev, side, new_ctr, plaintext);
         Ok(())
     }
 
@@ -1018,72 +1072,15 @@ impl<B: NvmBackend> BonsaiController<B> {
     fn begin_op(&mut self) {
         self.cost = OpCost::zero();
         self.pending.clear();
-    }
-}
-
-impl<B: NvmBackend> MemoryController for BonsaiController<B> {
-    type Backend = B;
-
-    fn scheme_name(&self) -> &'static str {
-        self.scheme.name()
+        self.seal_jobs.clear();
+        self.seal_slots.clear();
     }
 
-    fn domain(&self) -> &PersistenceDomain<B> {
-        &self.domain
-    }
-
-    fn domain_mut(&mut self) -> &mut PersistenceDomain<B> {
-        &mut self.domain
-    }
-
-    fn read(&mut self, addr: DataAddr) -> Result<Block, MemError> {
-        self.validate(addr)?;
-        self.begin_op();
-        let (leaf, line) = self.layout.counter_of(addr);
-        self.ensure_counter(leaf)?;
-        let leaf_addr = self.layout.node_addr(leaf);
-        let ctr = self.counter_cache.peek(leaf_addr).expect("ensured").ctr;
-        let dev = self.layout.data_addr(addr);
-        let side_addr = self.layout.side_addr(addr);
-
-        let result = if ctr.major() == 0 && ctr.minor(line) == 0 {
-            // Never-written line: must still be in the zero state.
-            let stored = self.nvm_read(dev)?;
-            let side = self.nvm_read_free(side_addr)?;
-            if stored.is_zeroed() && side.is_zeroed() {
-                Ok(Block::zeroed())
-            } else {
-                Err(MemError::Crypto(
-                    anubis_crypto::CryptoError::DataMacMismatch,
-                ))
-            }
-        } else {
-            let ciphertext = self.nvm_read(dev)?;
-            let side = self.nvm_read_free(side_addr)?;
-            let sealed = anubis_crypto::SealedBlock {
-                ciphertext,
-                ecc: side.word(0),
-                mac: side.word(1),
-            };
-            self.cost.hash_ops += 2; // pad + MAC verify
-            let iv = IvCounter::split(ctr.major(), ctr.minor(line) as u64);
-            match self.codec.open_correcting(dev, iv, &sealed) {
-                Ok((pt, fixed)) => {
-                    self.ecc_corrections += u64::from(fixed);
-                    Ok(pt)
-                }
-                Err(e) => Err(MemError::from(e)),
-            }
-        };
-        let value = result?;
-        self.commit()?; // persist any shadow/eviction traffic from fills
-        self.totals.record(false, self.cost);
-        Ok(value)
-    }
-
-    fn write(&mut self, addr: DataAddr, data: Block) -> Result<(), MemError> {
-        self.validate(addr)?;
-        self.begin_op();
+    /// Body of one logical write: counter maintenance, overflow-driven
+    /// page re-encryption, the (deferred) data seal and the tree update.
+    /// The caller owns `begin_op`, the final `commit` and the cost
+    /// recording, so scalar `write` and grouped `write_batch` share it.
+    fn write_inner(&mut self, addr: DataAddr, data: Block) -> Result<(), MemError> {
         let (leaf, line) = self.layout.counter_of(addr);
         self.ensure_counter(leaf)?;
         let leaf_addr = self.layout.node_addr(leaf);
@@ -1144,26 +1141,111 @@ impl<B: NvmBackend> MemoryController for BonsaiController<B> {
             self.counter_cache.mark_clean(leaf_addr);
         }
 
-        // Seal and stage the data.
+        // Stage the data seal; the crypto itself is deferred to commit
+        // time, where the whole group goes through the batch seal path.
         let dev = self.layout.data_addr(addr);
         let side_addr = self.layout.side_addr(addr);
-        self.cost.hash_ops += 2; // pad + MAC
-        let sealed = self.codec.seal(dev, iv, &data);
-        self.stage(dev, sealed.ciphertext);
-        let mut side = Block::zeroed();
-        side.set_word(0, sealed.ecc);
-        side.set_word(1, sealed.mac);
-        self.stage_free(side_addr, side);
+        self.stage_sealed(dev, side_addr, iv, data);
 
         // Eager tree update up to the on-chip root (lazy defers digest
         // propagation to writeback time).
         if !self.scheme.is_lazy() {
             self.update_path(leaf)?;
         }
+        Ok(())
+    }
+}
 
+impl<B: NvmBackend> MemoryController for BonsaiController<B> {
+    type Backend = B;
+
+    fn scheme_name(&self) -> &'static str {
+        self.scheme.name()
+    }
+
+    fn domain(&self) -> &PersistenceDomain<B> {
+        &self.domain
+    }
+
+    fn domain_mut(&mut self) -> &mut PersistenceDomain<B> {
+        &mut self.domain
+    }
+
+    fn read(&mut self, addr: DataAddr) -> Result<Block, MemError> {
+        self.validate(addr)?;
+        self.begin_op();
+        let (leaf, line) = self.layout.counter_of(addr);
+        self.ensure_counter(leaf)?;
+        let leaf_addr = self.layout.node_addr(leaf);
+        let ctr = self.counter_cache.peek(leaf_addr).expect("ensured").ctr;
+        let dev = self.layout.data_addr(addr);
+        let side_addr = self.layout.side_addr(addr);
+
+        let result = if ctr.major() == 0 && ctr.minor(line) == 0 {
+            // Never-written line: must still be in the zero state.
+            let stored = self.nvm_read(dev)?;
+            let side = self.nvm_read_free(side_addr)?;
+            if stored.is_zeroed() && side.is_zeroed() {
+                Ok(Block::zeroed())
+            } else {
+                Err(MemError::Crypto(
+                    anubis_crypto::CryptoError::DataMacMismatch,
+                ))
+            }
+        } else {
+            let ciphertext = self.nvm_read(dev)?;
+            let side = self.nvm_read_free(side_addr)?;
+            let sealed = anubis_crypto::SealedBlock {
+                ciphertext,
+                ecc: side.word(0),
+                mac: side.word(1),
+            };
+            self.cost.hash_ops += 2; // pad + MAC verify
+            let iv = IvCounter::split(ctr.major(), ctr.minor(line) as u64);
+            match self
+                .codec
+                .open_correcting_cached(&mut self.mac_cache, dev, iv, &sealed)
+            {
+                Ok((pt, fixed)) => {
+                    self.ecc_corrections += u64::from(fixed);
+                    Ok(pt)
+                }
+                Err(e) => Err(MemError::from(e)),
+            }
+        };
+        let value = result?;
+        self.commit()?; // persist any shadow/eviction traffic from fills
+        self.totals.record(false, self.cost);
+        Ok(value)
+    }
+
+    fn write(&mut self, addr: DataAddr, data: Block) -> Result<(), MemError> {
+        self.validate(addr)?;
+        self.begin_op();
+        self.write_inner(addr, data)?;
         self.commit()?;
         self.totals.record(true, self.cost);
         Ok(())
+    }
+
+    fn write_batch(&mut self, items: &[(DataAddr, Block)]) -> Result<(), MemError> {
+        for (addr, _) in items {
+            self.validate(*addr)?;
+        }
+        self.begin_op();
+        for (addr, data) in items {
+            self.cost = OpCost::zero();
+            self.write_inner(*addr, *data)?;
+            // Keep the accumulated group comfortably inside the persist
+            // queue: one write stages at most a handful of ops (data +
+            // side + counters + eager tree path), so flushing at this
+            // watermark never overruns `PREG_CAPACITY`.
+            if self.pending.len() >= crate::GROUP_FLUSH_WATERMARK {
+                self.commit()?;
+            }
+            self.totals.record(true, self.cost);
+        }
+        self.commit()
     }
 
     fn crash(&mut self) {
@@ -1171,6 +1253,10 @@ impl<B: NvmBackend> MemoryController for BonsaiController<B> {
         self.counter_cache.invalidate_all();
         self.tree_cache.invalidate_all();
         self.pending.clear();
+        self.seal_jobs.clear();
+        self.seal_slots.clear();
+        // MAC-verification cache is volatile state: it dies with power.
+        self.mac_cache.clear();
         // `root` and `reenc_log` are on-chip persistent registers: kept.
     }
 

@@ -73,6 +73,13 @@ pub use anubis_telemetry as telemetry;
 
 use anubis_nvm::{Block, NvmBackend, PersistenceDomain};
 
+/// Pending-op watermark at which [`MemoryController::write_batch`]
+/// overrides flush their accumulated commit group. One write stages at
+/// most a handful of ops (data + side + counters + an eager tree path),
+/// so flushing here keeps the group safely inside the persist queue's
+/// `PREG_CAPACITY` of 64.
+pub(crate) const GROUP_FLUSH_WATERMARK: usize = 24;
+
 /// The uniform controller surface shared by every scheme.
 ///
 /// A controller owns the NVM persistence domain, the metadata caches and
@@ -110,6 +117,26 @@ pub trait MemoryController {
     ///
     /// Same classes as [`MemoryController::read`].
     fn write(&mut self, addr: DataAddr, data: Block) -> Result<(), MemError>;
+
+    /// Writes a group of `(addr, data)` lines.
+    ///
+    /// The default is the scalar loop. Controllers override this to share
+    /// commit groups across several writes and to push every data seal of
+    /// a group through the batch crypto path in one pass. Overrides must
+    /// leave the device in a state bit-identical to the scalar loop (the
+    /// `write_batch_equiv` suite holds them to it).
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`MemoryController::write`]; on error, writes
+    /// before the failing item may already be persisted (matching the
+    /// scalar loop).
+    fn write_batch(&mut self, items: &[(DataAddr, Block)]) -> Result<(), MemError> {
+        for (addr, data) in items {
+            self.write(*addr, *data)?;
+        }
+        Ok(())
+    }
 
     /// Simulates a power failure: every volatile structure (caches,
     /// shadow-tree interior, write buffers outside the WPQ) is lost; the

@@ -24,7 +24,7 @@ use crate::MemoryController;
 use anubis_cache::MetadataCache;
 use anubis_crypto::hash::Hasher64;
 use anubis_crypto::otp::IvCounter;
-use anubis_crypto::{DataCodec, SgxCounterNode, SGX_COUNTERS_PER_NODE};
+use anubis_crypto::{DataCodec, MacCache, SealedBlock, SgxCounterNode, SGX_COUNTERS_PER_NODE};
 use anubis_itree::bonsai::Root;
 use anubis_itree::NodeId;
 use anubis_nvm::{Block, BlockAddr, MemBackend, NvmBackend, PersistenceDomain, WriteOp};
@@ -134,6 +134,18 @@ pub struct SgxController<B: NvmBackend = MemBackend> {
     cost: OpCost,
     totals: CostAccum,
     pending: Vec<WriteOp>,
+    /// Volatile cache of MAC-verified line fingerprints: reads of
+    /// unmodified lines skip the MAC recomputation (cleared on crash).
+    mac_cache: MacCache,
+    /// Data seals deferred to commit time, where the whole group is
+    /// sealed through the batch crypto path: `(addr, iv, plaintext)`.
+    seal_jobs: Vec<(BlockAddr, IvCounter, Block)>,
+    /// Indices into `pending` of the placeholder (ciphertext, side) ops
+    /// each seal job fills in, parallel to `seal_jobs`.
+    seal_slots: Vec<(usize, usize)>,
+    /// Reused output buffer for the batch seal (allocation-free steady
+    /// state).
+    seal_out: Vec<SealedBlock>,
     telemetry: Telemetry,
     /// Simulation oracle: whether the last crash destroyed dirty cached
     /// metadata. Write-back and Osiris cannot recover an SGX tree in that
@@ -187,6 +199,10 @@ impl<B: NvmBackend> SgxController<B> {
             cost: OpCost::zero(),
             totals: CostAccum::default(),
             pending: Vec::new(),
+            mac_cache: MacCache::default(),
+            seal_jobs: Vec::new(),
+            seal_slots: Vec::new(),
+            seal_out: Vec::new(),
             telemetry: Telemetry::global(),
             lost_dirty_metadata: false,
         }
@@ -420,7 +436,49 @@ impl<B: NvmBackend> SgxController<B> {
         self.pending.push(WriteOp::new(addr, block));
     }
 
+    /// Stages a data-line seal for the current commit group without
+    /// computing it yet: placeholder ciphertext/side ops hold the group
+    /// positions, and [`resolve_seals`](Self::resolve_seals) fills them
+    /// in at commit time through the batch crypto path.
+    fn stage_sealed(&mut self, dev: BlockAddr, side_addr: BlockAddr, iv: IvCounter, data: Block) {
+        self.cost.hash_ops += 2; // pad + MAC
+        let data_idx = self.pending.len();
+        self.stage(dev, Block::zeroed());
+        let side_idx = self.pending.len();
+        self.stage_free(side_addr, Block::zeroed());
+        self.seal_jobs.push((dev, iv, data));
+        self.seal_slots.push((data_idx, side_idx));
+    }
+
+    /// Seals every deferred data line of the current group in one batch
+    /// and patches the placeholder ops. Also primes the MAC cache: a
+    /// freshly sealed line is by construction MAC-verified.
+    fn resolve_seals(&mut self) {
+        if self.seal_jobs.is_empty() {
+            return;
+        }
+        self.codec
+            .seal_batch_into(&self.seal_jobs, &mut self.seal_out);
+        for (((dev, iv, _), (data_idx, side_idx)), sealed) in self
+            .seal_jobs
+            .iter()
+            .zip(&self.seal_slots)
+            .zip(&self.seal_out)
+        {
+            self.pending[*data_idx].block = sealed.ciphertext;
+            let mut side = Block::zeroed();
+            side.set_word(0, sealed.ecc);
+            side.set_word(1, sealed.mac);
+            self.pending[*side_idx].block = side;
+            self.codec
+                .note_sealed(&mut self.mac_cache, *dev, *iv, sealed);
+        }
+        self.seal_jobs.clear();
+        self.seal_slots.clear();
+    }
+
     fn commit(&mut self) -> Result<(), MemError> {
+        self.resolve_seals();
         let result = if self.pending.is_empty() {
             Ok(())
         } else {
@@ -782,6 +840,45 @@ impl<B: NvmBackend> SgxController<B> {
         self.cost = OpCost::zero();
         self.pending.clear();
         self.pending_shadow_root = None;
+        self.seal_jobs.clear();
+        self.seal_slots.clear();
+    }
+
+    /// Body of one logical write: counter bump, scheme-specific
+    /// propagation and the (deferred) data seal. The caller owns
+    /// `begin_op`, the final `commit` and the cost recording, so scalar
+    /// `write` and grouped `write_batch` share it.
+    fn write_inner(&mut self, addr: DataAddr, data: Block) -> Result<(), MemError> {
+        let (leaf, slot) = self.layout.leaf_of(addr);
+        let ctr = if self.layout.is_on_chip(leaf) {
+            // Degenerate single-leaf tree: counters live in the persistent
+            // on-chip register — no cache, no shadowing, no propagation.
+            self.top.increment(slot);
+            self.top.counter(slot)
+        } else {
+            self.ensure_node(leaf)?;
+            let leaf_addr = self.layout.node_addr(leaf);
+            let ctr = {
+                let entry = self.cache.peek_mut(leaf_addr).expect("ensured");
+                entry.node.increment(slot);
+                entry.node.counter(slot)
+            };
+            let first_mod = self.cache.mark_dirty(leaf_addr);
+            self.after_update_hooks(leaf, first_mod)?;
+            if self.scheme == SgxScheme::StrictPersist {
+                self.strict_propagate(leaf)?;
+            }
+            if self.scheme == SgxScheme::EagerWriteBack {
+                self.eager_propagate(leaf)?;
+            }
+            ctr
+        };
+        // Stage the data seal; the crypto itself is deferred to commit
+        // time, where the whole group goes through the batch seal path.
+        let dev = self.layout.data_addr(addr);
+        let side_addr = self.layout.side_addr(addr);
+        self.stage_sealed(dev, side_addr, IvCounter::monolithic(ctr), data);
+        Ok(())
     }
 
     /// The strict-persistence write path: eagerly bump and persist the
@@ -891,10 +988,12 @@ impl<B: NvmBackend> MemoryController for SgxController<B> {
                 mac: side.word(1),
             };
             self.cost.hash_ops += 2;
-            match self
-                .codec
-                .open_correcting(dev, IvCounter::monolithic(ctr), &sealed)
-            {
+            match self.codec.open_correcting_cached(
+                &mut self.mac_cache,
+                dev,
+                IvCounter::monolithic(ctr),
+                &sealed,
+            ) {
                 Ok((pt, fixed)) => {
                     self.ecc_corrections += u64::from(fixed);
                     Ok(pt)
@@ -911,43 +1010,28 @@ impl<B: NvmBackend> MemoryController for SgxController<B> {
     fn write(&mut self, addr: DataAddr, data: Block) -> Result<(), MemError> {
         self.validate(addr)?;
         self.begin_op();
-        let (leaf, slot) = self.layout.leaf_of(addr);
-        let ctr = if self.layout.is_on_chip(leaf) {
-            // Degenerate single-leaf tree: counters live in the persistent
-            // on-chip register — no cache, no shadowing, no propagation.
-            self.top.increment(slot);
-            self.top.counter(slot)
-        } else {
-            self.ensure_node(leaf)?;
-            let leaf_addr = self.layout.node_addr(leaf);
-            let ctr = {
-                let entry = self.cache.peek_mut(leaf_addr).expect("ensured");
-                entry.node.increment(slot);
-                entry.node.counter(slot)
-            };
-            let first_mod = self.cache.mark_dirty(leaf_addr);
-            self.after_update_hooks(leaf, first_mod)?;
-            if self.scheme == SgxScheme::StrictPersist {
-                self.strict_propagate(leaf)?;
-            }
-            if self.scheme == SgxScheme::EagerWriteBack {
-                self.eager_propagate(leaf)?;
-            }
-            ctr
-        };
-        // Seal and stage the data.
-        let dev = self.layout.data_addr(addr);
-        let side_addr = self.layout.side_addr(addr);
-        self.cost.hash_ops += 2;
-        let sealed = self.codec.seal(dev, IvCounter::monolithic(ctr), &data);
-        self.stage(dev, sealed.ciphertext);
-        let mut side = Block::zeroed();
-        side.set_word(0, sealed.ecc);
-        side.set_word(1, sealed.mac);
-        self.stage_free(side_addr, side);
+        self.write_inner(addr, data)?;
         self.commit()?;
         self.totals.record(true, self.cost);
         Ok(())
+    }
+
+    fn write_batch(&mut self, items: &[(DataAddr, Block)]) -> Result<(), MemError> {
+        for (addr, _) in items {
+            self.validate(*addr)?;
+        }
+        self.begin_op();
+        for (addr, data) in items {
+            self.cost = OpCost::zero();
+            self.write_inner(*addr, *data)?;
+            // Flush before the accumulated group can overrun the persist
+            // queue's `PREG_CAPACITY`.
+            if self.pending.len() >= crate::GROUP_FLUSH_WATERMARK {
+                self.commit()?;
+            }
+            self.totals.record(true, self.cost);
+        }
+        self.commit()
     }
 
     fn crash(&mut self) {
@@ -956,6 +1040,10 @@ impl<B: NvmBackend> MemoryController for SgxController<B> {
         self.cache.invalidate_all();
         self.pending.clear();
         self.pending_shadow_root = None;
+        self.seal_jobs.clear();
+        self.seal_slots.clear();
+        // MAC-verification cache is volatile state: it dies with power.
+        self.mac_cache.clear();
         // Volatile shadow-tree interior is lost; rebuilt during recovery.
         if self.scheme == SgxScheme::Asit {
             self.shadow_tree = None;

@@ -3,8 +3,7 @@
 
 use crate::ecc;
 use crate::error::CryptoError;
-use crate::hash::Hasher64;
-use crate::otp::{self, IvCounter};
+use crate::otp::{self, IvCounter, PadSet};
 use crate::speck::Speck128;
 use crate::Key;
 use anubis_nvm::{Block, BlockAddr};
@@ -52,38 +51,69 @@ pub struct DataCodec {
     /// block pad + side-word pad); recovery probes millions of blocks, so
     /// the schedule is expanded once at construction and reused.
     enc: Speck128,
-    mac: Hasher64,
+    /// Precomputed schedule for the MAC finalization PRF.
+    mac_fin: Speck128,
+    /// Odd multipliers for the two universal-hash lanes of the data MAC.
+    mac_r: (u64, u64),
 }
 
 impl DataCodec {
     /// Derives the encryption and MAC keys from a master key.
     pub fn new(master: Key) -> Self {
+        let mac_fin = Speck128::new(master.derive("data-mac"));
+        // Poly-hash multipliers derived from the MAC key; forced odd so
+        // each multiply is a bijection on u64 (no vanishing lanes).
+        let r = mac_fin.encrypt((0x6461_7461_2d6d_6163, 0x706f_6c79_2d6b_6579));
         DataCodec {
             enc: Speck128::new(master.derive("data-encryption")),
-            mac: Hasher64::new(master.derive("data-mac")),
+            mac_fin,
+            mac_r: (r.0 | 1, r.1 | 1),
         }
     }
 
     /// Encrypts `plaintext` for storage at `addr` under `counter`.
+    ///
+    /// One fused pad pass produces the four data lanes, the ECC side pad
+    /// and the MAC tweak (five Speck calls under the precomputed
+    /// schedule); the MAC itself is a two-lane universal hash over the
+    /// plaintext words plus one finalization PRF call. Nothing is heap
+    /// allocated.
     pub fn seal(&self, addr: BlockAddr, counter: IvCounter, plaintext: &Block) -> SealedBlock {
-        let ciphertext = otp::encrypt_with(&self.enc, addr, counter, plaintext);
-        let ecc_plain = ecc::ecc_block(plaintext);
-        let side_pad = otp::pad_word_with(&self.enc, addr, counter);
+        self.seal_with_pads(&otp::pad_set_with(&self.enc, addr, counter), plaintext)
+    }
+
+    fn seal_with_pads(&self, pads: &PadSet, plaintext: &Block) -> SealedBlock {
         SealedBlock {
-            ciphertext,
-            ecc: ecc_plain ^ side_pad,
-            mac: self.data_mac(addr, counter, plaintext),
+            ciphertext: plaintext.xored(&pads.data),
+            ecc: ecc::ecc_block(plaintext) ^ pads.side,
+            mac: self.mac_from(pads.tweak, plaintext),
         }
     }
 
-    /// Seals a batch of blocks under one precomputed key schedule, in
-    /// input order — the bulk path for re-encryption sweeps and parallel
-    /// recovery lanes.
+    /// Seals a batch of blocks in input order, writing into a caller-owned
+    /// buffer — the bulk path for commit groups, re-encryption sweeps and
+    /// parallel recovery lanes. The whole group runs under the one
+    /// precomputed key schedule with fused per-item pad generation, and a
+    /// reused `out` makes the steady state allocation-free. Bit-identical
+    /// to calling [`seal`](Self::seal) per element.
+    pub fn seal_batch_into(
+        &self,
+        items: &[(BlockAddr, IvCounter, Block)],
+        out: &mut Vec<SealedBlock>,
+    ) {
+        out.clear();
+        out.reserve(items.len());
+        for (addr, ctr, pt) in items {
+            let pads = otp::pad_set_with(&self.enc, *addr, *ctr);
+            out.push(self.seal_with_pads(&pads, pt));
+        }
+    }
+
+    /// [`seal_batch_into`](Self::seal_batch_into) returning a fresh `Vec`.
     pub fn seal_batch(&self, items: &[(BlockAddr, IvCounter, Block)]) -> Vec<SealedBlock> {
-        items
-            .iter()
-            .map(|(addr, ctr, pt)| self.seal(*addr, *ctr, pt))
-            .collect()
+        let mut out = Vec::new();
+        self.seal_batch_into(items, &mut out);
+        out
     }
 
     /// Decrypts and fully verifies a sealed block.
@@ -100,10 +130,12 @@ impl DataCodec {
         counter: IvCounter,
         sealed: &SealedBlock,
     ) -> Result<Block, CryptoError> {
-        let plaintext = self
-            .probe(addr, counter, sealed)
-            .ok_or(CryptoError::EccMismatch)?;
-        if sealed.mac != self.data_mac(addr, counter, &plaintext) {
+        let pads = otp::pad_set_with(&self.enc, addr, counter);
+        let plaintext = sealed.ciphertext.xored(&pads.data);
+        if !ecc::check_block(&plaintext, sealed.ecc ^ pads.side) {
+            return Err(CryptoError::EccMismatch);
+        }
+        if sealed.mac != self.mac_from(pads.tweak, &plaintext) {
             return Err(CryptoError::DataMacMismatch);
         }
         Ok(plaintext)
@@ -116,7 +148,8 @@ impl DataCodec {
     /// MAC then re-verifies the repaired plaintext end to end.
     ///
     /// Returns the plaintext and the number of repaired words (0 for a
-    /// clean block — the common case takes the same fast path as `open`).
+    /// clean block — the common case decrypts, checks and MACs off one
+    /// fused pad set with no heap allocation and no recomputation).
     ///
     /// # Errors
     ///
@@ -131,20 +164,74 @@ impl DataCodec {
         counter: IvCounter,
         sealed: &SealedBlock,
     ) -> Result<(Block, u32), CryptoError> {
-        match self.open(addr, counter, sealed) {
-            Ok(pt) => Ok((pt, 0)),
-            Err(CryptoError::EccMismatch) => {
-                let plaintext = otp::decrypt_with(&self.enc, addr, counter, &sealed.ciphertext);
-                let side_pad = otp::pad_word_with(&self.enc, addr, counter);
-                let decoded = ecc::correct_block(&plaintext, sealed.ecc ^ side_pad)
-                    .ok_or(CryptoError::UncorrectableEcc)?;
-                if sealed.mac != self.data_mac(addr, counter, &decoded.data) {
-                    return Err(CryptoError::DataMacMismatch);
-                }
-                Ok((decoded.data, decoded.corrected_words))
+        let pads = otp::pad_set_with(&self.enc, addr, counter);
+        let plaintext = sealed.ciphertext.xored(&pads.data);
+        let ecc_plain = sealed.ecc ^ pads.side;
+        if ecc::check_block(&plaintext, ecc_plain) {
+            if sealed.mac != self.mac_from(pads.tweak, &plaintext) {
+                return Err(CryptoError::DataMacMismatch);
             }
-            Err(e) => Err(e),
+            return Ok((plaintext, 0));
         }
+        // Strict check failed: try to repair the already-decrypted
+        // plaintext in place (the pads are still valid — correction never
+        // changes the IV).
+        let decoded =
+            ecc::correct_block(&plaintext, ecc_plain).ok_or(CryptoError::UncorrectableEcc)?;
+        if sealed.mac != self.mac_from(pads.tweak, &decoded.data) {
+            return Err(CryptoError::DataMacMismatch);
+        }
+        Ok((decoded.data, decoded.corrected_words))
+    }
+
+    /// [`open_correcting`](Self::open_correcting) with a per-controller
+    /// [`MacCache`] consulted first: if this exact sealed image was
+    /// already MAC-verified clean at this `(addr, counter)` — the common
+    /// case for a read of an unmodified line on a clean counter-cache hit
+    /// — only the decrypt + ECC sanity check runs and the MAC
+    /// recomputation is skipped. Any mismatch (evicted, modified, or
+    /// corrupted line) falls back to the full verifying path, so the
+    /// result is always identical to `open_correcting`; only clean
+    /// (zero-correction) verifications are ever cached.
+    pub fn open_correcting_cached(
+        &self,
+        cache: &mut MacCache,
+        addr: BlockAddr,
+        counter: IvCounter,
+        sealed: &SealedBlock,
+    ) -> Result<(Block, u32), CryptoError> {
+        let fp = self.line_fingerprint(addr, counter, sealed);
+        if cache.contains(addr, fp) {
+            let pads = otp::pad_set_with(&self.enc, addr, counter);
+            let plaintext = sealed.ciphertext.xored(&pads.data);
+            if ecc::check_block(&plaintext, sealed.ecc ^ pads.side) {
+                cache.hits += 1;
+                return Ok((plaintext, 0));
+            }
+            // The stored image changed under us (e.g. in-flight fault):
+            // drop the stale entry and take the full path.
+            cache.invalidate(addr);
+        }
+        cache.misses += 1;
+        let out = self.open_correcting(addr, counter, sealed);
+        if let Ok((_, 0)) = out {
+            cache.record(addr, fp);
+        }
+        out
+    }
+
+    /// Records a freshly sealed line as MAC-verified, so the next read of
+    /// the unmodified line takes the [`open_correcting_cached`]
+    /// (Self::open_correcting_cached) fast path.
+    pub fn note_sealed(
+        &self,
+        cache: &mut MacCache,
+        addr: BlockAddr,
+        counter: IvCounter,
+        sealed: &SealedBlock,
+    ) {
+        let fp = self.line_fingerprint(addr, counter, sealed);
+        cache.record(addr, fp);
     }
 
     /// The Osiris primitive: attempts decryption with `counter` and returns
@@ -157,21 +244,36 @@ impl DataCodec {
         counter: IvCounter,
         sealed: &SealedBlock,
     ) -> Option<Block> {
-        let plaintext = otp::decrypt_with(&self.enc, addr, counter, &sealed.ciphertext);
-        let side_pad = otp::pad_word_with(&self.enc, addr, counter);
-        ecc::check_block(&plaintext, sealed.ecc ^ side_pad).then_some(plaintext)
+        let pads = otp::pad_set_with(&self.enc, addr, counter);
+        let plaintext = sealed.ciphertext.xored(&pads.data);
+        ecc::check_block(&plaintext, sealed.ecc ^ pads.side).then_some(plaintext)
     }
 
-    /// Opens a batch of sealed blocks under one precomputed key schedule,
-    /// in input order; each element verifies independently.
+    /// Opens a batch of sealed blocks in input order, writing into a
+    /// caller-owned buffer; each element verifies independently. Shares
+    /// the one precomputed key schedule across the group and reuses `out`
+    /// so the steady state is allocation-free. Bit-identical to calling
+    /// [`open`](Self::open) per element.
+    pub fn open_batch_into(
+        &self,
+        items: &[(BlockAddr, IvCounter, SealedBlock)],
+        out: &mut Vec<Result<Block, CryptoError>>,
+    ) {
+        out.clear();
+        out.reserve(items.len());
+        for (addr, ctr, sealed) in items {
+            out.push(self.open(*addr, *ctr, sealed));
+        }
+    }
+
+    /// [`open_batch_into`](Self::open_batch_into) returning a fresh `Vec`.
     pub fn open_batch(
         &self,
         items: &[(BlockAddr, IvCounter, SealedBlock)],
     ) -> Vec<Result<Block, CryptoError>> {
-        items
-            .iter()
-            .map(|(addr, ctr, sealed)| self.open(*addr, *ctr, sealed))
-            .collect()
+        let mut out = Vec::new();
+        self.open_batch_into(items, &mut out);
+        out
     }
 
     /// Runs the Osiris trial loop: tries `candidates` in order and returns
@@ -196,13 +298,135 @@ impl DataCodec {
         Err(CryptoError::CounterNotRecovered { trials })
     }
 
-    fn data_mac(&self, addr: BlockAddr, counter: IvCounter, plaintext: &Block) -> u64 {
-        let mut bytes = Vec::with_capacity(64 + 24);
-        bytes.extend_from_slice(plaintext.as_bytes());
-        bytes.extend_from_slice(&addr.index().to_le_bytes());
-        bytes.extend_from_slice(&counter.major.to_le_bytes());
-        bytes.extend_from_slice(&counter.minor.to_le_bytes());
-        self.mac.hash(&bytes)
+    /// MAC over `(plaintext, addr, counter)`, truncated to 64 bits.
+    ///
+    /// Carter–Wegman shape standing in for the GMAC hardware of a real
+    /// memory encryption engine: two lanes of xor-multiply universal
+    /// hashing over the eight plaintext words (the odd multipliers make
+    /// every step a bijection), keyed per line by `tweak` — the side
+    /// lane's second PRF word, which already binds `(addr, major, minor)`
+    /// — and finalized with one Speck call under the MAC key. Replaces a
+    /// Davies–Meyer pass that expanded six fresh key schedules and heap-
+    /// allocated an 88-byte buffer per MAC.
+    pub fn data_mac(&self, tweak: u64, plaintext: &Block) -> u64 {
+        self.mac_from(tweak, plaintext)
+    }
+
+    fn mac_from(&self, tweak: u64, plaintext: &Block) -> u64 {
+        let (r0, r1) = self.mac_r;
+        let mut a0 = tweak;
+        let mut a1 = tweak.rotate_left(32);
+        for w in plaintext.words() {
+            a0 = (a0 ^ w).wrapping_mul(r0);
+            a1 = (a1 ^ w).wrapping_mul(r1);
+        }
+        let f = self.mac_fin.encrypt((a0, a1));
+        f.0 ^ f.1
+    }
+
+    /// Compressed identity of one stored line for the [`MacCache`]:
+    /// keyed universal hash over the full sealed image (ciphertext, ECC,
+    /// MAC) and its `(addr, counter)` binding. Two lines that differ
+    /// anywhere fingerprint differently except with negligible
+    /// probability, and the multipliers are secret-derived, so a tamperer
+    /// cannot aim for a colliding image.
+    fn line_fingerprint(&self, addr: BlockAddr, counter: IvCounter, sealed: &SealedBlock) -> u64 {
+        let (r0, r1) = self.mac_r;
+        let mut a0 = addr.index() ^ counter.minor.rotate_left(32);
+        let mut a1 = counter.major ^ counter.minor;
+        for w in sealed.ciphertext.words() {
+            a0 = (a0 ^ w).wrapping_mul(r0);
+            a1 = (a1 ^ w).wrapping_mul(r1);
+        }
+        a0 = (a0 ^ sealed.ecc).wrapping_mul(r0);
+        a1 = (a1 ^ sealed.mac).wrapping_mul(r1);
+        a0 ^ a1.rotate_left(32)
+    }
+}
+
+/// Direct-mapped cache of MAC-verified line fingerprints.
+///
+/// Models a small on-controller SRAM structure: each slot remembers the
+/// fingerprint of the last sealed image that passed full MAC
+/// verification (or was just sealed) for addresses mapping to it. Purely
+/// a performance hint — a hit only skips the MAC *recomputation*; the
+/// decrypt + ECC check still runs, and any fingerprint mismatch falls
+/// back to the fully verifying path. Volatile by construction: it holds
+/// no recoverable state and must simply be cleared on crash.
+#[derive(Clone, Debug)]
+pub struct MacCache {
+    slots: Vec<u64>,
+    /// Slot-index mask (`capacity - 1`; capacity is a power of two).
+    mask: usize,
+    hits: u64,
+    misses: u64,
+}
+
+/// Empty-slot sentinel: fingerprints are remapped off this value.
+const MAC_CACHE_EMPTY: u64 = 0;
+
+impl MacCache {
+    /// Default slot count for a per-controller cache (64 KiB-line working
+    /// sets map fully; larger sets degrade gracefully by eviction).
+    pub const DEFAULT_SLOTS: usize = 1024;
+
+    /// Creates a cache with `slots` entries, rounded up to a power of two.
+    pub fn new(slots: usize) -> Self {
+        let cap = slots.next_power_of_two().max(1);
+        MacCache {
+            slots: vec![MAC_CACHE_EMPTY; cap],
+            mask: cap - 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Drops every cached verification (crash / recovery entry point).
+    pub fn clear(&mut self) {
+        self.slots.fill(MAC_CACHE_EMPTY);
+    }
+
+    /// Lines whose MAC recomputation was skipped.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lines that took the full verifying path.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn slot(&self, addr: BlockAddr) -> usize {
+        addr.index() as usize & self.mask
+    }
+
+    fn contains(&self, addr: BlockAddr, fp: u64) -> bool {
+        self.slots[self.slot(addr)] == Self::encode(fp)
+    }
+
+    fn record(&mut self, addr: BlockAddr, fp: u64) {
+        let slot = self.slot(addr);
+        self.slots[slot] = Self::encode(fp);
+    }
+
+    fn invalidate(&mut self, addr: BlockAddr) {
+        let slot = self.slot(addr);
+        self.slots[slot] = MAC_CACHE_EMPTY;
+    }
+
+    /// Keeps real fingerprints disjoint from the empty sentinel.
+    fn encode(fp: u64) -> u64 {
+        if fp == MAC_CACHE_EMPTY {
+            1
+        } else {
+            fp
+        }
+    }
+}
+
+impl Default for MacCache {
+    fn default() -> Self {
+        MacCache::new(Self::DEFAULT_SLOTS)
     }
 }
 
@@ -357,5 +581,185 @@ mod tests {
         let mut sealed = c.seal(BlockAddr::new(9), ctr(3), &Block::filled(1));
         sealed.mac = 0; // destroyed MAC
         assert!(c.probe(BlockAddr::new(9), ctr(3), &sealed).is_some());
+    }
+
+    #[test]
+    fn data_mac_domain_separation() {
+        // The same plaintext sealed at a different address, major or
+        // minor counter must carry a different MAC — otherwise a replayed
+        // (ciphertext, ecc, mac) triple from elsewhere could authenticate.
+        let c = codec();
+        let pt = Block::filled(0x5A);
+        let base = c.seal(BlockAddr::new(5), IvCounter::split(2, 3), &pt).mac;
+        let variants = [
+            c.seal(BlockAddr::new(6), IvCounter::split(2, 3), &pt).mac,
+            c.seal(BlockAddr::new(5), IvCounter::split(3, 3), &pt).mac,
+            c.seal(BlockAddr::new(5), IvCounter::split(2, 4), &pt).mac,
+            c.seal(BlockAddr::new(5), IvCounter::monolithic(3), &pt).mac,
+        ];
+        for (i, m) in variants.iter().enumerate() {
+            assert_ne!(base, *m, "variant {i} collided with the base MAC");
+        }
+        // And all pairwise distinct among themselves.
+        for i in 0..variants.len() {
+            for j in i + 1..variants.len() {
+                assert_ne!(variants[i], variants[j], "variants {i} and {j} collided");
+            }
+        }
+    }
+
+    #[test]
+    fn data_mac_key_separation() {
+        // Different master keys must give unrelated MACs for identical
+        // (addr, counter, plaintext).
+        let a = DataCodec::new(Key([1, 2]));
+        let b = DataCodec::new(Key([1, 3]));
+        let pt = Block::filled(7);
+        assert_ne!(
+            a.seal(BlockAddr::new(5), ctr(1), &pt).mac,
+            b.seal(BlockAddr::new(5), ctr(1), &pt).mac
+        );
+    }
+
+    #[test]
+    fn batch_matches_scalar_randomized() {
+        // Property test: for random (addr, counter, plaintext) triples,
+        // the batch paths are bit-identical to the scalar paths — both
+        // the Vec-returning wrappers and the `_into` buffer-reuse forms.
+        use anubis_nvm::SplitMix64;
+        let c = codec();
+        let mut sealed_buf = Vec::new();
+        let mut open_buf = Vec::new();
+        for seed in 0..16u64 {
+            let mut rng = SplitMix64::new(0xBA7C * 31 + seed);
+            let n = (rng.next_u64() % 65) as usize; // includes empty batches
+            let items: Vec<(BlockAddr, IvCounter, Block)> = (0..n)
+                .map(|_| {
+                    let addr = BlockAddr::new(rng.next_u64() % (1 << 34));
+                    let iv = if rng.next_u64() & 1 == 0 {
+                        IvCounter::split(rng.next_u64() % 1024, rng.next_u64() % (1 << 30))
+                    } else {
+                        IvCounter::monolithic(rng.next_u64() & ((1 << 56) - 1))
+                    };
+                    let mut words = [0u64; 8];
+                    for w in &mut words {
+                        *w = rng.next_u64();
+                    }
+                    (addr, iv, Block::from_words(words))
+                })
+                .collect();
+
+            c.seal_batch_into(&items, &mut sealed_buf);
+            assert_eq!(sealed_buf, c.seal_batch(&items));
+            for (i, (addr, iv, pt)) in items.iter().enumerate() {
+                assert_eq!(
+                    sealed_buf[i],
+                    c.seal(*addr, *iv, pt),
+                    "seed {seed} item {i}"
+                );
+            }
+
+            let to_open: Vec<(BlockAddr, IvCounter, SealedBlock)> = items
+                .iter()
+                .zip(&sealed_buf)
+                .map(|((addr, iv, _), s)| (*addr, *iv, *s))
+                .collect();
+            c.open_batch_into(&to_open, &mut open_buf);
+            assert_eq!(open_buf, c.open_batch(&to_open));
+            for (i, (res, (addr, iv, pt))) in open_buf.iter().zip(&items).enumerate() {
+                assert_eq!(res.as_ref().unwrap(), pt, "seed {seed} item {i}");
+                assert_eq!(res.clone().ok(), c.open(*addr, *iv, &sealed_buf[i]).ok());
+            }
+        }
+    }
+
+    #[test]
+    fn mac_cache_hit_skips_recompute_but_matches_full_path() {
+        let c = codec();
+        let mut cache = MacCache::new(8);
+        let pt = Block::from_words([1, 2, 3, 4, 5, 6, 7, 8]);
+        let addr = BlockAddr::new(21);
+        let sealed = c.seal(addr, ctr(4), &pt);
+
+        // First read: full path, recorded.
+        let first = c.open_correcting_cached(&mut cache, addr, ctr(4), &sealed);
+        assert_eq!(first, Ok((pt, 0)));
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+        // Second read of the unmodified line: fast path.
+        let second = c.open_correcting_cached(&mut cache, addr, ctr(4), &sealed);
+        assert_eq!(second, Ok((pt, 0)));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(second, c.open_correcting(addr, ctr(4), &sealed));
+    }
+
+    #[test]
+    fn mac_cache_never_launders_tampering() {
+        // A cached verification of the clean image must not let a
+        // tampered image through: the fingerprint covers the whole
+        // sealed image, so any change misses and re-verifies fully.
+        let c = codec();
+        let mut cache = MacCache::new(8);
+        let addr = BlockAddr::new(5);
+        let sealed = c.seal(addr, ctr(1), &Block::filled(9));
+        c.open_correcting_cached(&mut cache, addr, ctr(1), &sealed)
+            .unwrap();
+
+        let mut tampered = sealed;
+        tampered.ciphertext.flip_bit(17);
+        tampered.mac ^= 0xDEAD;
+        let out = c.open_correcting_cached(&mut cache, addr, ctr(1), &tampered);
+        assert_eq!(out, c.open_correcting(addr, ctr(1), &tampered));
+        assert!(
+            out.is_err() || out.as_ref().unwrap().1 > 0,
+            "served: {out:?}"
+        );
+    }
+
+    #[test]
+    fn mac_cache_corrected_reads_are_not_cached() {
+        // A read that needed SEC-DED repair must keep re-verifying: only
+        // clean verifications populate the cache.
+        let c = codec();
+        let mut cache = MacCache::new(8);
+        let addr = BlockAddr::new(13);
+        let pt = Block::filled(0x3C);
+        let mut sealed = c.seal(addr, ctr(2), &pt);
+        sealed.ciphertext.flip_bit(200);
+        for round in 0..2 {
+            let (opened, fixed) = c
+                .open_correcting_cached(&mut cache, addr, ctr(2), &sealed)
+                .unwrap();
+            assert_eq!((opened, fixed), (pt, 1), "round {round}");
+        }
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+    }
+
+    #[test]
+    fn mac_cache_note_sealed_primes_fast_path() {
+        let c = codec();
+        let mut cache = MacCache::new(8);
+        let addr = BlockAddr::new(3);
+        let pt = Block::filled(0x11);
+        let sealed = c.seal(addr, ctr(7), &pt);
+        c.note_sealed(&mut cache, addr, ctr(7), &sealed);
+        assert_eq!(
+            c.open_correcting_cached(&mut cache, addr, ctr(7), &sealed),
+            Ok((pt, 0))
+        );
+        assert_eq!((cache.hits(), cache.misses()), (1, 0));
+    }
+
+    #[test]
+    fn mac_cache_clear_forgets_everything() {
+        let c = codec();
+        let mut cache = MacCache::new(8);
+        let addr = BlockAddr::new(3);
+        let sealed = c.seal(addr, ctr(7), &Block::filled(1));
+        c.note_sealed(&mut cache, addr, ctr(7), &sealed);
+        cache.clear();
+        c.open_correcting_cached(&mut cache, addr, ctr(7), &sealed)
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
     }
 }

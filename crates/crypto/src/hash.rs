@@ -64,13 +64,42 @@ impl Hasher64 {
         self.hash(data) & MASK56
     }
 
-    /// Hashes a sequence of 64-bit words (convenience for counter material).
+    /// Hashes a sequence of 64-bit words (the common case for counter and
+    /// MAC material, which is always word-shaped).
+    ///
+    /// Streams the words straight into the compression function — a word
+    /// pair *is* a 16-byte chunk in little-endian — so no intermediate
+    /// byte buffer is allocated. Bit-identical to serializing the words
+    /// little-endian and calling [`hash`](Self::hash).
     pub fn hash_words(&self, words: &[u64]) -> u64 {
-        let mut bytes = Vec::with_capacity(words.len() * 8);
-        for w in words {
-            bytes.extend_from_slice(&w.to_le_bytes());
+        let mut state = self.init;
+        let mut chunks = words.chunks_exact(2);
+        for pair in &mut chunks {
+            state = self.compress_chunk(state, pair[0], pair[1]);
         }
-        self.hash(&bytes)
+        if let [last] = chunks.remainder() {
+            // An odd trailing word zero-pads its chunk, exactly as the
+            // byte path zero-pads a short final chunk.
+            state = self.compress_chunk(state, *last, 0);
+        }
+        let (a, b) = self.finalize(state, (words.len() * 8) as u64);
+        a ^ b
+    }
+
+    /// One Davies–Meyer step: the 16-byte message chunk keys a Speck
+    /// encryption of the chaining state.
+    #[inline]
+    fn compress_chunk(&self, state: (u64, u64), lo: u64, hi: u64) -> (u64, u64) {
+        // Message-keyed, so this schedule cannot be precomputed.
+        let e = Speck128::new(Key([lo, hi])).encrypt(state);
+        (e.0 ^ state.0, e.1 ^ state.1)
+    }
+
+    /// Length padding via one key-bound finalization encryption.
+    #[inline]
+    fn finalize(&self, state: (u64, u64), byte_len: u64) -> (u64, u64) {
+        let fin = self.key_cipher.encrypt((state.0 ^ byte_len, state.1));
+        (fin.0 ^ state.0, fin.1 ^ state.1)
     }
 
     fn compress(&self, data: &[u8]) -> (u64, u64) {
@@ -78,19 +107,13 @@ impl Hasher64 {
         for chunk in data.chunks(16) {
             let mut w = [0u8; 16];
             w[..chunk.len()].copy_from_slice(chunk);
-            let m = Key([
+            state = self.compress_chunk(
+                state,
                 u64::from_le_bytes(w[..8].try_into().expect("8 bytes")),
                 u64::from_le_bytes(w[8..].try_into().expect("8 bytes")),
-            ]);
-            // Message-keyed, so this schedule cannot be precomputed.
-            let e = Speck128::new(m).encrypt(state);
-            state = (e.0 ^ state.0, e.1 ^ state.1);
+            );
         }
-        // Length padding via finalization.
-        let fin = self
-            .key_cipher
-            .encrypt((state.0 ^ data.len() as u64, state.1));
-        (fin.0 ^ state.0, fin.1 ^ state.1)
+        self.finalize(state, data.len() as u64)
     }
 }
 
@@ -133,13 +156,18 @@ mod tests {
 
     #[test]
     fn hash_words_matches_bytes() {
+        // The streaming word path must stay bit-identical to serializing
+        // little-endian and hashing bytes, for every chunk-padding shape:
+        // empty, odd trailing word, and full pairs.
         let h = hasher();
-        let words = [1u64, 2, 3];
-        let mut bytes = Vec::new();
-        for w in words {
-            bytes.extend_from_slice(&w.to_le_bytes());
+        let words: Vec<u64> = (0..9).map(|i| i * 0x0101_0101_0101_0101).collect();
+        for n in 0..=words.len() {
+            let mut bytes = Vec::new();
+            for w in &words[..n] {
+                bytes.extend_from_slice(&w.to_le_bytes());
+            }
+            assert_eq!(h.hash_words(&words[..n]), h.hash(&bytes), "n = {n}");
         }
-        assert_eq!(h.hash_words(&words), h.hash(&bytes));
     }
 
     #[test]

@@ -124,6 +124,43 @@ pub fn pad_word_with(cipher: &Speck128, addr: BlockAddr, counter: IvCounter) -> 
     cipher.encrypt(iv).0
 }
 
+/// Every pad a seal/open needs for one `(addr, counter)`, produced in a
+/// single pass over the five IV lanes.
+///
+/// The side lane's Speck call yields 128 bits but [`pad_word_with`] keeps
+/// only the low word; the high word was thrown away on every call. The
+/// fused path surfaces it as [`tweak`](PadSet::tweak) so the data MAC can
+/// bind `(addr, counter)` through an already-paid-for PRF output instead
+/// of hashing the address and counter words itself.
+#[derive(Clone, Copy, Debug)]
+pub struct PadSet {
+    /// The four 16-byte data lanes (lanes 0–3), as one 64-byte pad block.
+    pub data: Block,
+    /// The 8-byte side-word pad (lane 4, low half) that encrypts the ECC.
+    pub side: u64,
+    /// The side lane's high half: an `(addr, counter)`-bound PRF word for
+    /// keying the data MAC. Never stored, so revealing `side` on the DIMM
+    /// does not reveal the tweak.
+    pub tweak: u64,
+}
+
+/// Generates the full [`PadSet`] under a precomputed key schedule — the
+/// hot-path entry point for seal/open/probe. `data` is bit-identical to
+/// [`pad_with`] and `side` to [`pad_word_with`]; the IV base is computed
+/// once and shared by all five lanes.
+pub fn pad_set_with(cipher: &Speck128, addr: BlockAddr, counter: IvCounter) -> PadSet {
+    let x = addr.index() ^ counter.minor.rotate_left(20);
+    let y = counter.major.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ counter.minor;
+    let mut data = Block::zeroed();
+    for lane in 0..4u64 {
+        let (a, b) = cipher.encrypt((x, y ^ (lane << 56)));
+        data.set_word(lane as usize * 2, a);
+        data.set_word(lane as usize * 2 + 1, b);
+    }
+    let (side, tweak) = cipher.encrypt((x, y ^ (4u64 << 56)));
+    PadSet { data, side, tweak }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +231,31 @@ mod tests {
             decrypt(k, addr, ctr, &ct),
             decrypt_with(&cipher, addr, ctr, &ct)
         );
+    }
+
+    #[test]
+    fn pad_set_matches_scalar_pads() {
+        let k = key();
+        let cipher = Speck128::new(k);
+        for (addr, major, minor) in [(0u64, 0u64, 0u64), (7, 3, 9), (1 << 40, 5, 1 << 33)] {
+            let addr = BlockAddr::new(addr);
+            let ctr = IvCounter::split(major, minor);
+            let set = pad_set_with(&cipher, addr, ctr);
+            assert_eq!(set.data, pad_with(&cipher, addr, ctr));
+            assert_eq!(set.side, pad_word_with(&cipher, addr, ctr));
+        }
+    }
+
+    #[test]
+    fn pad_set_tweak_distinct_from_stored_pads() {
+        // The MAC tweak must not equal anything an adversary can read off
+        // the DIMM (data lanes or the side word) for the same IV tuple.
+        let cipher = Speck128::new(key());
+        let set = pad_set_with(&cipher, BlockAddr::new(9), IvCounter::split(2, 3));
+        assert_ne!(set.tweak, set.side);
+        for i in 0..8 {
+            assert_ne!(set.tweak, set.data.word(i));
+        }
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Regression guard for the zero-allocation hot path: seal, open,
+//! open_correcting (clean), probe and the cached read path must not touch
+//! the heap. These run millions of times per recovery/replay, and an
+//! allocation per op was exactly the waste the hot-path overhaul removed.
+//!
+//! Uses a counting wrapper around the system allocator — installing it as
+//! the test binary's global allocator lets plain assertions observe every
+//! heap round-trip the measured region makes.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use anubis_crypto::otp::IvCounter;
+use anubis_crypto::{DataCodec, Key, MacCache};
+use anubis_nvm::{Block, BlockAddr};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Counts heap allocations performed by `f`.
+fn allocations_in(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn scalar_hot_path_is_allocation_free() {
+    let codec = DataCodec::new(Key([0xFEED, 0xF00D]));
+    let addr = BlockAddr::new(42);
+    let ctr = IvCounter::split(3, 17);
+    let pt = Block::from_words([1, 2, 3, 4, 5, 6, 7, 8]);
+    let sealed = codec.seal(addr, ctr, &pt);
+    let mut cache = MacCache::new(64);
+
+    // Warm up every path once so lazy runtime setup is paid for.
+    codec.open(addr, ctr, &sealed).unwrap();
+    codec.open_correcting(addr, ctr, &sealed).unwrap();
+    codec
+        .open_correcting_cached(&mut cache, addr, ctr, &sealed)
+        .unwrap();
+    codec.probe(addr, ctr, &sealed).unwrap();
+
+    let n = allocations_in(|| {
+        for minor in 0..64u64 {
+            let ctr = IvCounter::split(3, minor);
+            let s = codec.seal(addr, ctr, &pt);
+            assert_eq!(codec.open(addr, ctr, &s).unwrap(), pt);
+            assert_eq!(codec.open_correcting(addr, ctr, &s).unwrap(), (pt, 0));
+            assert_eq!(codec.probe(addr, ctr, &s).unwrap(), pt);
+        }
+    });
+    assert_eq!(n, 0, "scalar seal/open/open_correcting/probe allocated");
+
+    let n = allocations_in(|| {
+        for _ in 0..64 {
+            codec
+                .open_correcting_cached(&mut cache, addr, ctr, &sealed)
+                .unwrap();
+        }
+    });
+    assert_eq!(n, 0, "cached clean-read fast path allocated");
+    assert!(cache.hits() >= 64);
+}
+
+#[test]
+fn batch_hot_path_is_allocation_free_with_reused_buffers() {
+    let codec = DataCodec::new(Key([0xFEED, 0xF00D]));
+    let items: Vec<(BlockAddr, IvCounter, Block)> = (0..64u64)
+        .map(|i| {
+            (
+                BlockAddr::new(i),
+                IvCounter::split(1, i),
+                Block::filled(i as u8),
+            )
+        })
+        .collect();
+    let mut sealed = Vec::new();
+    let mut opened = Vec::new();
+
+    // First pass sizes the reusable buffers.
+    codec.seal_batch_into(&items, &mut sealed);
+    let to_open: Vec<_> = items
+        .iter()
+        .zip(&sealed)
+        .map(|((a, c, _), s)| (*a, *c, *s))
+        .collect();
+    codec.open_batch_into(&to_open, &mut opened);
+
+    let n = allocations_in(|| {
+        for _ in 0..16 {
+            codec.seal_batch_into(&items, &mut sealed);
+            codec.open_batch_into(&to_open, &mut opened);
+        }
+    });
+    assert_eq!(n, 0, "steady-state batch seal/open allocated");
+    for (res, (_, _, pt)) in opened.iter().zip(&items) {
+        assert_eq!(res.as_ref().unwrap(), pt);
+    }
+}
+
+#[test]
+fn hash_words_is_allocation_free() {
+    use anubis_crypto::hash::Hasher64;
+    let h = Hasher64::new(Key([1, 2]).derive("tree-hash"));
+    let words: Vec<u64> = (0..9).collect();
+    h.hash_words(&words); // warm up
+    let n = allocations_in(|| {
+        for i in 0..64 {
+            std::hint::black_box(h.hash_words(&words[..(i % 10)]));
+        }
+    });
+    assert_eq!(n, 0, "hash_words allocated");
+}

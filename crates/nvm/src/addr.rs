@@ -192,7 +192,23 @@ impl RegionAllocator {
 
     /// Finds the region containing `addr`, if any.
     pub fn region_of(&self, addr: BlockAddr) -> Option<&Region> {
-        self.regions.iter().find(|r| r.contains(addr))
+        self.region_index_of(addr).map(|i| &self.regions[i])
+    }
+
+    /// Index (allocation order) of the region containing `addr`, if any.
+    ///
+    /// Regions are handed out sequentially, so their bases are sorted:
+    /// a binary search replaces the linear scan that used to run on every
+    /// counted device access.
+    pub fn region_index_of(&self, addr: BlockAddr) -> Option<usize> {
+        let n = self
+            .regions
+            .partition_point(|r| r.base().index() <= addr.index());
+        // Candidate: the last region starting at or before `addr`. Empty
+        // regions share their base with the next region but sort before
+        // it and contain nothing, so the last candidate is the right one.
+        let i = n.checked_sub(1)?;
+        self.regions[i].contains(addr).then_some(i)
     }
 }
 
@@ -248,6 +264,25 @@ mod tests {
         assert_eq!(alloc.region_of(BlockAddr::new(120)).unwrap().name(), "b");
         assert_eq!(alloc.region_of(BlockAddr::new(151)), None);
         assert_eq!(alloc.regions().len(), 3);
+    }
+
+    #[test]
+    fn region_index_search_matches_linear_scan() {
+        let mut alloc = RegionAllocator::new();
+        alloc.alloc("a", 100);
+        alloc.alloc("gap", 0); // empty region sharing its base with "b"
+        alloc.alloc("b", 50);
+        alloc.alloc("c", 1);
+        for idx in 0..(alloc.total_blocks() + 4) {
+            let addr = BlockAddr::new(idx);
+            let linear = alloc.regions().iter().position(|r| r.contains(addr));
+            assert_eq!(alloc.region_index_of(addr), linear, "addr {addr}");
+        }
+        assert_eq!(alloc.region_index_of(BlockAddr::new(100)), Some(2));
+        assert_eq!(
+            RegionAllocator::new().region_index_of(BlockAddr::new(0)),
+            None
+        );
     }
 
     #[test]

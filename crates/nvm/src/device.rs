@@ -121,9 +121,12 @@ impl<B: NvmBackend> NvmDevice<B> {
     }
 
     /// Registers the region map used to attribute accesses in
-    /// [`NvmDevice::stats`]. Replaces any previous map.
+    /// [`NvmDevice::stats`]. Replaces any previous map and resets the
+    /// per-region counters to match the new layout.
     pub fn register_regions(&mut self, regions: RegionAllocator) {
+        let names = regions.regions().iter().map(Region::name).collect();
         self.regions = regions;
+        self.stats.configure_regions(names);
     }
 
     /// Device capacity in blocks.
@@ -145,7 +148,7 @@ impl<B: NvmBackend> NvmDevice<B> {
     /// Returns [`NvmError::OutOfRange`] if `addr` is beyond capacity.
     pub fn try_read(&self, addr: BlockAddr) -> Result<Block, NvmError> {
         self.check(addr)?;
-        self.stats.record_read(self.region_name(addr));
+        self.stats.record_read(self.regions.region_index_of(addr));
         let phys = self.quarantine.resolve(addr);
         Ok(self.store.load(phys.index()).unwrap_or_default())
     }
@@ -190,7 +193,8 @@ impl<B: NvmBackend> NvmDevice<B> {
         let count = self.write_counts.entry(phys.index()).or_insert(0);
         *count += 1;
         let count = *count;
-        self.stats.record_write(self.region_name(addr), count, addr);
+        self.stats
+            .record_write(self.regions.region_index_of(addr), count, addr);
         self.store.store(phys.index(), block);
         Ok(())
     }
@@ -313,10 +317,6 @@ impl<B: NvmBackend> NvmDevice<B> {
     /// Disarms the write cut; subsequent writes land normally.
     pub fn clear_write_cut(&mut self) {
         self.write_cut = None;
-    }
-
-    fn region_name(&self, addr: BlockAddr) -> Option<&'static str> {
-        self.regions.region_of(addr).map(Region::name)
     }
 
     fn check(&self, addr: BlockAddr) -> Result<(), NvmError> {

@@ -1,9 +1,7 @@
 //! Device access statistics.
 
 use crate::addr::BlockAddr;
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// Counters for device-level reads and writes, broken down by region label.
 ///
@@ -14,54 +12,88 @@ use std::sync::Mutex;
 /// Counters live behind interior mutability so that *reads* of the device
 /// can take `&self` — a read does not logically mutate memory, and forcing
 /// `&mut` on every read path infected controllers, recovery code and the
-/// simulator with spurious exclusive borrows. The interior mutability is
-/// thread-safe (atomics plus a mutex for the region maps) so a shared
-/// `&NvmDevice` can be read concurrently from parallel recovery lanes;
-/// totals are order-independent sums, so a parallel sweep reports exactly
-/// the same statistics as its serial equivalent.
+/// simulator with spurious exclusive borrows.
+///
+/// The per-region breakdown is a flat array of `AtomicU64` slots indexed
+/// by region number (regions are fixed at [`configure_regions`]
+/// (Self::configure_regions) time), so recording an access is a single
+/// `Relaxed` fetch-add into one slot — the mutex-guarded `BTreeMap` this
+/// replaced serialized every counted access in the hot path. Totals are
+/// not kept as separate counters at all: they are the sum of the region
+/// slots plus one unattributed slot, aggregated once per query instead of
+/// incremented once per access. Totals are order-independent sums, so a
+/// parallel sweep reports exactly the same statistics as its serial
+/// equivalent.
 #[derive(Debug, Default)]
 pub struct NvmStats {
-    reads: AtomicU64,
-    writes: AtomicU64,
-    reads_by_region: Mutex<BTreeMap<&'static str, u64>>,
-    writes_by_region: Mutex<BTreeMap<&'static str, u64>>,
+    /// Region labels, indexed by region number. Fixed between
+    /// reconfigurations; kept alongside the counters so name-based
+    /// queries still work.
+    region_names: Vec<&'static str>,
+    /// Reads per region, same indexing as `region_names`; the final extra
+    /// slot counts unattributed reads.
+    reads_by_region: Vec<AtomicU64>,
+    /// Writes per region, same layout as `reads_by_region`.
+    writes_by_region: Vec<AtomicU64>,
     max_writes_to_one_block: AtomicU64,
 }
 
 impl NvmStats {
-    /// Creates zeroed statistics.
+    /// Creates zeroed statistics with no regions configured (every access
+    /// counts as unattributed until [`configure_regions`]
+    /// (Self::configure_regions)).
     pub fn new() -> Self {
-        Self::default()
+        let mut s = Self::default();
+        s.configure_regions(Vec::new());
+        s
+    }
+
+    /// Installs the region label table and zeroes all per-region
+    /// counters. Called when a region map is registered on the device.
+    pub(crate) fn configure_regions(&mut self, names: Vec<&'static str>) {
+        let slots = names.len() + 1; // + the unattributed slot
+        self.region_names = names;
+        self.reads_by_region = (0..slots).map(|_| AtomicU64::new(0)).collect();
+        self.writes_by_region = (0..slots).map(|_| AtomicU64::new(0)).collect();
+        self.max_writes_to_one_block = AtomicU64::new(0);
+    }
+
+    /// Slot index for a resolved region (the last slot is the
+    /// unattributed bucket).
+    fn slot(&self, region: Option<usize>) -> usize {
+        region.unwrap_or(self.region_names.len())
     }
 
     /// Total block reads served by the device.
     pub fn reads(&self) -> u64 {
-        self.reads.load(Ordering::Relaxed)
+        self.reads_by_region
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Total block writes applied to the device.
     pub fn writes(&self) -> u64 {
-        self.writes.load(Ordering::Relaxed)
+        self.writes_by_region
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Reads attributed to the region labeled `name` (0 if never seen).
     pub fn reads_in(&self, name: &str) -> u64 {
-        self.reads_by_region
-            .lock()
-            .expect("stats mutex")
-            .get(name)
-            .copied()
-            .unwrap_or(0)
+        self.region_names
+            .iter()
+            .position(|n| *n == name)
+            .map_or(0, |i| self.reads_by_region[i].load(Ordering::Relaxed))
     }
 
     /// Writes attributed to the region labeled `name` (0 if never seen).
     pub fn writes_in(&self, name: &str) -> u64 {
-        self.writes_by_region
-            .lock()
-            .expect("stats mutex")
-            .get(name)
-            .copied()
-            .unwrap_or(0)
+        self.region_names
+            .iter()
+            .position(|n| *n == name)
+            .map_or(0, |i| self.writes_by_region[i].load(Ordering::Relaxed))
     }
 
     /// The largest number of writes any single block has received —
@@ -70,75 +102,65 @@ impl NvmStats {
         self.max_writes_to_one_block.load(Ordering::Relaxed)
     }
 
-    /// Iterates `(region, writes)` pairs in region-name order.
+    /// Iterates `(region, writes)` pairs in region-name order, skipping
+    /// regions that were never written (matching the lazily populated map
+    /// this structure replaced).
     pub fn writes_by_region(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.writes_by_region
-            .lock()
-            .expect("stats mutex")
+        let mut pairs: Vec<(&'static str, u64)> = self
+            .region_names
             .iter()
-            .map(|(k, v)| (*k, *v))
-            .collect::<Vec<_>>()
-            .into_iter()
+            .enumerate()
+            .map(|(i, n)| (*n, self.writes_by_region[i].load(Ordering::Relaxed)))
+            .filter(|(_, v)| *v > 0)
+            .collect();
+        pairs.sort_unstable_by_key(|(n, _)| *n);
+        pairs.into_iter()
     }
 
-    pub(crate) fn record_read(&self, region: Option<&'static str>) {
-        self.reads.fetch_add(1, Ordering::Relaxed);
-        if let Some(r) = region {
-            *self
-                .reads_by_region
-                .lock()
-                .expect("stats mutex")
-                .entry(r)
-                .or_insert(0) += 1;
-        }
+    pub(crate) fn record_read(&self, region: Option<usize>) {
+        self.reads_by_region[self.slot(region)].fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_write(
         &self,
-        region: Option<&'static str>,
+        region: Option<usize>,
         writes_to_block: u64,
         _addr: BlockAddr,
     ) {
-        self.writes.fetch_add(1, Ordering::Relaxed);
-        if let Some(r) = region {
-            *self
-                .writes_by_region
-                .lock()
-                .expect("stats mutex")
-                .entry(r)
-                .or_insert(0) += 1;
-        }
+        self.writes_by_region[self.slot(region)].fetch_add(1, Ordering::Relaxed);
         self.max_writes_to_one_block
             .fetch_max(writes_to_block, Ordering::Relaxed);
     }
 
-    /// Resets every counter to zero.
+    /// Resets every counter to zero (the region table is kept).
     pub fn reset(&mut self) {
-        *self = Self::default();
+        for c in self.reads_by_region.iter().chain(&self.writes_by_region) {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.max_writes_to_one_block.store(0, Ordering::Relaxed);
     }
 
     /// A plain-value snapshot of every counter — the bridge the
     /// observability layer publishes into its metric registry without
     /// `anubis-nvm` needing a telemetry dependency.
     pub fn snapshot(&self) -> StatsSnapshot {
+        let collect = |counters: &[AtomicU64]| {
+            let mut pairs: Vec<(&'static str, u64)> = self
+                .region_names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (*n, counters[i].load(Ordering::Relaxed)))
+                .filter(|(_, v)| *v > 0)
+                .collect();
+            pairs.sort_unstable_by_key(|(n, _)| *n);
+            pairs
+        };
         StatsSnapshot {
             reads: self.reads(),
             writes: self.writes(),
             max_writes_to_one_block: self.max_writes_to_one_block(),
-            reads_by_region: self
-                .reads_by_region
-                .lock()
-                .expect("stats mutex")
-                .iter()
-                .map(|(k, v)| (*k, *v))
-                .collect(),
-            writes_by_region: self
-                .writes_by_region
-                .lock()
-                .expect("stats mutex")
-                .iter()
-                .map(|(k, v)| (*k, *v))
-                .collect(),
+            reads_by_region: collect(&self.reads_by_region),
+            writes_by_region: collect(&self.writes_by_region),
         }
     }
 }
@@ -162,12 +184,17 @@ pub struct StatsSnapshot {
 impl Clone for NvmStats {
     fn clone(&self) -> Self {
         NvmStats {
-            reads: AtomicU64::new(self.reads()),
-            writes: AtomicU64::new(self.writes()),
-            reads_by_region: Mutex::new(self.reads_by_region.lock().expect("stats mutex").clone()),
-            writes_by_region: Mutex::new(
-                self.writes_by_region.lock().expect("stats mutex").clone(),
-            ),
+            region_names: self.region_names.clone(),
+            reads_by_region: self
+                .reads_by_region
+                .iter()
+                .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
+                .collect(),
+            writes_by_region: self
+                .writes_by_region
+                .iter()
+                .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
+                .collect(),
             max_writes_to_one_block: AtomicU64::new(self.max_writes_to_one_block()),
         }
     }
@@ -175,13 +202,10 @@ impl Clone for NvmStats {
 
 impl PartialEq for NvmStats {
     fn eq(&self, other: &Self) -> bool {
-        self.reads() == other.reads()
-            && self.writes() == other.writes()
-            && self.max_writes_to_one_block() == other.max_writes_to_one_block()
-            && *self.reads_by_region.lock().expect("stats mutex")
-                == *other.reads_by_region.lock().expect("stats mutex")
-            && *self.writes_by_region.lock().expect("stats mutex")
-                == *other.writes_by_region.lock().expect("stats mutex")
+        // Value equality over the observable counters, so two stats with
+        // different (but equally unused) region tables still compare
+        // equal — matching the lazily populated maps this replaced.
+        self.snapshot() == other.snapshot()
     }
 }
 
@@ -191,13 +215,19 @@ impl Eq for NvmStats {}
 mod tests {
     use super::*;
 
+    fn with_regions(names: &[&'static str]) -> NvmStats {
+        let mut s = NvmStats::new();
+        s.configure_regions(names.to_vec());
+        s
+    }
+
     #[test]
     fn records_and_resets() {
-        let mut s = NvmStats::new();
-        s.record_read(Some("data"));
+        let mut s = with_regions(&["data", "ctr"]);
+        s.record_read(Some(0));
         s.record_read(None);
-        s.record_write(Some("data"), 1, BlockAddr::new(0));
-        s.record_write(Some("ctr"), 5, BlockAddr::new(1));
+        s.record_write(Some(0), 1, BlockAddr::new(0));
+        s.record_write(Some(1), 5, BlockAddr::new(1));
         assert_eq!(s.reads(), 2);
         assert_eq!(s.writes(), 2);
         assert_eq!(s.reads_in("data"), 1);
@@ -207,23 +237,26 @@ mod tests {
         assert_eq!(s.writes_by_region().count(), 2);
         s.reset();
         assert_eq!(s, NvmStats::new());
+        // The region table survives a reset.
+        s.record_write(Some(1), 1, BlockAddr::new(1));
+        assert_eq!(s.writes_in("ctr"), 1);
     }
 
     #[test]
     fn recording_works_through_shared_references() {
-        let s = NvmStats::new();
+        let s = with_regions(&["data"]);
         let shared: &NvmStats = &s;
-        shared.record_read(Some("data"));
-        shared.record_read(Some("data"));
+        shared.record_read(Some(0));
+        shared.record_read(Some(0));
         assert_eq!(shared.reads(), 2);
         assert_eq!(shared.reads_in("data"), 2);
     }
 
     #[test]
     fn clone_snapshots_counts() {
-        let s = NvmStats::new();
-        s.record_read(Some("data"));
-        s.record_write(Some("data"), 3, BlockAddr::new(0));
+        let s = with_regions(&["data"]);
+        s.record_read(Some(0));
+        s.record_write(Some(0), 3, BlockAddr::new(0));
         let snap = s.clone();
         s.record_read(None);
         assert_eq!(snap.reads(), 1);
@@ -233,14 +266,24 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_skips_untouched_regions_and_sorts_by_name() {
+        let s = with_regions(&["zeta", "alpha", "mid"]);
+        s.record_write(Some(0), 1, BlockAddr::new(0));
+        s.record_write(Some(1), 1, BlockAddr::new(1));
+        let snap = s.snapshot();
+        assert_eq!(snap.writes_by_region, vec![("alpha", 1), ("zeta", 1)]);
+        assert!(snap.reads_by_region.is_empty());
+    }
+
+    #[test]
     fn recording_is_sound_across_threads() {
-        let s = NvmStats::new();
+        let s = with_regions(&["data"]);
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 let stats = &s;
                 scope.spawn(move || {
                     for _ in 0..250 {
-                        stats.record_read(Some("data"));
+                        stats.record_read(Some(0));
                     }
                 });
             }

@@ -375,7 +375,7 @@ mod tests {
         let cfg = StormConfig::smoke(0xA5).with_runs(5);
         let make = || BonsaiController::new(BonsaiScheme::AgitPlus, &config());
         let one = crash_storm(make, &cfg);
-        let two = crash_storm(make, &cfg.clone().with_lanes(2));
+        let two = crash_storm(make, &cfg.with_lanes(2));
         assert_eq!(one.recovered + one.degraded + one.quarantined, one.runs);
         assert_eq!(one.fingerprint, two.fingerprint);
     }
@@ -385,7 +385,7 @@ mod tests {
         let cfg = StormConfig::smoke(0x51).with_runs(5);
         let make = || SgxController::new(SgxScheme::Asit, &config());
         let one = crash_storm(make, &cfg);
-        let eight = crash_storm(make, &cfg.clone().with_lanes(8));
+        let eight = crash_storm(make, &cfg.with_lanes(8));
         assert_eq!(one.recovered + one.degraded + one.quarantined, one.runs);
         assert_eq!(one.fingerprint, eight.fingerprint);
     }

@@ -1,0 +1,212 @@
+//! Batch/scalar equivalence: `write_batch` must leave the device image
+//! bit-identical to the scalar `write` loop for every scheme. The batch
+//! path shares commit groups and runs all data seals of a group through
+//! the batch crypto path — none of which may change a single persisted
+//! byte. Includes a counter-overflow trace so grouped writes exercise the
+//! mid-batch page re-encryption path too.
+
+use anubis::{
+    AnubisConfig, BonsaiController, BonsaiScheme, DataAddr, MemoryController, SgxController,
+    SgxScheme,
+};
+use anubis_nvm::{Block, SplitMix64};
+
+fn payload(tag: u64) -> Block {
+    Block::from_words([
+        tag,
+        tag ^ 0xC3C3,
+        !tag,
+        tag << 5,
+        tag >> 2,
+        tag.wrapping_add(3),
+        tag.wrapping_mul(11),
+        2,
+    ])
+}
+
+/// Full device image plus final visible contents of the touched lines.
+fn observe<C: MemoryController>(ctrl: &mut C, touched: &[u64]) -> (Vec<Block>, Vec<Block>) {
+    let image: Vec<Block> = {
+        let dev = ctrl.domain().device();
+        (0..dev.capacity_blocks())
+            .map(|i| dev.peek(anubis_nvm::BlockAddr::new(i)))
+            .collect()
+    };
+    let reads: Vec<Block> = touched
+        .iter()
+        .map(|a| ctrl.read(DataAddr::new(*a)).expect("final read"))
+        .collect();
+    (image, reads)
+}
+
+fn assert_batch_matches_scalar<C, F>(make: F, items: &[(DataAddr, Block)], label: &str)
+where
+    C: MemoryController,
+    F: Fn() -> C,
+{
+    let touched: Vec<u64> = {
+        let mut t: Vec<u64> = items.iter().map(|(a, _)| a.index()).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    };
+
+    let mut scalar = make();
+    for (addr, data) in items {
+        scalar.write(*addr, *data).expect("scalar write");
+    }
+    let (scalar_image, scalar_reads) = observe(&mut scalar, &touched);
+
+    let mut batch = make();
+    batch.write_batch(items).expect("batch write");
+    let (batch_image, batch_reads) = observe(&mut batch, &touched);
+
+    assert_eq!(
+        scalar_image.len(),
+        batch_image.len(),
+        "{label}: device sizes differ"
+    );
+    for (i, (s, b)) in scalar_image.iter().zip(&batch_image).enumerate() {
+        assert_eq!(s, b, "{label}: device block {i:#x} diverged");
+    }
+    assert_eq!(scalar_reads, batch_reads, "{label}: visible reads diverged");
+    assert_eq!(
+        scalar.total_cost().writes,
+        batch.total_cost().writes,
+        "{label}: write op counts diverged"
+    );
+}
+
+fn random_items(seed: u64, len: usize, addr_space: u64) -> Vec<(DataAddr, Block)> {
+    let mut rng = SplitMix64::new(seed);
+    (0..len)
+        .map(|_| {
+            (
+                DataAddr::new(rng.gen_range(0..addr_space)),
+                payload(rng.next_u64()),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn bonsai_batch_is_bit_identical_to_scalar() {
+    let cfg = AnubisConfig::small_test();
+    for scheme in [
+        BonsaiScheme::StrictPersist,
+        BonsaiScheme::Osiris,
+        BonsaiScheme::AgitRead,
+        BonsaiScheme::AgitPlus,
+        BonsaiScheme::CounterWriteThrough,
+        BonsaiScheme::LazyWriteBack,
+    ] {
+        for seed in [7u64, 42] {
+            let items = random_items(seed ^ scheme as u64, 96, 600);
+            assert_batch_matches_scalar(
+                || BonsaiController::new(scheme, &cfg),
+                &items,
+                scheme.name(),
+            );
+        }
+    }
+}
+
+#[test]
+fn sgx_batch_is_bit_identical_to_scalar() {
+    let cfg = AnubisConfig::small_test();
+    for scheme in [
+        SgxScheme::StrictPersist,
+        SgxScheme::EagerWriteBack,
+        SgxScheme::WriteBack,
+        SgxScheme::Asit,
+    ] {
+        for seed in [11u64, 29] {
+            let items = random_items(seed, 96, 600);
+            assert_batch_matches_scalar(|| SgxController::new(scheme, &cfg), &items, scheme.name());
+        }
+    }
+}
+
+/// Hammering one line past `MINOR_MAX` forces a page re-encryption in the
+/// middle of a grouped batch; the batch path must commit around it exactly
+/// like the scalar loop does.
+#[test]
+fn bonsai_batch_overflow_reencryption_matches_scalar() {
+    let cfg = AnubisConfig::small_test();
+    let items: Vec<(DataAddr, Block)> = (0..140u64)
+        .map(|i| (DataAddr::new(5), payload(i)))
+        .collect();
+    for scheme in [BonsaiScheme::AgitPlus, BonsaiScheme::Osiris] {
+        assert_batch_matches_scalar(
+            || BonsaiController::new(scheme, &cfg),
+            &items,
+            scheme.name(),
+        );
+    }
+}
+
+/// The trait's default `write_batch` is the scalar loop itself — sanity
+/// check it compiles and agrees through the dyn-compatible surface.
+#[test]
+fn default_write_batch_is_the_scalar_loop() {
+    let cfg = AnubisConfig::small_test();
+    let items = random_items(3, 24, 100);
+    let touched: Vec<u64> = {
+        let mut t: Vec<u64> = items.iter().map(|(a, _)| a.index()).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    };
+
+    struct ScalarOnly<C: MemoryController>(C);
+    // Forward everything except write_batch, which stays the default.
+    impl<C: MemoryController> MemoryController for ScalarOnly<C> {
+        type Backend = C::Backend;
+        fn scheme_name(&self) -> &'static str {
+            self.0.scheme_name()
+        }
+        fn read(&mut self, addr: DataAddr) -> Result<Block, anubis::MemError> {
+            self.0.read(addr)
+        }
+        fn write(&mut self, addr: DataAddr, data: Block) -> Result<(), anubis::MemError> {
+            self.0.write(addr, data)
+        }
+        fn crash(&mut self) {
+            self.0.crash()
+        }
+        fn recover(&mut self) -> Result<anubis::RecoveryReport, anubis::RecoveryError> {
+            self.0.recover()
+        }
+        fn shutdown_flush(&mut self) -> Result<(), anubis::MemError> {
+            self.0.shutdown_flush()
+        }
+        fn domain(&self) -> &anubis_nvm::PersistenceDomain<Self::Backend> {
+            self.0.domain()
+        }
+        fn domain_mut(&mut self) -> &mut anubis_nvm::PersistenceDomain<Self::Backend> {
+            self.0.domain_mut()
+        }
+        fn last_cost(&self) -> anubis::OpCost {
+            self.0.last_cost()
+        }
+        fn total_cost(&self) -> &anubis::CostAccum {
+            self.0.total_cost()
+        }
+        fn reset_costs(&mut self) {
+            self.0.reset_costs()
+        }
+    }
+
+    let mut scalar = BonsaiController::new(BonsaiScheme::AgitPlus, &cfg);
+    for (addr, data) in &items {
+        scalar.write(*addr, *data).expect("scalar write");
+    }
+    let (scalar_image, scalar_reads) = observe(&mut scalar, &touched);
+
+    let mut dflt = ScalarOnly(BonsaiController::new(BonsaiScheme::AgitPlus, &cfg));
+    dflt.write_batch(&items).expect("default write_batch");
+    let (dflt_image, dflt_reads) = observe(&mut dflt, &touched);
+
+    assert_eq!(scalar_image, dflt_image);
+    assert_eq!(scalar_reads, dflt_reads);
+}
