@@ -489,6 +489,20 @@ impl<B: NvmBackend> BonsaiController<B> {
         if let Some(rate) = tree.hit_rate() {
             t.gauge_set("cache_hit_rate", "tree", rate);
         }
+        t.counter_set("cache_hits_total", "mac", self.mac_cache.hits());
+        t.counter_set("cache_misses_total", "mac", self.mac_cache.misses());
+        let quarantine = self.domain.device().quarantine_table();
+        t.gauge_set("quarantined_blocks", scheme, quarantine.len() as f64);
+        t.gauge_set(
+            "quarantine_spares_left",
+            scheme,
+            quarantine.spares_left() as f64,
+        );
+        t.counter_set(
+            "quarantine_lost_lines_total",
+            scheme,
+            quarantine.lost_lines(),
+        );
         t.gauge_set("wpq_occupancy", scheme, self.domain.wpq_occupancy() as f64);
         t.gauge_set("wpq_capacity", scheme, self.domain.wpq_capacity() as f64);
     }

@@ -113,8 +113,21 @@ impl Default for DrillSpec {
 /// environmental error the caller should surface), never a panic.
 #[derive(Debug)]
 pub enum DrillError {
-    /// Filesystem or process-control failure in the harness itself.
-    Io(std::io::Error),
+    /// Filesystem or process-control failure in the harness itself,
+    /// annotated with the operation that failed and the path involved.
+    Io {
+        /// What the harness was doing (e.g. `"spawn child"`).
+        op: &'static str,
+        /// The file or executable the operation targeted.
+        path: PathBuf,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// The child process was handed a malformed command line.
+    BadChildArg {
+        /// Which argument was missing or unparseable.
+        what: &'static str,
+    },
     /// The device image failed to open or replay.
     Nvm(NvmError),
     /// The child process exited with a failure *before* being killed —
@@ -177,7 +190,14 @@ pub enum DrillError {
 impl std::fmt::Display for DrillError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DrillError::Io(e) => write!(f, "drill harness I/O error: {e}"),
+            DrillError::Io { op, path, source } => write!(
+                f,
+                "drill harness I/O error: {op} {}: {source}",
+                path.display()
+            ),
+            DrillError::BadChildArg { what } => {
+                write!(f, "drill child: bad argument: {what}")
+            }
             DrillError::Nvm(e) => write!(f, "device image error: {e}"),
             DrillError::Child { code: Some(c) } => {
                 write!(f, "child failed before kill (exit code {c})")
@@ -222,11 +242,24 @@ impl std::fmt::Display for DrillError {
     }
 }
 
-impl std::error::Error for DrillError {}
+impl std::error::Error for DrillError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DrillError::Io { source, .. } => Some(source),
+            DrillError::Point { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
-impl From<std::io::Error> for DrillError {
-    fn from(e: std::io::Error) -> Self {
-        DrillError::Io(e)
+/// Builds a [`DrillError::Io`] mapper that stamps `op` and `path` onto a
+/// raw I/O error. There is deliberately no blanket `From<std::io::Error>`:
+/// every call site must say what it was doing and to which file.
+fn io_ctx<'a>(op: &'static str, path: &'a Path) -> impl FnOnce(std::io::Error) -> DrillError + 'a {
+    move |source| DrillError::Io {
+        op,
+        path: path.to_path_buf(),
+        source,
     }
 }
 
@@ -408,7 +441,7 @@ fn serve<C: Supervised>(
     script: &[ScriptOp],
 ) -> Result<(), DrillError> {
     recover_reopened(&mut ctrl, hint.as_ref(), 1)?;
-    let mut log = AckWriter::create(ack)?;
+    let mut log = AckWriter::create(ack).map_err(io_ctx("create ack log", ack))?;
     for (i, &(is_write, addr)) in script.iter().enumerate() {
         if is_write {
             ctrl.write(DataAddr::new(addr), op_payload(i as u64, addr))
@@ -416,7 +449,8 @@ fn serve<C: Supervised>(
                     op_index: i as u64,
                     err,
                 })?;
-            log.append(i as u64, addr)?;
+            log.append(i as u64, addr)
+                .map_err(io_ctx("append ack record to", ack))?;
         } else {
             ctrl.read(DataAddr::new(addr))
                 .map_err(|err| DrillError::Serve {
@@ -434,14 +468,9 @@ fn serve<C: Supervised>(
 /// # Errors
 ///
 /// Any [`DrillError`] from opening the image, recovering, or serving;
-/// also a harness I/O error for a malformed command line.
+/// [`DrillError::BadChildArg`] for a malformed command line.
 pub fn child_main(args: &[String]) -> Result<(), DrillError> {
-    let bad = |what: &str| {
-        DrillError::Io(std::io::Error::new(
-            std::io::ErrorKind::InvalidInput,
-            format!("drill child: bad argument: {what}"),
-        ))
-    };
+    let bad = |what: &'static str| DrillError::BadChildArg { what };
     let family = args
         .first()
         .and_then(|s| DrillFamily::parse(s))
@@ -600,7 +629,7 @@ pub fn verify_dead_image(
     let mut reference: Option<(u64, String, bool)> = None;
     for &l in lanes {
         let copy = image.with_extension(format!("lane{l}.wal"));
-        fs::copy(image, &copy)?;
+        fs::copy(image, &copy).map_err(io_ctx("copy image to", &copy))?;
         let result = verify_image(family, &copy, l, &expected, inflight);
         let _ = fs::remove_file(&copy);
         let (fp, outcome, observed) = result?;
@@ -636,7 +665,7 @@ pub fn run_point(
     dir: &Path,
     kill_after_acks: u64,
 ) -> Result<PointOutcome, DrillError> {
-    fs::create_dir_all(dir)?;
+    fs::create_dir_all(dir).map_err(io_ctx("create scratch dir", dir))?;
     let image = dir.join("image.wal");
     let ack = dir.join("acks.bin");
     for stale in [&image, &ack] {
@@ -652,13 +681,14 @@ pub fn run_point(
         .arg(spec.seed.to_string())
         .stdin(Stdio::null())
         .stdout(Stdio::null())
-        .spawn()?;
+        .spawn()
+        .map_err(io_ctx("spawn child", exe))?;
 
     let started = Instant::now();
     let threshold = kill_after_acks.saturating_mul(ACK_RECORD_BYTES as u64);
     let mut completed = false;
     loop {
-        if let Some(status) = child.try_wait()? {
+        if let Some(status) = child.try_wait().map_err(io_ctx("poll child", exe))? {
             if !status.success() {
                 return Err(DrillError::Child {
                     code: status.code(),
@@ -669,19 +699,19 @@ pub fn run_point(
         }
         let acked_bytes = fs::metadata(&ack).map(|m| m.len()).unwrap_or(0);
         if acked_bytes >= threshold {
-            child.kill()?;
-            child.wait()?;
+            child.kill().map_err(io_ctx("kill child", exe))?;
+            child.wait().map_err(io_ctx("wait for child", exe))?;
             break;
         }
         if started.elapsed() > CHILD_TIMEOUT {
-            child.kill()?;
-            child.wait()?;
+            child.kill().map_err(io_ctx("kill child", exe))?;
+            child.wait().map_err(io_ctx("wait for child", exe))?;
             return Err(DrillError::Hung);
         }
         std::thread::sleep(Duration::from_micros(200));
     }
 
-    let acked = read_ack_log(&ack)?;
+    let acked = read_ack_log(&ack).map_err(io_ctx("read ack log", &ack))?;
     let script = drill_script(spec.script_len, spec.lines, spec.seed);
     let (fingerprint, outcome, inflight_observed) =
         verify_dead_image(family, &image, &spec.lanes, &acked, &script)?;

@@ -39,6 +39,7 @@ mod engine;
 mod report;
 mod timing;
 
+pub mod chaos;
 pub mod drill;
 pub mod experiments;
 pub mod fault;

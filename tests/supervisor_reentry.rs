@@ -13,7 +13,7 @@ use anubis::{
     AnubisConfig, BonsaiController, BonsaiScheme, DataAddr, RecoveryOutcome, SgxController,
     SgxScheme, Supervised, Supervisor,
 };
-use anubis_nvm::{Block, FaultPlan, SplitMix64};
+use anubis_nvm::{Block, FaultPlan, MemBackend, SplitMix64};
 use std::collections::BTreeMap;
 
 const TRIALS: u64 = 8;
@@ -48,7 +48,7 @@ fn addrs(seed: u64) -> Vec<u64> {
 /// Runs the script with `plan` armed; returns the acknowledged-write
 /// model and the one in-flight (unacknowledged) write, if any.
 #[allow(clippy::type_complexity)]
-fn run_faulted<C: Supervised>(
+fn run_faulted<C: Supervised + ?Sized>(
     ctrl: &mut C,
     script: &[u64],
     plan: FaultPlan,
@@ -75,7 +75,7 @@ fn run_faulted<C: Supervised>(
 
 /// Every acknowledged write must read back as its committed value, the
 /// in-flight value, or an explicit zero on a quarantined line.
-fn check_model<C: Supervised>(
+fn check_model<C: Supervised + ?Sized>(
     ctrl: &mut C,
     model: &BTreeMap<u64, Block>,
     attempted: Option<(u64, Block)>,
@@ -161,6 +161,89 @@ where
             "{ctx}: clean re-recovery must be a fixpoint"
         );
         check_model(&mut ctrl, &model, attempted, &ctx);
+    }
+}
+
+/// One shared supervisor driving ladders over *distinct* persistence
+/// domains concurrently: each thread owns a controller of a different
+/// family/scheme mix, takes a mid-workload fault, crashes, then all
+/// threads release at a barrier and recover at the same time. The
+/// supervisor holds no per-domain state, so concurrent ladders must
+/// neither interfere nor deadlock, and each domain must independently
+/// honor the acknowledged-write contract and reach the clean fixpoint.
+#[test]
+fn supervisor_recovers_distinct_domains_concurrently() {
+    use std::sync::{Arc, Barrier};
+
+    const THREADS: usize = 6;
+    let supervisor = Arc::new(Supervisor::new().with_lanes(2).with_max_retries(2));
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let supervisor = Arc::clone(&supervisor);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let trial_seed = 0xC0_FFEE ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let mut rng = SplitMix64::new(trial_seed);
+                let script = addrs(trial_seed);
+                let ctx = format!("concurrent domain {t}");
+
+                // Each thread's controller is its own persistence domain;
+                // families alternate so both ladder shapes run at once.
+                let make = |which: usize| -> Box<dyn Supervised<Backend = MemBackend>> {
+                    match which % 3 {
+                        0 => Box::new(BonsaiController::new(BonsaiScheme::AgitPlus, &config())),
+                        1 => Box::new(BonsaiController::new(BonsaiScheme::Osiris, &config())),
+                        _ => Box::new(SgxController::new(SgxScheme::Asit, &config())),
+                    }
+                };
+
+                let total = {
+                    let mut dry = make(t);
+                    for (i, &addr) in script.iter().enumerate() {
+                        dry.write(DataAddr::new(addr), payload(i as u64, addr))
+                            .unwrap_or_else(|e| panic!("{ctx}: dry write {i} failed: {e}"));
+                    }
+                    dry.domain().persist_writes()
+                };
+                let k = rng.next_u64() % total.max(1);
+                let plan = if t % 2 == 0 {
+                    FaultPlan::power_cut_after(k)
+                } else {
+                    let n = 1 + (rng.next_u64() % 3) as usize;
+                    let bits = (0..n).map(|_| (rng.next_u64() % 512) as usize).collect();
+                    FaultPlan::bit_flip_after(k, bits)
+                };
+
+                let mut ctrl = make(t);
+                let (model, attempted) = run_faulted(&mut *ctrl, &script, plan);
+                ctrl.crash();
+
+                // Everyone crashes first, then everyone recovers at once.
+                barrier.wait();
+                supervisor
+                    .recover(&mut *ctrl)
+                    .unwrap_or_else(|e| panic!("{ctx}: concurrent recovery failed: {e}"));
+                check_model(&mut *ctrl, &model, attempted, &ctx);
+
+                ctrl.crash();
+                barrier.wait();
+                let again = supervisor
+                    .recover(&mut *ctrl)
+                    .unwrap_or_else(|e| panic!("{ctx}: clean re-recovery failed: {e}"));
+                assert_eq!(
+                    again.outcome,
+                    RecoveryOutcome::Recovered,
+                    "{ctx}: clean concurrent re-recovery must be a fixpoint"
+                );
+                check_model(&mut *ctrl, &model, attempted, &ctx);
+            })
+        })
+        .collect();
+
+    for h in handles {
+        h.join().expect("concurrent recovery thread panicked");
     }
 }
 
