@@ -182,12 +182,16 @@ fn bench_scheme(
         (
             "sharded_sim_totals",
             Json::obj(vec![
-                ("total_ns", Json::Num(inline_result.merged.total_ns)),
+                ("total_ns", Json::Int(inline_result.merged.total_ns)),
                 ("nvm_reads", Json::Int(inline_result.merged.nvm_reads)),
                 ("nvm_writes", Json::Int(inline_result.merged.nvm_writes)),
                 (
                     "writes_per_data_write",
                     Json::Num(inline_result.merged.writes_per_data_write),
+                ),
+                (
+                    "latency_p99_ns",
+                    Json::Int(inline_result.merged.latency.p99_ns),
                 ),
             ]),
         ),

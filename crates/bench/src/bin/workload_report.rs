@@ -25,12 +25,15 @@ fn main() {
         "ctr$ hit %".into(),
         "tree$ hit %".into(),
         "clean-ev %".into(),
+        "p50 ns".into(),
+        "p95 ns".into(),
+        "p99 ns".into(),
     ]);
     for spec in spec2006::all() {
         let trace = TraceGenerator::new(spec.clone(), config.capacity_bytes)
             .generate(scale.ops, scale.seed);
         let mut ctrl = BonsaiController::new(BonsaiScheme::WriteBack, &config);
-        run_trace(&mut ctrl, &trace, &TimingModel::paper()).expect("replay");
+        let result = run_trace(&mut ctrl, &trace, &TimingModel::paper()).expect("replay");
         let cs = ctrl.counter_cache_stats();
         let ts = ctrl.tree_cache_stats();
         table.row(vec![
@@ -44,8 +47,16 @@ fn main() {
             format!("{:.1}", cs.hit_rate().unwrap_or(0.0) * 100.0),
             format!("{:.1}", ts.hit_rate().unwrap_or(0.0) * 100.0),
             format!("{:.1}", cs.clean_eviction_fraction().unwrap_or(0.0) * 100.0),
+            result.latency.p50_ns.to_string(),
+            result.latency.p95_ns.to_string(),
+            result.latency.p99_ns.to_string(),
         ]);
     }
     println!("{table}");
+    println!(
+        "Latency columns are per-op simulated ns on the write-back baseline;\n\
+         the p99/p50 spread shows how much queueing each profile induces\n\
+         beyond its mean (bench_latency breaks this down per scheme)."
+    );
     anubis_bench::telemetry::finish(&telemetry, std::path::Path::new("."), "workload_report");
 }

@@ -551,14 +551,6 @@ fn verify_tenant(
     Ok((verified, inflight_hits))
 }
 
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
 /// Runs one campaign point; see the module docs for the sequence.
 #[allow(clippy::too_many_lines)]
 fn run_point(
@@ -714,8 +706,8 @@ pub fn run_chaos_campaign(
         verified_total: outcomes.iter().map(|o| o.verified_addrs).sum(),
         completed_runs: outcomes.iter().filter(|o| o.completed).count() as u64,
         inflight_tolerated: outcomes.iter().map(|o| o.inflight_tolerated).sum(),
-        tth_p50_ms: percentile(&tth, 0.50),
-        tth_p95_ms: percentile(&tth, 0.95),
+        tth_p50_ms: anubis::telemetry::percentile_of_sorted(&tth, 0.50),
+        tth_p95_ms: anubis::telemetry::percentile_of_sorted(&tth, 0.95),
         fault_counts: fault_counts.into_iter().collect(),
         kill_range: if kill_lo == u64::MAX {
             (0, 0)

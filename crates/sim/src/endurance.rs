@@ -38,10 +38,10 @@ impl EnduranceModel {
     /// per simulated nanosecond) is assumed to continue forever and to be
     /// spread uniformly (ideal wear-leveling — an upper bound).
     pub fn ideal_lifetime_years(&self, result: &RunResult, capacity_blocks: u64) -> f64 {
-        if result.total_ns <= 0.0 || result.nvm_writes == 0 {
+        if result.total_ns == 0 || result.nvm_writes == 0 {
             return f64::INFINITY;
         }
-        let writes_per_ns = result.nvm_writes as f64 / result.total_ns;
+        let writes_per_ns = result.nvm_writes as f64 / result.total_ns as f64;
         let total_budget = self.cell_endurance * capacity_blocks as f64;
         let ns = total_budget / writes_per_ns;
         ns / 1e9 / 3600.0 / 24.0 / 365.25
@@ -49,11 +49,11 @@ impl EnduranceModel {
 
     /// Worst-case lifetime in years with **no** wear-leveling: the
     /// hottest block (max single-block wear over the run) dies first.
-    pub fn unleveled_lifetime_years(&self, max_wear: u64, total_ns: f64) -> f64 {
-        if total_ns <= 0.0 || max_wear == 0 {
+    pub fn unleveled_lifetime_years(&self, max_wear: u64, total_ns: u64) -> f64 {
+        if total_ns == 0 || max_wear == 0 {
             return f64::INFINITY;
         }
-        let wear_per_ns = max_wear as f64 / total_ns;
+        let wear_per_ns = max_wear as f64 / total_ns as f64;
         let ns = self.cell_endurance / wear_per_ns;
         ns / 1e9 / 3600.0 / 24.0 / 365.25
     }
@@ -77,27 +77,28 @@ impl Default for EnduranceModel {
 mod tests {
     use super::*;
 
-    fn result(writes: u64, reads: u64, total_ns: f64) -> RunResult {
+    fn result(writes: u64, reads: u64, total_ns: u64) -> RunResult {
         RunResult {
             scheme: "test",
             workload: "w".into(),
             total_ns,
-            read_stall_ns: 0.0,
-            write_stall_ns: 0.0,
+            read_stall_ns: 0,
+            write_stall_ns: 0,
             ops: 100,
             nvm_reads: reads,
             nvm_writes: writes,
             writes_per_data_write: 1.0,
-            busy_ns: 0.0,
+            busy_ns: 0,
             channel_time_ns: total_ns,
+            latency: crate::engine::LatencySummary::default(),
         }
     }
 
     #[test]
     fn more_writes_mean_shorter_life() {
         let m = EnduranceModel::pcm();
-        let light = m.ideal_lifetime_years(&result(1_000, 0, 1e9), 1 << 20);
-        let heavy = m.ideal_lifetime_years(&result(10_000, 0, 1e9), 1 << 20);
+        let light = m.ideal_lifetime_years(&result(1_000, 0, 1_000_000_000), 1 << 20);
+        let heavy = m.ideal_lifetime_years(&result(10_000, 0, 1_000_000_000), 1 << 20);
         assert!(light > heavy);
         assert!((light / heavy - 10.0).abs() < 1e-6);
     }
@@ -106,25 +107,25 @@ mod tests {
     fn zero_writes_live_forever() {
         let m = EnduranceModel::pcm();
         assert!(m
-            .ideal_lifetime_years(&result(0, 5, 1e9), 1024)
+            .ideal_lifetime_years(&result(0, 5, 1_000_000_000), 1024)
             .is_infinite());
-        assert!(m.unleveled_lifetime_years(0, 1e9).is_infinite());
+        assert!(m.unleveled_lifetime_years(0, 1_000_000_000).is_infinite());
     }
 
     #[test]
     fn unleveled_is_shorter_than_ideal_for_hot_blocks() {
         let m = EnduranceModel::pcm();
         // 1000 writes total but one block took 500 of them.
-        let ideal = m.ideal_lifetime_years(&result(1_000, 0, 1e9), 1 << 20);
-        let unleveled = m.unleveled_lifetime_years(500, 1e9);
+        let ideal = m.ideal_lifetime_years(&result(1_000, 0, 1_000_000_000), 1 << 20);
+        let unleveled = m.unleveled_lifetime_years(500, 1_000_000_000);
         assert!(unleveled < ideal);
     }
 
     #[test]
     fn energy_scales_with_traffic() {
         let m = EnduranceModel::pcm();
-        let e1 = m.energy_mj(&result(100, 100, 1e9), 50);
-        let e2 = m.energy_mj(&result(200, 200, 1e9), 100);
+        let e1 = m.energy_mj(&result(100, 100, 1_000_000_000), 50);
+        let e2 = m.energy_mj(&result(200, 200, 1_000_000_000), 100);
         assert!((e2 / e1 - 2.0).abs() < 1e-9);
         assert!(e1 > 0.0);
     }

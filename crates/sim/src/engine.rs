@@ -1,11 +1,61 @@
 //! Trace replay over a memory controller with timing accounting.
 
 use crate::timing::{Channel, ChannelStats, TimingModel};
-use anubis::telemetry::{Snapshot, Telemetry};
+use anubis::telemetry::{percentile_of_sorted, Snapshot, Telemetry};
 use anubis::{parallel, CostAccum, DataAddr, MemError, MemoryController, LINES_PER_COUNTER_BLOCK};
 use anubis_workloads::{MemOp, OpKind, Trace};
 
+/// Telemetry histogram fed one observation per trace op: the op's
+/// end-to-end critical-path latency in nanoseconds.
+pub const OP_LATENCY_METRIC: &str = "op_latency_ns";
+
+/// Tail summary of the per-op latency stream from one replay.
+///
+/// Percentiles use the shared nearest-rank convention
+/// ([`percentile_of_sorted`]): the reported value is always an observed
+/// latency, never an interpolation. All fields are deterministic
+/// (simulated time) and bit-identical across lane counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Number of ops summarized.
+    pub count: u64,
+    /// Mean op latency (ns).
+    pub mean_ns: f64,
+    /// Median op latency (ns).
+    pub p50_ns: u64,
+    /// 95th-percentile op latency (ns).
+    pub p95_ns: u64,
+    /// 99th-percentile op latency (ns).
+    pub p99_ns: u64,
+    /// Worst op latency (ns).
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a latency stream (order does not matter).
+    pub fn of(latencies: &[u64]) -> Self {
+        if latencies.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_unstable();
+        let sum: u64 = sorted.iter().sum();
+        LatencySummary {
+            count: sorted.len() as u64,
+            mean_ns: sum as f64 / sorted.len() as f64,
+            p50_ns: percentile_of_sorted(&sorted, 0.50),
+            p95_ns: percentile_of_sorted(&sorted, 0.95),
+            p99_ns: percentile_of_sorted(&sorted, 0.99),
+            max_ns: sorted[sorted.len() - 1],
+        }
+    }
+}
+
 /// The outcome of replaying one trace on one controller.
+///
+/// All clock fields are integer nanoseconds: the discrete-event engine
+/// never accumulates floating point, so identical replays — at any lane
+/// count — produce bit-identical results.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunResult {
     /// Scheme name (from the controller).
@@ -13,11 +63,11 @@ pub struct RunResult {
     /// Workload name (from the trace).
     pub workload: String,
     /// Simulated wall-clock time for the whole trace (ns).
-    pub total_ns: f64,
+    pub total_ns: u64,
     /// Time the CPU stalled waiting on reads (ns).
-    pub read_stall_ns: f64,
+    pub read_stall_ns: u64,
     /// Time the CPU stalled on write-queue back-pressure (ns).
-    pub write_stall_ns: f64,
+    pub write_stall_ns: u64,
     /// Number of trace operations executed.
     pub ops: usize,
     /// Total NVM block reads issued by the controller.
@@ -26,34 +76,44 @@ pub struct RunResult {
     pub nvm_writes: u64,
     /// NVM writes per data write (endurance metric).
     pub writes_per_data_write: f64,
-    /// Channel transfer occupancy, summed across channels (ns).
-    pub busy_ns: f64,
-    /// Total channel-time, summed across channels (ns); each channel
-    /// contributes its own wall clock, so idle shards add nothing.
-    pub channel_time_ns: f64,
+    /// Total bank occupancy, summed across channels (ns).
+    pub busy_ns: u64,
+    /// Total bank-time, summed across channels (ns); each channel
+    /// contributes `wall clock × banks`, so idle shards add nothing.
+    pub channel_time_ns: u64,
+    /// Tail summary of the per-op latency stream. The mean alone hides
+    /// the cost of metadata write bursts — schemes with similar means
+    /// can differ several-fold at p99 (see DESIGN.md §13).
+    pub latency: LatencySummary,
 }
 
 impl RunResult {
     /// Execution time normalized to a baseline result (> 1 means slower).
     pub fn normalized_to(&self, baseline: &RunResult) -> f64 {
-        self.total_ns / baseline.total_ns
+        self.total_ns as f64 / baseline.total_ns as f64
     }
 
-    /// Fraction of channel-time spent transferring, in `[0, 1]`.
-    /// Invariant under sharding: a trace confined to one shard reports
-    /// the same utilization at `shards == 1` and `shards == N` (idle
-    /// shards contribute zero to both numerator and denominator).
+    /// Fraction of bank-time spent transferring, in `[0, 1]`; exactly
+    /// `0.0` for an empty trace (no NaN). Invariant under sharding: a
+    /// trace confined to one shard reports the same utilization at
+    /// `shards == 1` and `shards == N` (idle shards contribute zero to
+    /// both numerator and denominator).
     pub fn utilization(&self) -> f64 {
-        if self.channel_time_ns <= 0.0 {
+        if self.channel_time_ns == 0 {
             0.0
         } else {
-            (self.busy_ns / self.channel_time_ns).clamp(0.0, 1.0)
+            (self.busy_ns as f64 / self.channel_time_ns as f64).clamp(0.0, 1.0)
         }
     }
 }
 
 /// Replays `trace` through `controller`, feeding every op's
-/// [`anubis::OpCost`] into the timing model.
+/// [`anubis::OpCost`] into the discrete-event channel.
+///
+/// Per-op latencies stream into the [`OP_LATENCY_METRIC`] histogram of
+/// the process-global telemetry registry (when enabled) and are
+/// summarized in [`RunResult::latency`]; use [`run_trace_latencies`] to
+/// get the raw stream.
 ///
 /// # Errors
 ///
@@ -65,10 +125,38 @@ pub fn run_trace<C: MemoryController>(
     trace: &Trace,
     model: &TimingModel,
 ) -> Result<RunResult, MemError> {
-    let mut channel = Channel::default();
-    replay_ops(controller, trace.ops(), &mut channel, model)?;
+    run_trace_latencies(controller, trace, model).map(|(result, _)| result)
+}
+
+/// [`run_trace`] returning the raw per-op latency stream (trace order)
+/// alongside the result.
+///
+/// # Errors
+///
+/// Same as [`run_trace`].
+pub fn run_trace_latencies<C: MemoryController>(
+    controller: &mut C,
+    trace: &Trace,
+    model: &TimingModel,
+) -> Result<(RunResult, Vec<u64>), MemError> {
+    let mut channel = Channel::new(model);
+    let mut latencies = Vec::with_capacity(trace.len());
+    replay_ops(
+        controller,
+        trace.ops(),
+        &mut channel,
+        &mut latencies,
+        &Telemetry::global(),
+    )?;
     controller.publish_telemetry();
-    Ok(result_of(controller, trace, &ChannelStats::of(&channel)))
+    channel.drain();
+    let result = result_of(
+        controller,
+        trace,
+        &ChannelStats::of(&channel),
+        LatencySummary::of(&latencies),
+    );
+    Ok((result, latencies))
 }
 
 /// Distills a finished channel + controller into a [`RunResult`].
@@ -76,6 +164,7 @@ fn result_of<C: MemoryController>(
     controller: &C,
     trace: &Trace,
     stats: &ChannelStats,
+    latency: LatencySummary,
 ) -> RunResult {
     let totals = *controller.total_cost();
     RunResult {
@@ -90,6 +179,7 @@ fn result_of<C: MemoryController>(
         writes_per_data_write: totals.writes_per_data_write().unwrap_or(0.0),
         busy_ns: stats.busy_ns,
         channel_time_ns: stats.channel_time_ns,
+        latency,
     }
 }
 
@@ -99,6 +189,11 @@ fn result_of<C: MemoryController>(
 /// from `telemetry`. Returns the run result plus the epoch snapshots in
 /// order (one final snapshot covers the tail even when the trace length
 /// is not a multiple of `epoch_ops`).
+///
+/// Epoch snapshots include the [`OP_LATENCY_METRIC`] histogram, so the
+/// JSONL export carries p50/p95/p99 per epoch. Mid-run channel gauges
+/// (`sim_now_ns`, `sim_utilization`) are computed on a drained *clone*
+/// of the channel — the live backlog is untouched.
 ///
 /// When telemetry is disabled the snapshot list comes back empty and the
 /// replay costs the same as [`run_trace`].
@@ -113,43 +208,54 @@ pub fn run_trace_with_epochs<C: MemoryController>(
     epoch_ops: usize,
     telemetry: &Telemetry,
 ) -> Result<(RunResult, Vec<Snapshot>), MemError> {
-    let mut channel = Channel::default();
+    let mut channel = Channel::new(model);
+    let mut latencies = Vec::with_capacity(trace.len());
     let mut snapshots = Vec::new();
     let epoch = epoch_ops.max(1);
     let mut done: u64 = 0;
     for chunk in trace.ops().chunks(epoch) {
-        replay_ops(controller, chunk, &mut channel, model)?;
+        replay_ops(controller, chunk, &mut channel, &mut latencies, telemetry)?;
         done += chunk.len() as u64;
         if telemetry.enabled() {
             controller.publish_telemetry();
+            let stats = channel.drained_stats();
             telemetry.counter_set("sim_ops_total", controller.scheme_name(), done);
-            telemetry.gauge_set("sim_now_ns", controller.scheme_name(), channel.now);
+            telemetry.gauge_set("sim_now_ns", controller.scheme_name(), channel.now as f64);
             telemetry.gauge_set(
                 "sim_utilization",
                 controller.scheme_name(),
-                ChannelStats::of(&channel).utilization(),
+                stats.utilization(),
             );
             if let Some(snap) = telemetry.take_snapshot() {
                 snapshots.push(snap);
             }
         }
     }
+    channel.drain();
     Ok((
-        result_of(controller, trace, &ChannelStats::of(&channel)),
+        result_of(
+            controller,
+            trace,
+            &ChannelStats::of(&channel),
+            LatencySummary::of(&latencies),
+        ),
         snapshots,
     ))
 }
 
 /// The shared op loop: drives `ops` through `controller`, feeding every
-/// cost into `channel`.
+/// cost into `channel`, recording each op's end-to-end latency into
+/// `latencies` and the [`OP_LATENCY_METRIC`] histogram.
 fn replay_ops<C: MemoryController>(
     controller: &mut C,
     ops: &[MemOp],
     channel: &mut Channel,
-    model: &TimingModel,
+    latencies: &mut Vec<u64>,
+    telemetry: &Telemetry,
 ) -> Result<(), MemError> {
+    let record = telemetry.enabled();
     for op in ops {
-        channel.advance(op.gap_ns as f64);
+        channel.advance(u64::from(op.gap_ns));
         match op.kind {
             OpKind::Read => {
                 controller.read(DataAddr::new(op.addr.index()))?;
@@ -162,7 +268,11 @@ fn replay_ops<C: MemoryController>(
                 controller.write(DataAddr::new(op.addr.index()), block)?;
             }
         }
-        channel.execute(controller.last_cost(), model);
+        let latency = channel.execute(controller.last_cost());
+        latencies.push(latency);
+        if record {
+            telemetry.observe(OP_LATENCY_METRIC, controller.scheme_name(), latency as f64);
+        }
     }
     Ok(())
 }
@@ -173,7 +283,8 @@ fn replay_ops<C: MemoryController>(
 pub struct ShardedRunResult {
     /// Merged statistics across shards: wall clock is the slowest shard
     /// (shards model independent channels running concurrently), stall
-    /// time and NVM traffic are summed.
+    /// time and NVM traffic are summed, and the latency summary covers
+    /// every op across all shards.
     pub merged: RunResult,
     /// Number of address shards (= controllers = channels).
     pub shards: usize,
@@ -181,7 +292,11 @@ pub struct ShardedRunResult {
     /// reported number — only how much host parallelism the replay used.
     pub lanes: usize,
     /// Per-shard wall clock (ns), in shard order.
-    pub shard_ns: Vec<f64>,
+    pub shard_ns: Vec<u64>,
+    /// Per-op latency streams concatenated in shard order (within a
+    /// shard: that shard's sub-trace order). Deterministic and
+    /// lane-count invariant.
+    pub latencies: Vec<u64>,
 }
 
 /// Maps a data-block index to its address shard: counter-block-granular
@@ -197,9 +312,10 @@ pub fn shard_of(block_index: u64, shards: usize) -> usize {
 /// scoped threads ([`anubis::parallel`]).
 ///
 /// Each shard sees its sub-trace in original program order, so per-shard
-/// results are deterministic; the merge runs in shard order, so the
-/// outcome is bit-identical for any `lanes` value (including the inline
-/// `lanes == 1` path). With `shards == 1` this is exactly [`run_trace`].
+/// results are deterministic; the merge runs in shard order over integer
+/// nanoseconds, so the outcome is bit-identical for any `lanes` value
+/// (including the inline `lanes == 1` path). With `shards == 1` this is
+/// exactly [`run_trace`].
 ///
 /// # Errors
 ///
@@ -215,6 +331,36 @@ where
     C: MemoryController,
     F: Fn(usize) -> C + Sync,
 {
+    run_trace_sharded_with_telemetry(
+        make_controller,
+        trace,
+        model,
+        shards,
+        lanes,
+        &Telemetry::global(),
+    )
+}
+
+/// [`run_trace_sharded`] recording per-op latencies into an explicit
+/// telemetry handle instead of the process-global one — tests use this
+/// with private registries to prove histogram snapshots are lane-count
+/// invariant.
+///
+/// # Errors
+///
+/// Same as [`run_trace_sharded`].
+pub fn run_trace_sharded_with_telemetry<C, F>(
+    make_controller: F,
+    trace: &Trace,
+    model: &TimingModel,
+    shards: usize,
+    lanes: usize,
+    telemetry: &Telemetry,
+) -> Result<ShardedRunResult, MemError>
+where
+    C: MemoryController,
+    F: Fn(usize) -> C + Sync,
+{
     let shards = shards.max(1);
     let mut sub_traces: Vec<Vec<MemOp>> = vec![Vec::new(); shards];
     for op in trace.ops() {
@@ -225,22 +371,27 @@ where
         stats: ChannelStats,
         totals: CostAccum,
         scheme: &'static str,
+        latencies: Vec<u64>,
     }
     let outcomes: Vec<Result<ShardOutcome, MemError>> =
         parallel::map_range(lanes, shards as u64, |shard| {
             let mut controller = make_controller(shard as usize);
-            let mut channel = Channel::default();
+            let mut channel = Channel::new(model);
+            let mut latencies = Vec::with_capacity(sub_traces[shard as usize].len());
             replay_ops(
                 &mut controller,
                 &sub_traces[shard as usize],
                 &mut channel,
-                model,
+                &mut latencies,
+                telemetry,
             )?;
             controller.publish_telemetry();
+            channel.drain();
             Ok(ShardOutcome {
                 stats: ChannelStats::of(&channel),
                 totals: *controller.total_cost(),
                 scheme: controller.scheme_name(),
+                latencies,
             })
         });
 
@@ -248,6 +399,7 @@ where
     let mut totals = CostAccum::default();
     let mut scheme = "";
     let mut shard_ns = Vec::with_capacity(shards);
+    let mut latencies = Vec::with_capacity(trace.len());
     for outcome in outcomes {
         let o = outcome?;
         scheme = o.scheme;
@@ -259,6 +411,7 @@ where
         totals.nvm_writes += o.totals.nvm_writes;
         totals.hash_ops += o.totals.hash_ops;
         totals.bg_hash_ops += o.totals.bg_hash_ops;
+        latencies.extend_from_slice(&o.latencies);
     }
     Ok(ShardedRunResult {
         merged: RunResult {
@@ -273,10 +426,12 @@ where
             writes_per_data_write: totals.writes_per_data_write().unwrap_or(0.0),
             busy_ns: stats.busy_ns,
             channel_time_ns: stats.channel_time_ns,
+            latency: LatencySummary::of(&latencies),
         },
         shards,
         lanes,
         shard_ns,
+        latencies,
     })
 }
 
@@ -311,10 +466,25 @@ mod tests {
         let mut c = BonsaiController::new(BonsaiScheme::Osiris, &cfg);
         let r = run_trace(&mut c, &small_trace(500), &TimingModel::paper()).unwrap();
         assert_eq!(r.ops, 500);
-        assert!(r.total_ns > 0.0);
+        assert!(r.total_ns > 0);
         assert!(r.nvm_reads > 0);
         assert_eq!(r.scheme, "osiris");
         assert_eq!(r.workload, "omnetpp");
+        assert_eq!(r.latency.count, 500);
+        assert!(r.latency.p50_ns <= r.latency.p95_ns);
+        assert!(r.latency.p95_ns <= r.latency.p99_ns);
+        assert!(r.latency.p99_ns <= r.latency.max_ns);
+    }
+
+    #[test]
+    fn latency_stream_matches_summary() {
+        let cfg = AnubisConfig::small_test();
+        let mut c = BonsaiController::new(BonsaiScheme::AgitPlus, &cfg);
+        let (r, lats) =
+            run_trace_latencies(&mut c, &small_trace(400), &TimingModel::paper()).unwrap();
+        assert_eq!(lats.len(), 400);
+        assert_eq!(r.latency, LatencySummary::of(&lats));
+        assert_eq!(r.latency.max_ns, lats.iter().copied().max().unwrap());
     }
 
     #[test]
@@ -332,6 +502,14 @@ mod tests {
             s.total_ns,
             base.total_ns
         );
+        // The latency-distribution claim behind this PR: strict
+        // persistence hurts the tail at least as much as the mean.
+        assert!(
+            s.latency.p99_ns > base.latency.p99_ns,
+            "strict p99 {} vs wb p99 {}",
+            s.latency.p99_ns,
+            base.latency.p99_ns
+        );
     }
 
     #[test]
@@ -339,8 +517,30 @@ mod tests {
         let cfg = AnubisConfig::small_test();
         let mut c = SgxController::new(SgxScheme::Asit, &cfg);
         let r = run_trace(&mut c, &small_trace(500), &TimingModel::paper()).unwrap();
-        assert!(r.total_ns > 0.0);
+        assert!(r.total_ns > 0);
         assert!(r.writes_per_data_write >= 1.0);
+    }
+
+    #[test]
+    fn empty_trace_reports_zero_not_nan() {
+        let cfg = AnubisConfig::small_test();
+        let mut c = BonsaiController::new(BonsaiScheme::Osiris, &cfg);
+        let trace = Trace::new("empty", Vec::new());
+        let r = run_trace(&mut c, &trace, &TimingModel::paper()).unwrap();
+        assert_eq!(r.total_ns, 0);
+        assert_eq!(r.utilization(), 0.0);
+        assert_eq!(r.latency, LatencySummary::default());
+        assert!(r.utilization().is_finite());
+        let sharded = run_trace_sharded(
+            |_| BonsaiController::new(BonsaiScheme::Osiris, &cfg),
+            &trace,
+            &TimingModel::paper(),
+            4,
+            2,
+        )
+        .unwrap();
+        assert_eq!(sharded.merged.utilization(), 0.0);
+        assert!(sharded.merged.utilization().is_finite());
     }
 
     #[test]
@@ -349,7 +549,7 @@ mod tests {
         let trace = small_trace(800);
         let model = TimingModel::paper();
         let mut c = BonsaiController::new(BonsaiScheme::AgitPlus, &cfg);
-        let serial = run_trace(&mut c, &trace, &model).unwrap();
+        let (serial, serial_lats) = run_trace_latencies(&mut c, &trace, &model).unwrap();
         let sharded = run_trace_sharded(
             |_| BonsaiController::new(BonsaiScheme::AgitPlus, &cfg),
             &trace,
@@ -360,6 +560,7 @@ mod tests {
         .unwrap();
         assert_eq!(sharded.merged, serial);
         assert_eq!(sharded.shard_ns, vec![serial.total_ns]);
+        assert_eq!(sharded.latencies, serial_lats);
     }
 
     #[test]
@@ -382,7 +583,49 @@ mod tests {
             let threaded = run(lanes);
             assert_eq!(threaded.merged, inline.merged, "lanes={lanes}");
             assert_eq!(threaded.shard_ns, inline.shard_ns, "lanes={lanes}");
+            assert_eq!(threaded.latencies, inline.latencies, "lanes={lanes}");
         }
+    }
+
+    #[test]
+    fn one_vs_eight_shard_totals_of_a_confined_trace_are_bit_identical() {
+        // The f64 regression this PR fixes: with floating-point clocks,
+        // 8-shard merges accumulated in a different order than 1-shard
+        // replays and drifted by ULPs. On the integer engine a trace
+        // confined to one shard must produce *exactly* equal totals at
+        // any shard count — assert_eq on u64, no epsilon.
+        let cfg = AnubisConfig::small_test();
+        let ops: Vec<MemOp> = (0..700)
+            .map(|i| {
+                let addr = anubis_nvm::BlockAddr::new(i % LINES_PER_COUNTER_BLOCK);
+                if i % 3 == 0 {
+                    MemOp::read(addr, 15)
+                } else {
+                    MemOp::write(addr, 15)
+                }
+            })
+            .collect();
+        let trace = Trace::new("confined", ops);
+        let model = TimingModel::paper();
+        let run = |shards: usize| {
+            run_trace_sharded(
+                |_| BonsaiController::new(BonsaiScheme::AgitPlus, &cfg),
+                &trace,
+                &model,
+                shards,
+                1,
+            )
+            .unwrap()
+        };
+        let one = run(1);
+        let eight = run(8);
+        assert_eq!(one.merged.total_ns, eight.merged.total_ns);
+        assert_eq!(one.merged.read_stall_ns, eight.merged.read_stall_ns);
+        assert_eq!(one.merged.write_stall_ns, eight.merged.write_stall_ns);
+        assert_eq!(one.merged.busy_ns, eight.merged.busy_ns);
+        assert_eq!(one.merged.channel_time_ns, eight.merged.channel_time_ns);
+        assert_eq!(one.merged.latency, eight.merged.latency);
+        assert_eq!(one.latencies, eight.latencies);
     }
 
     #[test]
@@ -401,9 +644,10 @@ mod tests {
         assert_eq!(sharded.shards, 4);
         assert_eq!(sharded.merged.ops, trace.len());
         assert_eq!(sharded.shard_ns.len(), 4);
+        assert_eq!(sharded.latencies.len(), trace.len());
         // Every shard saw work, and the merged clock is the slowest shard.
-        assert!(sharded.shard_ns.iter().all(|&ns| ns > 0.0));
-        let slowest = sharded.shard_ns.iter().cloned().fold(0.0, f64::max);
+        assert!(sharded.shard_ns.iter().all(|&ns| ns > 0));
+        let slowest = *sharded.shard_ns.iter().max().unwrap();
         assert_eq!(sharded.merged.total_ns, slowest);
     }
 
@@ -435,6 +679,11 @@ mod tests {
         let last = snaps.last().unwrap();
         assert_eq!(last.counter("sim_ops_total", "agit-plus"), 250);
         assert!(last.counter("nvm_writes_total", "agit-plus") > 0);
+        // The op-latency histogram reaches the snapshot, covers every op,
+        // and its bucket-resolution p99 brackets the exact stream p99.
+        let h = &last.histograms[OP_LATENCY_METRIC]["agit-plus"];
+        assert_eq!(h.count, 250);
+        assert!(h.percentile(0.99) >= result.latency.p99_ns);
         drop(reg);
     }
 

@@ -235,7 +235,7 @@ pub fn cache_sensitivity(
         points.push(SensitivityPoint {
             cache_bytes: bytes,
             normalized,
-            write_back_ns: base.total_ns,
+            write_back_ns: base.total_ns as f64,
         });
     }
     Ok(points)

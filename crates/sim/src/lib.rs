@@ -3,18 +3,22 @@
 //! This crate converts the per-operation [`anubis::OpCost`]s reported by
 //! the memory controllers into wall-clock execution time, standing in for
 //! the cycle-level gem5 simulation the paper used. The model
-//! (see [`TimingModel`]) is a single PCM channel with the paper's Table 1
-//! latencies (read 60 ns, write 150 ns): reads stall the CPU, writes are
-//! posted through a bounded write queue whose back-pressure stalls the
-//! CPU only when full — exactly the mechanism that makes write-amplifying
-//! schemes (strict persistence) slow and shadow-table schemes (Anubis)
-//! nearly free.
+//! (see [`TimingModel`]) is a banked PCM channel with the paper's Table 1
+//! latencies (read 60 ns, write 150 ns), driven by a deterministic
+//! discrete-event engine on an integer-nanosecond clock: reads stall the
+//! CPU and schedule with priority over queued writes, writes are posted
+//! through a bounded write-pending queue whose back-pressure stalls the
+//! CPU only when full, and bank conflicts serialize — exactly the
+//! mechanisms that make write-amplifying schemes (strict persistence)
+//! slow, visibly *more* so at p99 than in the mean, and shadow-table
+//! schemes (Anubis) nearly free. Every replay reports the per-op latency
+//! distribution ([`LatencySummary`]: p50/p95/p99), not just totals.
 //!
-//! What is deliberately *not* modeled: bank-level parallelism, row
-//! buffers, on-chip cache hierarchy above the LLC (traces are LLC-miss
-//! streams), and instruction-level overlap. Figures 10/11/13 report
-//! overheads *normalized to the write-back baseline on the same trace*,
-//! which this level of abstraction preserves (see DESIGN.md).
+//! What is deliberately *not* modeled: row buffers, the on-chip cache
+//! hierarchy above the LLC (traces are LLC-miss streams), and
+//! instruction-level overlap. Figures 10/11/13 report overheads
+//! *normalized to the write-back baseline on the same trace*, which this
+//! level of abstraction preserves (see DESIGN.md §13).
 //!
 //! # Example
 //!
@@ -28,7 +32,8 @@
 //!     .generate(2_000, 7);
 //! let mut ctrl = BonsaiController::new(BonsaiScheme::AgitPlus, &config);
 //! let result = run_trace(&mut ctrl, &trace, &TimingModel::paper()).unwrap();
-//! assert!(result.total_ns > 0.0);
+//! assert!(result.total_ns > 0);
+//! assert!(result.latency.p99_ns >= result.latency.p50_ns);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -36,6 +41,7 @@
 
 mod endurance;
 mod engine;
+mod event;
 mod report;
 mod timing;
 
@@ -47,8 +53,9 @@ pub mod storm;
 
 pub use endurance::EnduranceModel;
 pub use engine::{
-    payload, run_trace, run_trace_sharded, run_trace_with_epochs, shard_of, RunResult,
-    ShardedRunResult,
+    payload, run_trace, run_trace_latencies, run_trace_sharded, run_trace_sharded_with_telemetry,
+    run_trace_with_epochs, shard_of, LatencySummary, RunResult, ShardedRunResult,
+    OP_LATENCY_METRIC,
 };
 pub use fault::{
     bit_flip_sweep, count_persist_writes, op_payload, power_cut_sweep, run_with_fault,

@@ -1,0 +1,87 @@
+//! Determinism contract of the discrete-event latency engine: replaying
+//! the same trace with 1, 2, and 8 lanes must produce bit-identical
+//! merged results, identical per-op latency streams, and identical
+//! telemetry histogram snapshots. The companion shuffled event-insertion
+//! property lives next to the queue itself (`src/event.rs`); this test
+//! covers the full replay path through controllers and channels.
+
+use anubis::telemetry::Telemetry;
+use anubis::{AnubisConfig, BonsaiController, BonsaiScheme, SgxController, SgxScheme};
+use anubis_sim::{run_trace_sharded_with_telemetry, TimingModel, OP_LATENCY_METRIC};
+use anubis_workloads::{spec2006, TraceGenerator};
+
+const SHARDS: usize = 4;
+const OPS: usize = 4_000;
+
+fn assert_lane_invariant<C, F>(make_controller: F, scheme_label: &str)
+where
+    C: anubis::MemoryController,
+    F: Fn(usize) -> C + Sync,
+{
+    let config = AnubisConfig::small_test();
+    let trace = TraceGenerator::new(spec2006::milc(), config.capacity_bytes).generate(OPS, 1907);
+    let model = TimingModel::paper();
+    let mut reference = None;
+    for lanes in [1usize, 2, 8] {
+        let (reg, tele) = Telemetry::private();
+        let result = run_trace_sharded_with_telemetry(
+            &make_controller,
+            &trace,
+            &model,
+            SHARDS,
+            lanes,
+            &tele,
+        )
+        .expect("sharded replay");
+        let histograms = reg.snapshot().histograms;
+        let hist = histograms
+            .get(OP_LATENCY_METRIC)
+            .and_then(|by_label| by_label.get(scheme_label))
+            .cloned()
+            .expect("op_latency_ns histogram recorded");
+        assert_eq!(hist.count as usize, result.latencies.len());
+        assert!(
+            result.latencies.iter().all(|&l| l > 0),
+            "zero-ns op latency"
+        );
+        match &reference {
+            None => reference = Some((result, histograms)),
+            Some((first, first_histograms)) => {
+                assert_eq!(
+                    first.merged, result.merged,
+                    "merged diverged at lanes={lanes}"
+                );
+                assert_eq!(
+                    first.shards, result.shards,
+                    "shards diverged at lanes={lanes}"
+                );
+                assert_eq!(
+                    first.latencies, result.latencies,
+                    "latency stream diverged at lanes={lanes}"
+                );
+                assert_eq!(
+                    first_histograms, &histograms,
+                    "histogram snapshot diverged at lanes={lanes}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn agit_plus_latency_streams_and_histograms_are_lane_invariant() {
+    let config = AnubisConfig::small_test();
+    assert_lane_invariant(
+        move |_| BonsaiController::new(BonsaiScheme::AgitPlus, &config),
+        "agit-plus",
+    );
+}
+
+#[test]
+fn asit_latency_streams_and_histograms_are_lane_invariant() {
+    let config = AnubisConfig::small_test();
+    assert_lane_invariant(
+        move |_| SgxController::new(SgxScheme::Asit, &config),
+        "asit",
+    );
+}

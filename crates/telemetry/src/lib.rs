@@ -91,6 +91,55 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Nearest-rank percentile at bucket resolution: the upper bound of
+    /// the power-of-two bucket holding the rank-`⌈p·count⌉` observation
+    /// (see [`percentile_of_sorted`] for the rank convention). Bucket
+    /// `i` reports `2^i − 1`; the catch-all last bucket reports the
+    /// largest observation seen. Returns 0 when empty.
+    ///
+    /// This is deliberately coarse (factor-of-two resolution) — exact
+    /// tails come from [`percentile_of_sorted`] over the raw latency
+    /// stream; the histogram variant exists so snapshots exported long
+    /// after the stream is gone still carry tail shape.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return if i == 0 {
+                    0
+                } else if i == HISTOGRAM_BUCKETS - 1 {
+                    self.max.max(0.0) as u64
+                } else {
+                    (1u64 << i) - 1
+                };
+            }
+        }
+        self.max.max(0.0) as u64
+    }
+}
+
+/// Nearest-rank percentile of an already **sorted ascending** slice.
+///
+/// The convention, used everywhere in this repo (chaos drills, the
+/// serving bench, the discrete-event latency engine): the `p`-th
+/// percentile is the value at 1-based rank `⌈p · n⌉`, clamped to
+/// `[1, n]` — i.e. the smallest element such that at least `p · n`
+/// observations are ≤ it. This always returns an observed value (no
+/// interpolation), `p = 0` returns the minimum, `p = 1` the maximum,
+/// and an empty slice returns 0.
+pub fn percentile_of_sorted(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len();
+    let rank = (p.clamp(0.0, 1.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
 }
 
 /// One completed span: a named phase with monotonic timestamps and
@@ -460,6 +509,12 @@ impl Snapshot {
             push_f64(out, h.max);
             out.push_str(",\"mean\":");
             push_f64(out, h.mean());
+            out.push_str(&format!(
+                ",\"p50\":{},\"p95\":{},\"p99\":{}",
+                h.percentile(0.50),
+                h.percentile(0.95),
+                h.percentile(0.99)
+            ));
             out.push('}');
         });
         out.push_str("}}\n");
@@ -700,6 +755,38 @@ mod tests {
         assert_eq!(h.buckets[1], 1);
         assert_eq!(h.buckets[2], 1);
         assert_eq!(h.buckets[7], 1);
+    }
+
+    #[test]
+    fn percentile_of_sorted_uses_nearest_rank() {
+        assert_eq!(percentile_of_sorted(&[], 0.5), 0);
+        assert_eq!(percentile_of_sorted(&[7], 0.5), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        // Nearest rank ⌈p·n⌉: p50 of 1..=100 is the 50th value.
+        assert_eq!(percentile_of_sorted(&v, 0.50), 50);
+        assert_eq!(percentile_of_sorted(&v, 0.95), 95);
+        assert_eq!(percentile_of_sorted(&v, 0.99), 99);
+        assert_eq!(percentile_of_sorted(&v, 0.0), 1);
+        assert_eq!(percentile_of_sorted(&v, 1.0), 100);
+        // ⌈0.5·4⌉ = 2nd of four — the lower median, never interpolated.
+        assert_eq!(percentile_of_sorted(&[10, 20, 30, 40], 0.5), 20);
+    }
+
+    #[test]
+    fn histogram_percentiles_report_bucket_upper_bounds() {
+        let mut h = Histogram::default();
+        assert_eq!(h.percentile(0.99), 0);
+        for _ in 0..99 {
+            h.observe(100.0); // bucket 7 (64..128): upper bound 127
+        }
+        h.observe(5_000.0); // bucket 13 (4096..8192): upper bound 8191
+        assert_eq!(h.percentile(0.50), 127);
+        assert_eq!(h.percentile(0.95), 127);
+        assert_eq!(h.percentile(1.0), 8191);
+        // The catch-all bucket reports the true maximum.
+        let mut top = Histogram::default();
+        top.observe(1e12);
+        assert_eq!(top.percentile(0.5), 1_000_000_000_000);
     }
 
     #[test]
