@@ -1,0 +1,201 @@
+//! Restart-time adversary drill: SIGKILL a child serving against the
+//! anchored file-backed NVM device, mutate the durable artifacts while
+//! it is dead (bit flips, truncations, WAL splices/reorders/duplicates,
+//! rollback to a captured earlier state, cross-key image swaps, anchor
+//! attacks), restart, and demand a typed verdict for every point.
+//!
+//! Emits `BENCH_adversary.json` (override with `--out PATH`). Exit code
+//! 1 on any campaign failure: a panic in the recovery path, a silent
+//! stale serve, or a point that missed its class's required verdict
+//! (e.g. a WAL rollback that was not refused as rollback).
+//!
+//! Knobs (all environment variables):
+//!
+//! | knob | default | meaning |
+//! |---|---|---|
+//! | `ANUBIS_ADVERSARY_POINTS` | 120 | mutated-restart points **per family** (rounded up to whole base runs) |
+//! | `ANUBIS_ADVERSARY_SEED` | `0xAD7E5A21` | script + kill-point + mutation seed |
+//! | `ANUBIS_ADVERSARY_DIR` | `$TMPDIR/anubis-adversary` | scratch for images/anchors/logs |
+//! | `ANUBIS_ADVERSARY_SWEEP` | unset | `1` = nightly depth: at least 440 points per family |
+//!
+//! The drill re-executes this binary with `--child ...` as the victim;
+//! the child opens the image under the freshness anchor (strict policy)
+//! and is killed mid-flight.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use anubis_bench::json::Json;
+use anubis_bench::out_path_from_args;
+use anubis_sim::adversary::{run_campaign, AdversarySpec, FamilyAdvReport, MUTATIONS_PER_RUN};
+use anubis_sim::drill::DrillFamily;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn family_json(r: &FamilyAdvReport) -> Json {
+    let classes: Vec<Json> = r
+        .classes
+        .iter()
+        .map(|(c, s)| {
+            Json::obj(vec![
+                ("class", Json::Str(c.name().into())),
+                ("points", Json::Int(s.points)),
+                ("full_recovery", Json::Int(s.full)),
+                ("degraded", Json::Int(s.degraded)),
+                ("refused", Json::Int(s.refused)),
+                ("rollback_refusals", Json::Int(s.rollback_refusals)),
+            ])
+        })
+        .collect();
+    let outcomes: Vec<Json> = r
+        .outcomes
+        .iter()
+        .map(|o| {
+            let mut fields = vec![
+                ("class", Json::Str(o.class.name().into())),
+                ("label", Json::Str(o.label.clone())),
+                ("kill_after_acks", Json::Int(o.kill_after_acks)),
+                ("required", Json::Str(o.requirement.name().into())),
+                ("verdict", Json::Str(o.verdict.name().into())),
+            ];
+            match &o.verdict {
+                anubis_sim::adversary::Verdict::FullRecovery => {}
+                anubis_sim::adversary::Verdict::Degraded { damage, outcome } => {
+                    fields.push(("damage", Json::Int(*damage)));
+                    fields.push(("outcome", Json::Str(outcome.clone())));
+                }
+                anubis_sim::adversary::Verdict::Refused { rollback, reason } => {
+                    fields.push(("rollback", Json::Bool(*rollback)));
+                    fields.push(("reason", Json::Str(reason.clone())));
+                }
+            }
+            Json::obj(fields)
+        })
+        .collect();
+    Json::obj(vec![
+        ("family", Json::Str(r.family.name().into())),
+        ("base_runs", Json::Int(r.base_runs)),
+        ("points", Json::Int(r.points)),
+        ("audited_reads", Json::Int(r.audited_reads)),
+        (
+            "kill_range",
+            Json::Arr(vec![Json::Int(r.kill_range.0), Json::Int(r.kill_range.1)]),
+        ),
+        ("foreign_epoch", Json::Int(r.foreign_epoch)),
+        ("classes", Json::Arr(classes)),
+        ("points_detail", Json::Arr(outcomes)),
+    ])
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--child") {
+        return match anubis_sim::adversary::child_main(&args[2..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("adversary child: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("adversary: cannot locate own executable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sweep = std::env::var("ANUBIS_ADVERSARY_SWEEP")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let mut points = env_u64("ANUBIS_ADVERSARY_POINTS", 120);
+    if sweep {
+        points = points.max(440);
+    }
+    let base_runs = points.div_ceil(MUTATIONS_PER_RUN).max(1);
+    let seed = env_u64("ANUBIS_ADVERSARY_SEED", 0xAD7E_5A21);
+    let dir = std::env::var_os("ANUBIS_ADVERSARY_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("anubis-adversary"));
+    let spec = AdversarySpec {
+        seed,
+        ..AdversarySpec::default()
+    };
+
+    println!("== Anubis reproduction :: restart-time adversary drill ==");
+    println!(
+        "{} mutated-restart points/family ({base_runs} base runs x {MUTATIONS_PER_RUN} mutations){}, \
+         seed {seed:#x}, scratch {}",
+        base_runs * MUTATIONS_PER_RUN,
+        if sweep { " (nightly sweep)" } else { "" },
+        dir.display()
+    );
+
+    let mut families = Vec::new();
+    let mut total_points = 0u64;
+    let mut total_audited = 0u64;
+    let mut total_rollback_refusals = 0u64;
+    for family in DrillFamily::all() {
+        match run_campaign(&exe, family, &spec, &dir, base_runs) {
+            Ok(report) => {
+                let rb: u64 = report
+                    .classes
+                    .iter()
+                    .map(|(_, s)| s.rollback_refusals)
+                    .sum();
+                println!(
+                    "  {:<18} {:>4} points, {:>7} acked reads audited, {} rollback refusals",
+                    family.name(),
+                    report.points,
+                    report.audited_reads,
+                    rb,
+                );
+                total_points += report.points;
+                total_audited += report.audited_reads;
+                total_rollback_refusals += rb;
+                families.push(family_json(&report));
+            }
+            Err(e) => {
+                eprintln!("adversary campaign FAILED for {}: {e}", family.name());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let doc = Json::obj(vec![
+        ("benchmark", Json::Str("adversary".into())),
+        ("host", anubis_bench::host_info_json()),
+        ("seed", Json::Int(seed)),
+        ("sweep", Json::Bool(sweep)),
+        ("script_len", Json::Int(spec.script_len as u64)),
+        ("lines", Json::Int(spec.lines)),
+        ("mutations_per_run", Json::Int(MUTATIONS_PER_RUN)),
+        ("total_points", Json::Int(total_points)),
+        ("total_audited_reads", Json::Int(total_audited)),
+        (
+            "total_rollback_refusals",
+            Json::Int(total_rollback_refusals),
+        ),
+        ("silent_stale_serves", Json::Int(0)),
+        ("panics", Json::Int(0)),
+        ("requirement_misses", Json::Int(0)),
+        ("families", Json::Arr(families)),
+    ]);
+    let out = out_path_from_args("BENCH_adversary.json");
+    if let Err(e) = std::fs::write(&out, doc.render()) {
+        eprintln!("adversary: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{total_points} mutated restarts, {total_audited} acked reads audited, \
+         zero silent-stale, zero panics -> {}",
+        out.display()
+    );
+    ExitCode::SUCCESS
+}

@@ -13,7 +13,7 @@ mod repair;
 
 use crate::config::AnubisConfig;
 use crate::cost::{CostAccum, OpCost};
-use crate::error::{IntegrityWitness, MemError, RecoveryError};
+use crate::error::{freshness_hint, IntegrityWitness, MemError, RecoveryError};
 use crate::layout::{BonsaiLayout, DataAddr, LINES_PER_COUNTER_BLOCK};
 use crate::recovery::RecoveryReport;
 use crate::shadow::ShadowAddrEntry;
@@ -191,6 +191,9 @@ pub struct BonsaiController<B: NvmBackend = MemBackend> {
     ecc_corrections: u64,
     /// Osiris probes that hit the stop-loss / minor-overflow boundary.
     stop_loss_events: u64,
+    /// Snapshot images the restore path rejected (parse failure or
+    /// epoch behind the sealed anchor).
+    snapshot_rejected: u64,
     cost: OpCost,
     totals: CostAccum,
     pending: Vec<WriteOp>,
@@ -257,6 +260,7 @@ impl<B: NvmBackend> BonsaiController<B> {
             reenc_log: None,
             ecc_corrections: 0,
             stop_loss_events: 0,
+            snapshot_rejected: 0,
             cost: OpCost::zero(),
             totals: CostAccum::default(),
             pending: Vec::new(),
@@ -287,6 +291,14 @@ impl<B: NvmBackend> BonsaiController<B> {
     /// controller proceeds with an empty table and the second element
     /// carries [`RecoveryError::CorruptImage`] for the supervisor to feed
     /// into targeted repair ([`crate::Supervisor::repair_then_recover`]).
+    ///
+    /// A backend opened against a sealed freshness anchor (see
+    /// `anubis_nvm::FileBackend::open_with_anchor`) may instead report a
+    /// freshness violation: the hint is then
+    /// [`RecoveryError::RollbackDetected`] or
+    /// [`RecoveryError::FreshnessAnchorViolation`], which the supervisor
+    /// refuses outright rather than repairing — stale-but-consistent
+    /// state must never be served.
     pub fn reopen(
         scheme: BonsaiScheme,
         config: &AnubisConfig,
@@ -308,8 +320,38 @@ impl<B: NvmBackend> BonsaiController<B> {
                 });
             }
         }
-        let hint = c.reload_quarantine_table();
+        let hint = freshness_hint(c.domain.freshness()).or_else(|| c.reload_quarantine_table());
         (c, hint)
+    }
+
+    /// Records a snapshot image rejected by the restore path (parse
+    /// failure or an epoch behind the sealed anchor) for the
+    /// `snapshot_rejected_total` counter.
+    pub fn note_snapshot_rejected(&mut self) {
+        self.snapshot_rejected += 1;
+    }
+
+    /// Restores a captured domain snapshot, refusing one whose epoch is
+    /// behind the device's current freshness epoch — a substituted stale
+    /// snapshot must never silently replace newer committed state. A
+    /// refusal is counted in `snapshot_rejected_total`.
+    ///
+    /// # Errors
+    ///
+    /// [`anubis_nvm::NvmError::Snapshot`] with
+    /// [`anubis_nvm::SnapshotError::StaleEpoch`] for a rolled-back
+    /// snapshot; other [`anubis_nvm::NvmError`]s from the apply itself.
+    pub fn restore_snapshot(
+        &mut self,
+        snap: &anubis_nvm::Snapshot,
+    ) -> Result<(), anubis_nvm::NvmError> {
+        match self.domain.apply_snapshot(snap) {
+            Err(e) => {
+                self.note_snapshot_rejected();
+                Err(e)
+            }
+            Ok(()) => Ok(()),
+        }
     }
 
     /// Reloads the persisted bad-block remap table from the qtable
@@ -505,6 +547,17 @@ impl<B: NvmBackend> BonsaiController<B> {
         );
         t.gauge_set("wpq_occupancy", scheme, self.domain.wpq_occupancy() as f64);
         t.gauge_set("wpq_capacity", scheme, self.domain.wpq_capacity() as f64);
+        t.counter_set(
+            "wal_rejected_total",
+            scheme,
+            self.domain.device().backend().frames_rejected(),
+        );
+        t.counter_set("snapshot_rejected_total", scheme, self.snapshot_rejected);
+        let rolled_back = matches!(
+            self.domain.freshness(),
+            anubis_nvm::Freshness::RolledBack { .. }
+        );
+        t.counter_set("rollback_detected_total", scheme, rolled_back as u64);
     }
 
     /// Runs crash recovery with an explicit lane count. `lanes == 1` is

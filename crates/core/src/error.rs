@@ -168,8 +168,47 @@ pub enum RecoveryError {
         /// Which persistent structure failed to parse.
         what: &'static str,
     },
+    /// The reopened image is *older* than the sealed freshness anchor:
+    /// durable state was rolled back to an earlier internally-consistent
+    /// version between death and restart. Unlike corruption this state
+    /// verifies perfectly — only the anchor proves it is stale — so the
+    /// supervisor refuses recovery outright rather than repairing into
+    /// serving it.
+    RollbackDetected {
+        /// Epoch the sealed anchor proves the device reached.
+        anchored_epoch: u64,
+        /// Older epoch the reopened image carries.
+        image_epoch: u64,
+    },
+    /// The freshness anchor itself is missing or corrupt, so the image's
+    /// epoch cannot be verified. Conservative refusal under the strict
+    /// policy; resolvable only by the explicit operator override
+    /// (`ANUBIS_ANCHOR_OVERRIDE=1`), never by silent default-epoch
+    /// acceptance.
+    FreshnessAnchorViolation {
+        /// What happened to the anchor (`"anchor missing"` /
+        /// `"anchor corrupt"`).
+        what: &'static str,
+        /// The unverifiable epoch the image carries.
+        image_epoch: u64,
+    },
     /// Device failure during recovery.
     Nvm(NvmError),
+}
+
+impl RecoveryError {
+    /// True for freshness refusals: errors that mean the durable state
+    /// must not be served *even though it may verify perfectly* — the
+    /// supervisor returns them immediately instead of escalating, and
+    /// they are distinct from `Degraded` outcomes (which preserve
+    /// committed data) and from structural errors (which mean the scheme
+    /// cannot recover).
+    pub fn is_refusal(&self) -> bool {
+        matches!(
+            self,
+            RecoveryError::RollbackDetected { .. } | RecoveryError::FreshnessAnchorViolation { .. }
+        )
+    }
 }
 
 impl fmt::Display for RecoveryError {
@@ -212,6 +251,23 @@ impl fmt::Display for RecoveryError {
             RecoveryError::CorruptImage { what } => {
                 write!(f, "reopened device image has a corrupt {what}")
             }
+            RecoveryError::RollbackDetected {
+                anchored_epoch,
+                image_epoch,
+            } => {
+                write!(
+                    f,
+                    "rollback detected: image at epoch {image_epoch} is older than the \
+                     sealed freshness anchor (epoch {anchored_epoch})"
+                )
+            }
+            RecoveryError::FreshnessAnchorViolation { what, image_epoch } => {
+                write!(
+                    f,
+                    "freshness {what}: image epoch {image_epoch} cannot be verified \
+                     against the sealed anchor"
+                )
+            }
             RecoveryError::Nvm(e) => write!(f, "nvm error during recovery: {e}"),
         }
     }
@@ -229,6 +285,43 @@ impl std::error::Error for RecoveryError {
 impl From<NvmError> for RecoveryError {
     fn from(e: NvmError) -> Self {
         RecoveryError::Nvm(e)
+    }
+}
+
+/// Maps a backend's freshness-anchor verdict to the recovery refusal it
+/// implies, if any. `Untracked`, `Fresh`, and explicitly `Overridden`
+/// states carry no hint.
+pub fn freshness_hint(f: anubis_nvm::Freshness) -> Option<RecoveryError> {
+    match f {
+        anubis_nvm::Freshness::RolledBack {
+            anchored_epoch,
+            image_epoch,
+        } => Some(RecoveryError::RollbackDetected {
+            anchored_epoch,
+            image_epoch,
+        }),
+        anubis_nvm::Freshness::TailForged {
+            anchored_epoch: _,
+            image_epoch,
+        } => Some(RecoveryError::FreshnessAnchorViolation {
+            what: "tail forged (frames appended beyond the one-barrier crash window)",
+            image_epoch,
+        }),
+        anubis_nvm::Freshness::AnchorMissing { image_epoch } => {
+            Some(RecoveryError::FreshnessAnchorViolation {
+                what: "anchor missing",
+                image_epoch,
+            })
+        }
+        anubis_nvm::Freshness::AnchorCorrupt { image_epoch } => {
+            Some(RecoveryError::FreshnessAnchorViolation {
+                what: "anchor corrupt",
+                image_epoch,
+            })
+        }
+        anubis_nvm::Freshness::Untracked
+        | anubis_nvm::Freshness::Fresh { .. }
+        | anubis_nvm::Freshness::Overridden { .. } => None,
     }
 }
 

@@ -62,7 +62,7 @@ pub mod supervisor;
 pub use bonsai::{BonsaiController, BonsaiScheme};
 pub use config::AnubisConfig;
 pub use cost::{CostAccum, OpCost};
-pub use error::{MemError, RecoveryError};
+pub use error::{freshness_hint, MemError, RecoveryError};
 pub use layout::{BonsaiLayout, DataAddr, SgxLayout, LINES_PER_COUNTER_BLOCK};
 pub use recovery::RecoveryReport;
 pub use sgx::{SgxController, SgxScheme};

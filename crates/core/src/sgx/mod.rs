@@ -15,7 +15,7 @@ mod tests;
 
 use crate::config::AnubisConfig;
 use crate::cost::{CostAccum, OpCost};
-use crate::error::{IntegrityWitness, MemError, RecoveryError};
+use crate::error::{freshness_hint, IntegrityWitness, MemError, RecoveryError};
 use crate::layout::{DataAddr, SgxLayout};
 use crate::recovery::RecoveryReport;
 use crate::shadow::StEntry;
@@ -131,6 +131,9 @@ pub struct SgxController<B: NvmBackend = MemBackend> {
     pending_shadow_root: Option<Root>,
     /// Words repaired by the SEC-DED decoder on the data read path.
     ecc_corrections: u64,
+    /// Snapshot images the restore path rejected (parse failure or
+    /// epoch behind the sealed anchor).
+    snapshot_rejected: u64,
     cost: OpCost,
     totals: CostAccum,
     pending: Vec<WriteOp>,
@@ -196,6 +199,7 @@ impl<B: NvmBackend> SgxController<B> {
             shadow_root,
             pending_shadow_root: None,
             ecc_corrections: 0,
+            snapshot_rejected: 0,
             cost: OpCost::zero(),
             totals: CostAccum::default(),
             pending: Vec::new(),
@@ -252,8 +256,38 @@ impl<B: NvmBackend> SgxController<B> {
             scheme,
             SgxScheme::WriteBack | SgxScheme::EagerWriteBack | SgxScheme::Osiris
         );
-        let hint = c.reload_quarantine_table();
+        let hint = freshness_hint(c.domain.freshness()).or_else(|| c.reload_quarantine_table());
         (c, hint)
+    }
+
+    /// Records a snapshot image rejected by the restore path (parse
+    /// failure or an epoch behind the sealed anchor) for the
+    /// `snapshot_rejected_total` counter.
+    pub fn note_snapshot_rejected(&mut self) {
+        self.snapshot_rejected += 1;
+    }
+
+    /// Restores a captured domain snapshot, refusing one whose epoch is
+    /// behind the device's current freshness epoch — a substituted stale
+    /// snapshot must never silently replace newer committed state. A
+    /// refusal is counted in `snapshot_rejected_total`.
+    ///
+    /// # Errors
+    ///
+    /// [`anubis_nvm::NvmError::Snapshot`] with
+    /// [`anubis_nvm::SnapshotError::StaleEpoch`] for a rolled-back
+    /// snapshot; other [`anubis_nvm::NvmError`]s from the apply itself.
+    pub fn restore_snapshot(
+        &mut self,
+        snap: &anubis_nvm::Snapshot,
+    ) -> Result<(), anubis_nvm::NvmError> {
+        match self.domain.apply_snapshot(snap) {
+            Err(e) => {
+                self.note_snapshot_rejected();
+                Err(e)
+            }
+            Ok(()) => Ok(()),
+        }
     }
 
     /// Reloads the persisted bad-block remap table from the qtable
@@ -371,6 +405,17 @@ impl<B: NvmBackend> SgxController<B> {
         );
         t.gauge_set("wpq_occupancy", scheme, self.domain.wpq_occupancy() as f64);
         t.gauge_set("wpq_capacity", scheme, self.domain.wpq_capacity() as f64);
+        t.counter_set(
+            "wal_rejected_total",
+            scheme,
+            self.domain.device().backend().frames_rejected(),
+        );
+        t.counter_set("snapshot_rejected_total", scheme, self.snapshot_rejected);
+        let rolled_back = matches!(
+            self.domain.freshness(),
+            anubis_nvm::Freshness::RolledBack { .. }
+        );
+        t.counter_set("rollback_detected_total", scheme, rolled_back as u64);
     }
 
     /// Runs post-crash recovery with an explicit lane count, bypassing

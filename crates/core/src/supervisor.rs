@@ -283,6 +283,7 @@ impl Supervisor {
                     out.report = r;
                     None
                 }
+                Err(e) if e.is_refusal() => return Err(self.note_refusal(e, &tel, scheme)),
                 Err(e) if is_structural(&e) => return Err(e),
                 Err(e) => Some(e),
             }
@@ -304,6 +305,7 @@ impl Supervisor {
                         fast_ok = true;
                         break;
                     }
+                    Err(e) if e.is_refusal() => return Err(self.note_refusal(e, &tel, scheme)),
                     Err(e) if is_structural(&e) => return Err(e),
                     Err(e) => last = e,
                 }
@@ -353,6 +355,12 @@ impl Supervisor {
     ) -> Result<SupervisedRecovery, RecoveryError> {
         let tel = ctrl.supervisor_telemetry();
         let scheme = ctrl.scheme_name();
+        // A freshness refusal from reopen is not a corruption hint: no
+        // ladder rung may repair its way into serving rolled-back or
+        // unverifiable-epoch state. Refuse before touching the image.
+        if err.is_refusal() {
+            return Err(self.note_refusal(err.clone(), &tel, scheme));
+        }
         // Drain any REDO group left in the persistent registers before
         // repairing over the image (idempotent; rung 1 repeats it).
         let _ = ctrl.domain_mut().power_up();
@@ -372,6 +380,27 @@ impl Supervisor {
         }
         out.outcome = outcome_of(&out);
         Ok(out)
+    }
+
+    /// Counts a freshness refusal in telemetry and hands the error back
+    /// unchanged — the caller's decision (refuse service, surface to the
+    /// operator) happens above the ladder.
+    fn note_refusal(
+        &self,
+        err: RecoveryError,
+        tel: &Telemetry,
+        scheme: &'static str,
+    ) -> RecoveryError {
+        match &err {
+            RecoveryError::RollbackDetected { .. } => {
+                tel.incr("supervisor_rollback_refusals_total", scheme, 1);
+            }
+            RecoveryError::FreshnessAnchorViolation { .. } => {
+                tel.incr("supervisor_anchor_refusals_total", scheme, 1);
+            }
+            _ => {}
+        }
+        err
     }
 
     fn absorb(

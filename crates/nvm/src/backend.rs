@@ -15,14 +15,23 @@
 //! on-chip persistent registers (tree root, reencryption log, shadow-table
 //! root) so restart-entry recovery can restore them.
 
+use crate::anchor::Freshness;
 use crate::block::Block;
 use crate::error::NvmError;
 use std::collections::{BTreeMap, HashMap};
 
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
 /// FNV-1a 64-bit checksum — the in-tree integrity check for WAL frames and
 /// snapshot images (no external dependencies).
 pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a64_seeded(FNV_OFFSET, bytes)
+}
+
+/// Continues an FNV-1a 64-bit stream from `seed`, so multi-part inputs
+/// (frame epoch ‖ payload) checksum without concatenating buffers.
+pub(crate) fn fnv1a64_seeded(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
@@ -89,6 +98,38 @@ pub trait NvmBackend: std::fmt::Debug + Send + Sync {
     /// journal records and turn every subsequent [`NvmBackend::barrier`]
     /// into a no-op — a dying platform flushes nothing more.
     fn suppress_flushes(&mut self) {}
+
+    /// The backend's current freshness epoch: a monotonic counter bumped
+    /// on every flushing barrier, compaction, and snapshot by durable
+    /// backends. Volatile backends report 0 — within one process there is
+    /// no restart for a rollback to hide behind.
+    fn epoch(&self) -> u64 {
+        0
+    }
+
+    /// What the freshness-anchor check concluded when this backend was
+    /// opened. [`Freshness::Untracked`] for volatile or un-anchored
+    /// backends.
+    fn freshness(&self) -> Freshness {
+        Freshness::Untracked
+    }
+
+    /// Explicitly advances the freshness epoch (snapshot capture point),
+    /// making the bump durable. No-op for volatile backends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvmError::Backend`] when the underlying medium fails.
+    fn bump_epoch(&mut self) -> Result<(), NvmError> {
+        Ok(())
+    }
+
+    /// Structurally damaged WAL frames discarded when the image was
+    /// opened (torn tails truncated away) — the source feeding the
+    /// `wal_rejected_total` telemetry counter.
+    fn frames_rejected(&self) -> u64 {
+        0
+    }
 }
 
 /// The original in-memory backend: a sparse hash map, volatile across

@@ -348,13 +348,28 @@ impl<B: NvmBackend> PersistenceDomain<B> {
         let _ = self.device.flush_backend();
     }
 
+    /// The backend's current freshness epoch (0 for volatile backends).
+    pub fn epoch(&self) -> u64 {
+        self.device.backend().epoch()
+    }
+
+    /// The freshness-anchor verdict recorded when the backend was opened
+    /// ([`crate::Freshness::Untracked`] for volatile backends).
+    pub fn freshness(&self) -> crate::Freshness {
+        self.device.backend().freshness()
+    }
+
     /// Captures the full persistent state — device contents, register
     /// file, persistent-register commit machinery, and the serialized
     /// quarantine table. Drains the WPQ first so the image is
-    /// self-contained.
+    /// self-contained, and bumps the freshness epoch so live state is
+    /// provably newer than the snapshot it feeds (best-effort, like the
+    /// drain's flush).
     pub fn snapshot(&mut self) -> Snapshot {
         self.drain_wpq();
+        let _ = self.device.backend_mut().bump_epoch();
         Snapshot {
+            epoch: self.device.backend().epoch(),
             entries: self.device.backend().entries(),
             regs: self.device.backend().regs(),
             pregs_entries: self.pregs.entries().to_vec(),
@@ -369,13 +384,28 @@ impl<B: NvmBackend> PersistenceDomain<B> {
     /// persistent-register state are reinstated, and the result is made
     /// durable with one barrier.
     ///
+    /// A snapshot whose captured epoch is *behind* the epoch this
+    /// domain's backend already reached is refused before any byte is
+    /// applied: substituting it would roll committed state back to a
+    /// stale version, which is exactly the freshness violation the
+    /// sealed anchor exists to prevent.
+    ///
     /// # Errors
     ///
-    /// [`NvmError::Snapshot`] (with
-    /// [`SnapshotError::BadQuarantineTable`]) if the embedded quarantine
+    /// [`NvmError::Snapshot`] with [`SnapshotError::StaleEpoch`] for a
+    /// rolled-back snapshot (nothing applied), or with
+    /// [`SnapshotError::BadQuarantineTable`] if the embedded quarantine
     /// table fails to parse; [`NvmError::Backend`] if the final barrier
-    /// fails. The device contents may be partially restored on error.
+    /// fails. The device contents may be partially restored on the
+    /// latter two errors.
     pub fn apply_snapshot(&mut self, snap: &Snapshot) -> Result<(), NvmError> {
+        let current_epoch = self.device.backend().epoch();
+        if snap.epoch < current_epoch {
+            return Err(NvmError::Snapshot(SnapshotError::StaleEpoch {
+                snapshot_epoch: snap.epoch,
+                current_epoch,
+            }));
+        }
         for &(phys, block) in &snap.entries {
             self.device.backend_mut().store(phys, block);
         }

@@ -1,10 +1,11 @@
-//! File-backed NVM images: a write-ahead log with ordered flushes.
+//! File-backed NVM images: a write-ahead log with ordered flushes and a
+//! sealed freshness anchor.
 //!
 //! The on-disk format is an append-only log:
 //!
 //! ```text
-//! header:  "ANUBWAL1" (8 bytes) | version u32 LE
-//! frame*:  payload_len u32 LE | fnv1a64(payload) u64 LE | payload
+//! header:  "ANUBWAL1" (8 bytes) | version u32 LE (= 2)
+//! frame*:  payload_len u32 LE | fnv1a64(epoch ‖ payload) u64 LE | epoch u64 LE | payload
 //! record*: tag 0 (block write): phys u64 LE | 64 contents bytes
 //!          tag 1 (register):    idx u8     | 64 contents bytes
 //! ```
@@ -19,11 +20,24 @@
 //! whose checksum fails any other way is *corruption*, surfaced as a
 //! typed [`NvmError::Backend`], never a panic.
 //!
+//! Each flushed frame carries the device's **freshness epoch**, bumped on
+//! every flushing barrier, compaction, and snapshot. Replay demands
+//! strictly increasing epochs, so a spliced, reordered, or duplicated
+//! frame — internally checksum-valid — is still typed corruption. When
+//! the image is opened with [`FileBackend::open_with_anchor`], the last
+//! epoch is compared against the sealed [`FreshnessAnchor`] beside the
+//! image: an image *behind* the anchor is a rollback to stale state and
+//! is reported as [`Freshness::RolledBack`] for the recovery layer to
+//! refuse. The frame checksum itself stays unkeyed by design — it is a
+//! structural integrity check; content authenticity belongs to the
+//! crypto layer above, and freshness to the anchor.
+//!
 //! The log is compacted (rewritten as one frame holding just the live
 //! blocks and registers, then atomically renamed into place) once the
 //! replayed record count sufficiently exceeds the live footprint.
 
-use crate::backend::{fnv1a64, NvmBackend};
+use crate::anchor::{anchor_path_for, AnchorError, AnchorPolicy, Freshness, FreshnessAnchor};
+use crate::backend::{fnv1a64, fnv1a64_seeded, NvmBackend};
 use crate::block::Block;
 use crate::error::NvmError;
 use std::collections::{BTreeMap, HashMap};
@@ -32,9 +46,9 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"ANUBWAL1";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 const HEADER_BYTES: usize = 12;
-const FRAME_HEADER_BYTES: usize = 12;
+const FRAME_HEADER_BYTES: usize = 20;
 
 const TAG_WRITE: u8 = 0;
 const TAG_REG: u8 = 1;
@@ -48,6 +62,12 @@ fn io_err(op: &str, path: &Path, e: std::io::Error) -> NvmError {
     NvmError::Backend {
         reason: format!("{op} {}: {e}", path.display()),
     }
+}
+
+/// The checksum of one WAL frame: an FNV-1a stream over the frame epoch
+/// followed by the payload, so neither can be altered independently.
+fn frame_crc(epoch: u64, payload: &[u8]) -> u64 {
+    fnv1a64_seeded(fnv1a64(&epoch.to_le_bytes()), payload)
 }
 
 /// A durable, write-ahead-logged file backend for [`crate::NvmDevice`].
@@ -79,19 +99,59 @@ pub struct FileBackend {
     pending_records: u64,
     /// Records sitting in flushed frames (reset by compaction).
     wal_records: u64,
+    /// Current freshness epoch: that of the image's last intact frame,
+    /// bumped before each flushed frame / compaction / snapshot.
+    epoch: u64,
+    /// Sealed epoch register, present for anchored opens.
+    anchor: Option<FreshnessAnchor>,
+    /// The anchor check's verdict at open time.
+    freshness: Freshness,
+    /// Torn tail frames discarded (and truncated away) at open.
+    rejected_frames: u64,
     suppressed: bool,
 }
 
 impl FileBackend {
     /// Opens (or creates) a WAL image at `path`, replaying every intact
-    /// frame. A structurally torn tail frame is truncated away.
+    /// frame. A structurally torn tail frame is truncated away. No
+    /// freshness anchor is consulted: the image's epoch is trusted at
+    /// face value ([`Freshness::Untracked`]).
     ///
     /// # Errors
     ///
     /// Returns [`NvmError::Backend`] for I/O failures, a bad magic or
-    /// version, or a checksum-corrupt frame that is not a torn tail.
+    /// version, a checksum-corrupt frame that is not a torn tail, or a
+    /// non-monotonic frame epoch.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, NvmError> {
-        let path = path.as_ref().to_path_buf();
+        Self::open_inner(path.as_ref(), None)
+    }
+
+    /// Opens a WAL image and verifies its epoch against the sealed
+    /// freshness anchor beside it (`<path>.anchor`), creating the anchor
+    /// for a fresh image. The verdict is reported through
+    /// [`NvmBackend::freshness`]; an image behind the anchor still opens
+    /// (so the damage can be inspected) but reports
+    /// [`Freshness::RolledBack`], which the recovery layer must refuse.
+    /// Under [`AnchorPolicy::Override`] a missing or corrupt anchor is
+    /// resealed from the image's epoch instead of reported as a
+    /// violation; genuine rollback is never overridden.
+    ///
+    /// # Errors
+    ///
+    /// As [`FileBackend::open`], plus anchor I/O failures.
+    pub fn open_with_anchor(
+        path: impl AsRef<Path>,
+        key: [u64; 2],
+        policy: AnchorPolicy,
+    ) -> Result<Self, NvmError> {
+        Self::open_inner(path.as_ref(), Some((key, policy)))
+    }
+
+    fn open_inner(
+        path: &Path,
+        anchoring: Option<([u64; 2], AnchorPolicy)>,
+    ) -> Result<Self, NvmError> {
+        let path = path.to_path_buf();
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -106,6 +166,8 @@ impl FileBackend {
         let mut cache = HashMap::new();
         let mut regs = BTreeMap::new();
         let mut wal_records = 0u64;
+        let mut epoch = 0u64;
+        let mut rejected_frames = 0u64;
 
         let valid_len = if bytes.is_empty() {
             file.write_all(MAGIC)
@@ -132,6 +194,7 @@ impl FileBackend {
             let mut pos = HEADER_BYTES;
             while pos < bytes.len() {
                 if pos + FRAME_HEADER_BYTES > bytes.len() {
+                    rejected_frames += 1;
                     break; // torn tail: incomplete frame header
                 }
                 let len = u32::from_le_bytes([
@@ -145,12 +208,18 @@ impl FileBackend {
                         .try_into()
                         .expect("slice is 8 bytes"),
                 );
+                let frame_epoch = u64::from_le_bytes(
+                    bytes[pos + 12..pos + 20]
+                        .try_into()
+                        .expect("slice is 8 bytes"),
+                );
                 let start = pos + FRAME_HEADER_BYTES;
                 let Some(end) = start.checked_add(len).filter(|&e| e <= bytes.len()) else {
+                    rejected_frames += 1;
                     break; // torn tail: payload cut short by the kill
                 };
                 let payload = &bytes[start..end];
-                if fnv1a64(payload) != crc {
+                if frame_crc(frame_epoch, payload) != crc {
                     // A complete frame with a bad checksum is bit
                     // corruption, not a torn append.
                     return Err(NvmError::Backend {
@@ -160,6 +229,19 @@ impl FileBackend {
                         ),
                     });
                 }
+                if frame_epoch <= epoch {
+                    // Epochs strictly increase through the log; a repeat
+                    // or regression is a reordered, duplicated, or
+                    // spliced frame — checksum-intact, still corruption.
+                    return Err(NvmError::Backend {
+                        reason: format!(
+                            "{}: non-monotonic WAL frame epoch {frame_epoch} after {epoch} \
+                             at byte {pos} (spliced or reordered frame)",
+                            path.display()
+                        ),
+                    });
+                }
+                epoch = frame_epoch;
                 wal_records += replay_frame(&path, payload, &mut cache, &mut regs)?;
                 pos = end;
             }
@@ -174,6 +256,11 @@ impl FileBackend {
         file.seek(SeekFrom::End(0))
             .map_err(|e| io_err("seek", &path, e))?;
 
+        let (anchor, freshness) = match anchoring {
+            None => (None, Freshness::Untracked),
+            Some((key, policy)) => Self::check_anchor(&path, key, policy, epoch)?,
+        };
+
         Ok(FileBackend {
             file,
             path,
@@ -184,8 +271,84 @@ impl FileBackend {
             pending_ops: Vec::new(),
             pending_records: 0,
             wal_records,
+            epoch,
+            anchor,
+            freshness,
+            rejected_frames,
             suppressed: false,
         })
+    }
+
+    /// Resolves the anchor beside the image against the image's replayed
+    /// epoch. Returns the anchor handle (absent only when the verdict is
+    /// a strict-policy violation, so evidence is preserved untouched)
+    /// plus the freshness verdict.
+    fn check_anchor(
+        path: &Path,
+        key: [u64; 2],
+        policy: AnchorPolicy,
+        image_epoch: u64,
+    ) -> Result<(Option<FreshnessAnchor>, Freshness), NvmError> {
+        let apath = anchor_path_for(path);
+        let anchor_io = |e: AnchorError| NvmError::Backend {
+            reason: e.to_string(),
+        };
+        match FreshnessAnchor::probe(&apath, key) {
+            Ok(Some(anchored)) if anchored > image_epoch => {
+                // A valid anchor ahead of the image proves rollback; no
+                // policy overrides it, and the anchor is left untouched.
+                Ok((
+                    None,
+                    Freshness::RolledBack {
+                        anchored_epoch: anchored,
+                        image_epoch,
+                    },
+                ))
+            }
+            Ok(Some(anchored)) if image_epoch > anchored + 1 => {
+                // The seal follows every frame fsync, so an honest crash
+                // leaves the image at most ONE epoch past the anchor.
+                // Further ahead means frames were appended at rest — a
+                // spliced or forged tail. Like rollback this is proven by
+                // a valid anchor, so no policy overrides it.
+                Ok((
+                    None,
+                    Freshness::TailForged {
+                        anchored_epoch: anchored,
+                        image_epoch,
+                    },
+                ))
+            }
+            Ok(Some(anchored)) => {
+                let mut a = FreshnessAnchor::open(apath, key).map_err(anchor_io)?;
+                if anchored < image_epoch {
+                    // Honest crash after the WAL fsync but before the
+                    // anchor seal (or mid-seal, torn): heal forward.
+                    a.seal(image_epoch).map_err(anchor_io)?;
+                }
+                Ok((Some(a), Freshness::Fresh { epoch: image_epoch }))
+            }
+            Ok(None) if image_epoch == 0 => {
+                // Fresh image with no history: bootstrap the anchor.
+                let a = FreshnessAnchor::create(apath, key, 0).map_err(anchor_io)?;
+                Ok((Some(a), Freshness::Fresh { epoch: 0 }))
+            }
+            Ok(None) => match policy {
+                AnchorPolicy::Strict => Ok((None, Freshness::AnchorMissing { image_epoch })),
+                AnchorPolicy::Override => {
+                    let a = FreshnessAnchor::create(apath, key, image_epoch).map_err(anchor_io)?;
+                    Ok((Some(a), Freshness::Overridden { image_epoch }))
+                }
+            },
+            Err(AnchorError::Corrupt) => match policy {
+                AnchorPolicy::Strict => Ok((None, Freshness::AnchorCorrupt { image_epoch })),
+                AnchorPolicy::Override => {
+                    let a = FreshnessAnchor::create(apath, key, image_epoch).map_err(anchor_io)?;
+                    Ok((Some(a), Freshness::Overridden { image_epoch }))
+                }
+            },
+            Err(e @ AnchorError::Io { .. }) => Err(anchor_io(e)),
+        }
     }
 
     /// The image path this backend persists to.
@@ -217,10 +380,42 @@ impl FileBackend {
         (self.replay.len() + self.regs.len()) as u64
     }
 
+    /// Appends one frame carrying `payload` at a freshly bumped epoch and
+    /// fsyncs, then seals the anchor forward to match. The WAL lands
+    /// strictly before the anchor advances, so an honest crash between
+    /// the two leaves the image *ahead* of the anchor (accepted and
+    /// healed on reopen) — never behind it.
+    fn append_frame(&mut self, payload: &[u8]) -> Result<(), NvmError> {
+        self.epoch += 1;
+        let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&frame_crc(self.epoch, payload).to_le_bytes());
+        frame.extend_from_slice(&self.epoch.to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err("append", &self.path.clone(), e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| io_err("sync", &self.path.clone(), e))?;
+        self.seal_anchor()
+    }
+
+    fn seal_anchor(&mut self) -> Result<(), NvmError> {
+        if let Some(anchor) = &mut self.anchor {
+            anchor.seal(self.epoch).map_err(|e| NvmError::Backend {
+                reason: e.to_string(),
+            })?;
+        }
+        Ok(())
+    }
+
     /// Rewrites the log as header + one frame of the replay state and
     /// atomically renames it into place. The baseline is `replay`, not
     /// `cache`: journaled-but-undrained writes are durable in the log
-    /// being discarded and must survive into its replacement.
+    /// being discarded and must survive into its replacement. The
+    /// rewritten frame carries a freshly bumped epoch, sealed into the
+    /// anchor after the rename.
     fn compact(&mut self) -> Result<(), NvmError> {
         let mut payload = Vec::with_capacity(self.replay.len() * 73 + self.regs.len() * 66);
         let mut entries: Vec<_> = self.replay.iter().map(|(&k, &b)| (k, b)).collect();
@@ -236,6 +431,7 @@ impl FileBackend {
             payload.extend_from_slice(block.as_bytes());
         }
 
+        self.epoch += 1;
         let tmp = self.path.with_extension("compact-tmp");
         let mut out = File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
         out.write_all(MAGIC).map_err(|e| io_err("write", &tmp, e))?;
@@ -243,7 +439,9 @@ impl FileBackend {
             .map_err(|e| io_err("write", &tmp, e))?;
         out.write_all(&(payload.len() as u32).to_le_bytes())
             .map_err(|e| io_err("write", &tmp, e))?;
-        out.write_all(&fnv1a64(&payload).to_le_bytes())
+        out.write_all(&frame_crc(self.epoch, &payload).to_le_bytes())
+            .map_err(|e| io_err("write", &tmp, e))?;
+        out.write_all(&self.epoch.to_le_bytes())
             .map_err(|e| io_err("write", &tmp, e))?;
         out.write_all(&payload)
             .map_err(|e| io_err("write", &tmp, e))?;
@@ -259,7 +457,7 @@ impl FileBackend {
             .map_err(|e| io_err("seek", &tmp, e))?;
         self.file = out;
         self.wal_records = self.live_records();
-        Ok(())
+        self.seal_anchor()
     }
 }
 
@@ -357,21 +555,12 @@ impl NvmBackend for FileBackend {
         if self.pending.is_empty() {
             return Ok(());
         }
-        let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + self.pending.len());
-        frame.extend_from_slice(&(self.pending.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&fnv1a64(&self.pending).to_le_bytes());
-        frame.extend_from_slice(&self.pending);
-        self.file
-            .write_all(&frame)
-            .map_err(|e| io_err("append", &self.path.clone(), e))?;
-        self.file
-            .sync_data()
-            .map_err(|e| io_err("sync", &self.path.clone(), e))?;
+        let payload = std::mem::take(&mut self.pending);
+        self.append_frame(&payload)?;
         self.wal_records += self.pending_records;
         for (phys, block) in self.pending_ops.drain(..) {
             self.replay.insert(phys, block);
         }
-        self.pending.clear();
         self.pending_records = 0;
         if self.wal_records > COMPACT_FACTOR * self.live_records() + COMPACT_FLOOR {
             self.compact()?;
@@ -385,17 +574,47 @@ impl NvmBackend for FileBackend {
         self.pending_ops.clear();
         self.pending_records = 0;
     }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn freshness(&self) -> Freshness {
+        self.freshness
+    }
+
+    fn bump_epoch(&mut self) -> Result<(), NvmError> {
+        if self.suppressed {
+            return Ok(());
+        }
+        // An empty frame: nothing to replay, but the epoch advance is
+        // durable and anchored, so post-snapshot state is provably newer
+        // than the snapshot it feeds.
+        self.append_frame(&[])
+    }
+
+    fn frames_rejected(&self) -> u64 {
+        self.rejected_frames
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    const KEY: [u64; 2] = [7, 13];
+
     fn tmp(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
         p.push(format!("anubis-walt-{}-{name}.img", std::process::id()));
         let _ = std::fs::remove_file(&p);
+        let _ = std::fs::remove_file(anchor_path_for(&p));
         p
+    }
+
+    fn cleanup(p: &Path) {
+        let _ = std::fs::remove_file(p);
+        let _ = std::fs::remove_file(anchor_path_for(p));
     }
 
     #[test]
@@ -411,7 +630,9 @@ mod tests {
         assert_eq!(b.load(5), Some(Block::filled(0x11)));
         assert_eq!(b.reg(2), Some(Block::filled(0x22)));
         assert_eq!(b.touched(), 1);
-        let _ = std::fs::remove_file(&p);
+        assert_eq!(b.epoch(), 1);
+        assert_eq!(b.freshness(), Freshness::Untracked);
+        cleanup(&p);
     }
 
     #[test]
@@ -426,7 +647,7 @@ mod tests {
         let b = FileBackend::open(&p).unwrap();
         assert_eq!(b.load(1), Some(Block::filled(0xAA)));
         assert_eq!(b.load(2), None);
-        let _ = std::fs::remove_file(&p);
+        cleanup(&p);
     }
 
     #[test]
@@ -440,7 +661,7 @@ mod tests {
         }
         let b = FileBackend::open(&p).unwrap();
         assert_eq!(b.load(9), Some(Block::filled(0x99)));
-        let _ = std::fs::remove_file(&p);
+        cleanup(&p);
     }
 
     #[test]
@@ -456,7 +677,7 @@ mod tests {
         }
         let b = FileBackend::open(&p).unwrap();
         assert_eq!(b.load(4), Some(Block::filled(3)));
-        let _ = std::fs::remove_file(&p);
+        cleanup(&p);
     }
 
     #[test]
@@ -477,9 +698,10 @@ mod tests {
         let b = FileBackend::open(&p).unwrap();
         assert_eq!(b.load(1), Some(Block::filled(0xAA)));
         assert_eq!(b.load(2), None);
+        assert_eq!(b.frames_rejected(), 1);
         // The torn tail is physically gone after reopen.
         assert!(std::fs::metadata(&p).unwrap().len() < len - 10);
-        let _ = std::fs::remove_file(&p);
+        cleanup(&p);
     }
 
     #[test]
@@ -497,7 +719,7 @@ mod tests {
         let err = FileBackend::open(&p).unwrap_err();
         assert!(matches!(err, NvmError::Backend { .. }), "got {err:?}");
         assert!(err.to_string().contains("checksum"), "got {err}");
-        let _ = std::fs::remove_file(&p);
+        cleanup(&p);
     }
 
     #[test]
@@ -513,7 +735,7 @@ mod tests {
         std::fs::write(&p, &img).unwrap();
         let err = FileBackend::open(&p).unwrap_err();
         assert!(err.to_string().contains("version"), "got {err}");
-        let _ = std::fs::remove_file(&p);
+        cleanup(&p);
     }
 
     #[test]
@@ -527,13 +749,14 @@ mod tests {
             b.suppress_flushes();
             b.store(3, Block::filled(0xCC));
             b.barrier().unwrap(); // no-op
+            b.bump_epoch().unwrap(); // also a no-op on a dead platform
             assert!(b.flushes_suppressed());
         }
         let b = FileBackend::open(&p).unwrap();
         assert_eq!(b.load(1), Some(Block::filled(0xAA)));
         assert_eq!(b.load(2), None);
         assert_eq!(b.load(3), None);
-        let _ = std::fs::remove_file(&p);
+        cleanup(&p);
     }
 
     #[test]
@@ -555,7 +778,7 @@ mod tests {
         }
         let b = FileBackend::open(&p).unwrap();
         assert_eq!(b.load(42), Some(Block::filled(0x5A)));
-        let _ = std::fs::remove_file(&p);
+        cleanup(&p);
     }
 
     #[test]
@@ -574,12 +797,13 @@ mod tests {
         }
         let b = FileBackend::open(&p).unwrap();
         assert_eq!(b.load(4), Some(Block::filled(2)));
-        let _ = std::fs::remove_file(&p);
+        cleanup(&p);
     }
 
     #[test]
     fn compaction_preserves_contents() {
         let p = tmp("compact");
+        let pre_epoch;
         {
             let mut b = FileBackend::open(&p).unwrap();
             // Hammer one address so the WAL grows far beyond the live
@@ -589,6 +813,7 @@ mod tests {
                 b.store_reg(1, Block::filled((i % 13) as u8));
                 b.barrier().unwrap();
             }
+            pre_epoch = b.epoch();
             let size = std::fs::metadata(&p).unwrap().len();
             // ~2200 records × ~75 bytes would exceed 150 KiB without
             // compaction; the compacted log stays a small multiple of the
@@ -599,6 +824,225 @@ mod tests {
         let last = COMPACT_FLOOR + 63;
         assert_eq!(b.load(7), Some(Block::filled((last % 251) as u8)));
         assert_eq!(b.reg(1), Some(Block::filled((last % 13) as u8)));
-        let _ = std::fs::remove_file(&p);
+        // Compaction bumps the epoch; the rewritten image preserves it.
+        assert_eq!(b.epoch(), pre_epoch);
+        assert!(pre_epoch > COMPACT_FLOOR);
+        cleanup(&p);
+    }
+
+    #[test]
+    fn duplicated_frame_is_typed_epoch_corruption() {
+        let p = tmp("dup");
+        {
+            let mut b = FileBackend::open(&p).unwrap();
+            b.store(1, Block::filled(0xAA));
+            b.barrier().unwrap();
+            b.store(2, Block::filled(0xBB));
+            b.barrier().unwrap();
+        }
+        let mut bytes = std::fs::read(&p).unwrap();
+        // Duplicate the last frame verbatim: checksum-valid, epoch stale.
+        let frame_len = FRAME_HEADER_BYTES + 73;
+        let last = bytes.len() - frame_len;
+        let dup = bytes[last..].to_vec();
+        bytes.extend_from_slice(&dup);
+        std::fs::write(&p, &bytes).unwrap();
+        let err = FileBackend::open(&p).unwrap_err();
+        assert!(err.to_string().contains("non-monotonic"), "got {err}");
+        cleanup(&p);
+    }
+
+    #[test]
+    fn reordered_frames_are_typed_epoch_corruption() {
+        let p = tmp("reorder");
+        {
+            let mut b = FileBackend::open(&p).unwrap();
+            b.store(1, Block::filled(0xAA));
+            b.barrier().unwrap();
+            b.store(2, Block::filled(0xBB));
+            b.barrier().unwrap();
+        }
+        let bytes = std::fs::read(&p).unwrap();
+        let frame_len = FRAME_HEADER_BYTES + 73;
+        let f1 = HEADER_BYTES;
+        let f2 = HEADER_BYTES + frame_len;
+        let mut swapped = bytes[..HEADER_BYTES].to_vec();
+        swapped.extend_from_slice(&bytes[f2..f2 + frame_len]);
+        swapped.extend_from_slice(&bytes[f1..f1 + frame_len]);
+        std::fs::write(&p, &swapped).unwrap();
+        let err = FileBackend::open(&p).unwrap_err();
+        assert!(err.to_string().contains("non-monotonic"), "got {err}");
+        cleanup(&p);
+    }
+
+    #[test]
+    fn tampered_frame_epoch_fails_checksum() {
+        let p = tmp("epochtamper");
+        {
+            let mut b = FileBackend::open(&p).unwrap();
+            b.store(1, Block::filled(0xAA));
+            b.barrier().unwrap();
+        }
+        let mut bytes = std::fs::read(&p).unwrap();
+        // The epoch field is covered by the frame checksum: bumping it
+        // without re-checksumming must be detected.
+        bytes[HEADER_BYTES + 12] ^= 0x01;
+        std::fs::write(&p, &bytes).unwrap();
+        let err = FileBackend::open(&p).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "got {err}");
+        cleanup(&p);
+    }
+
+    #[test]
+    fn anchored_open_detects_rollback() {
+        let p = tmp("rollback");
+        {
+            let mut b = FileBackend::open_with_anchor(&p, KEY, AnchorPolicy::Strict).unwrap();
+            b.store(1, Block::filled(0x01));
+            b.barrier().unwrap();
+        }
+        let early = std::fs::read(&p).unwrap();
+        {
+            let mut b = FileBackend::open_with_anchor(&p, KEY, AnchorPolicy::Strict).unwrap();
+            b.store(1, Block::filled(0x02));
+            b.barrier().unwrap();
+            b.store(1, Block::filled(0x03));
+            b.barrier().unwrap();
+        }
+        // Roll the image (but not the anchor — on-chip NVRAM) back.
+        std::fs::write(&p, &early).unwrap();
+        let b = FileBackend::open_with_anchor(&p, KEY, AnchorPolicy::Strict).unwrap();
+        assert_eq!(
+            b.freshness(),
+            Freshness::RolledBack {
+                anchored_epoch: 3,
+                image_epoch: 1
+            }
+        );
+        // Rollback is not overridable: the override policy sees it too.
+        drop(b);
+        let b = FileBackend::open_with_anchor(&p, KEY, AnchorPolicy::Override).unwrap();
+        assert!(matches!(b.freshness(), Freshness::RolledBack { .. }));
+        cleanup(&p);
+    }
+
+    #[test]
+    fn anchored_open_accepts_and_heals_image_ahead() {
+        let p = tmp("heal");
+        {
+            let mut b = FileBackend::open_with_anchor(&p, KEY, AnchorPolicy::Strict).unwrap();
+            b.store(1, Block::filled(0x01));
+            b.barrier().unwrap();
+            b.store(1, Block::filled(0x02));
+            b.barrier().unwrap();
+        }
+        // Rewind only the anchor, simulating a crash between the WAL
+        // fsync and the anchor seal.
+        let apath = anchor_path_for(&p);
+        let _ = std::fs::remove_file(&apath);
+        FreshnessAnchor::create(apath.clone(), KEY, 1).unwrap();
+        let b = FileBackend::open_with_anchor(&p, KEY, AnchorPolicy::Strict).unwrap();
+        assert_eq!(b.freshness(), Freshness::Fresh { epoch: 2 });
+        drop(b);
+        // The heal resealed the anchor at the image epoch.
+        assert_eq!(FreshnessAnchor::probe(&apath, KEY).unwrap(), Some(2));
+        cleanup(&p);
+    }
+
+    #[test]
+    fn anchored_open_refuses_forged_tail_beyond_crash_window() {
+        let p = tmp("forgedtail");
+        {
+            let mut b = FileBackend::open_with_anchor(&p, KEY, AnchorPolicy::Strict).unwrap();
+            b.store(1, Block::filled(0x01));
+            b.barrier().unwrap();
+            b.store(1, Block::filled(0x02));
+            b.barrier().unwrap();
+        }
+        // Forge two empty frames with valid (keyless) checksums at
+        // epochs 3 and 4 — what a splicing adversary who knows the frame
+        // format but cannot touch the anchor would append.
+        let mut bytes = std::fs::read(&p).unwrap();
+        for e in [3u64, 4] {
+            bytes.extend_from_slice(&0u32.to_le_bytes());
+            bytes.extend_from_slice(&frame_crc(e, &[]).to_le_bytes());
+            bytes.extend_from_slice(&e.to_le_bytes());
+        }
+        std::fs::write(&p, &bytes).unwrap();
+        let b = FileBackend::open_with_anchor(&p, KEY, AnchorPolicy::Strict).unwrap();
+        assert_eq!(
+            b.freshness(),
+            Freshness::TailForged {
+                anchored_epoch: 2,
+                image_epoch: 4
+            }
+        );
+        assert!(b.freshness().is_violation());
+        drop(b);
+        // Never overridable, and the anchor evidence is left untouched.
+        let b = FileBackend::open_with_anchor(&p, KEY, AnchorPolicy::Override).unwrap();
+        assert!(matches!(b.freshness(), Freshness::TailForged { .. }));
+        drop(b);
+        assert_eq!(
+            FreshnessAnchor::probe(&anchor_path_for(&p), KEY).unwrap(),
+            Some(2)
+        );
+        cleanup(&p);
+    }
+
+    #[test]
+    fn missing_and_corrupt_anchor_are_strict_violations() {
+        let p = tmp("anchorloss");
+        {
+            let mut b = FileBackend::open_with_anchor(&p, KEY, AnchorPolicy::Strict).unwrap();
+            b.store(1, Block::filled(0x01));
+            b.barrier().unwrap();
+        }
+        let apath = anchor_path_for(&p);
+        std::fs::remove_file(&apath).unwrap();
+        let b = FileBackend::open_with_anchor(&p, KEY, AnchorPolicy::Strict).unwrap();
+        assert_eq!(b.freshness(), Freshness::AnchorMissing { image_epoch: 1 });
+        assert!(b.freshness().is_violation());
+        drop(b);
+        std::fs::write(&apath, b"garbage anchor bytes........................").unwrap();
+        let b = FileBackend::open_with_anchor(&p, KEY, AnchorPolicy::Strict).unwrap();
+        assert_eq!(b.freshness(), Freshness::AnchorCorrupt { image_epoch: 1 });
+        cleanup(&p);
+    }
+
+    #[test]
+    fn override_reseals_missing_anchor_from_image() {
+        let p = tmp("override");
+        {
+            let mut b = FileBackend::open_with_anchor(&p, KEY, AnchorPolicy::Strict).unwrap();
+            b.store(1, Block::filled(0x01));
+            b.barrier().unwrap();
+        }
+        let apath = anchor_path_for(&p);
+        std::fs::remove_file(&apath).unwrap();
+        let b = FileBackend::open_with_anchor(&p, KEY, AnchorPolicy::Override).unwrap();
+        assert_eq!(b.freshness(), Freshness::Overridden { image_epoch: 1 });
+        drop(b);
+        // Resealed: the next strict open is clean again.
+        let b = FileBackend::open_with_anchor(&p, KEY, AnchorPolicy::Strict).unwrap();
+        assert_eq!(b.freshness(), Freshness::Fresh { epoch: 1 });
+        cleanup(&p);
+    }
+
+    #[test]
+    fn bump_epoch_is_durable_and_anchored() {
+        let p = tmp("bump");
+        {
+            let mut b = FileBackend::open_with_anchor(&p, KEY, AnchorPolicy::Strict).unwrap();
+            b.store(1, Block::filled(0x01));
+            b.barrier().unwrap();
+            b.bump_epoch().unwrap();
+            assert_eq!(b.epoch(), 2);
+        }
+        let b = FileBackend::open_with_anchor(&p, KEY, AnchorPolicy::Strict).unwrap();
+        assert_eq!(b.epoch(), 2);
+        assert_eq!(b.freshness(), Freshness::Fresh { epoch: 2 });
+        assert_eq!(b.load(1), Some(Block::filled(0x01)));
+        cleanup(&p);
     }
 }

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod addr;
+mod anchor;
 mod backend;
 mod block;
 mod device;
@@ -53,6 +54,7 @@ mod stats;
 mod wpq;
 
 pub use addr::{BlockAddr, Region, RegionAllocator, BLOCK_BYTES};
+pub use anchor::{anchor_path_for, AnchorError, AnchorPolicy, Freshness, FreshnessAnchor};
 pub use backend::{MemBackend, NvmBackend};
 pub use block::Block;
 pub use device::NvmDevice;

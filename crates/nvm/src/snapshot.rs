@@ -8,6 +8,7 @@
 //! ```text
 //! "ANUBSNP1" (8) | version u32 LE | fnv1a64(body) u64 LE | body
 //! body:
+//!   freshness epoch u64
 //!   entry count u64 | (phys u64 | 64 bytes)*
 //!   reg count u32   | (idx u8   | 64 bytes)*
 //!   pregs: done u8 | drained u64 | count u32 | (addr u64 | 64 bytes)*
@@ -23,7 +24,7 @@ use crate::{backend::fnv1a64, BlockAddr, BLOCK_BYTES};
 use core::fmt;
 
 const MAGIC: &[u8; 8] = b"ANUBSNP1";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 const HEADER_BYTES: usize = 20;
 
 /// Why a snapshot image failed to parse.
@@ -43,6 +44,15 @@ pub enum SnapshotError {
     ChecksumMismatch,
     /// The embedded quarantine-table blocks failed to parse.
     BadQuarantineTable,
+    /// The snapshot's freshness epoch is behind the epoch the target
+    /// domain already reached: restoring it would roll committed state
+    /// back to a stale (if internally consistent) version.
+    StaleEpoch {
+        /// Epoch the snapshot was captured at.
+        snapshot_epoch: u64,
+        /// Epoch the target domain's backend has already sealed.
+        current_epoch: u64,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -62,6 +72,16 @@ impl fmt::Display for SnapshotError {
             SnapshotError::BadQuarantineTable => {
                 write!(f, "snapshot quarantine table is malformed")
             }
+            SnapshotError::StaleEpoch {
+                snapshot_epoch,
+                current_epoch,
+            } => {
+                write!(
+                    f,
+                    "stale snapshot: captured at epoch {snapshot_epoch}, \
+                     domain already at epoch {current_epoch}"
+                )
+            }
         }
     }
 }
@@ -75,6 +95,10 @@ impl std::error::Error for SnapshotError {}
 /// [`crate::PersistenceDomain::apply_snapshot`] in a fresh process.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct Snapshot {
+    /// Freshness epoch at capture (0 for volatile backends). A restore
+    /// path comparing this against the sealed anchor can refuse a
+    /// snapshot older than the state it would replace.
+    pub epoch: u64,
     /// Device block contents, sorted by physical index.
     pub entries: Vec<(u64, Block)>,
     /// Persistent register file images, sorted by index.
@@ -93,6 +117,7 @@ impl Snapshot {
     /// Serializes the snapshot with header and checksum.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut body = Vec::new();
+        body.extend_from_slice(&self.epoch.to_le_bytes());
         body.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
         for (phys, block) in &self.entries {
             body.extend_from_slice(&phys.to_le_bytes());
@@ -151,6 +176,7 @@ impl Snapshot {
         }
 
         let mut r = Reader { body, pos: 0 };
+        let epoch = r.u64()?;
         let entry_count = r.u64()?;
         let mut entries = Vec::new();
         for _ in 0..entry_count {
@@ -178,6 +204,7 @@ impl Snapshot {
         }
 
         Ok(Snapshot {
+            epoch,
             entries,
             regs,
             pregs_entries,
@@ -234,6 +261,7 @@ mod tests {
 
     fn sample() -> Snapshot {
         Snapshot {
+            epoch: 41,
             entries: vec![(3, Block::filled(0x33)), (9, Block::filled(0x99))],
             regs: vec![(0, Block::filled(1)), (7, Block::filled(7))],
             pregs_entries: vec![WriteOp::new(BlockAddr::new(12), Block::filled(0xAB))],

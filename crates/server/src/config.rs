@@ -126,6 +126,10 @@ pub struct ServeConfig {
     /// Whether chaos-injection requests are honored
     /// (`ANUBIS_SERVE_CHAOS=1`; default off).
     pub chaos: bool,
+    /// Explicit operator override for a missing or corrupt freshness
+    /// anchor (`ANUBIS_ANCHOR_OVERRIDE=1`; default off). Never applies
+    /// to a valid anchor proving rollback — that is always refused.
+    pub anchor_override: bool,
     /// Controller geometry for every tenant domain.
     pub mem_config: AnubisConfig,
 }
@@ -149,6 +153,7 @@ impl Default for ServeConfig {
             stall_ms: 2_000,
             max_frame_bytes: 1 << 20,
             chaos: false,
+            anchor_override: false,
             mem_config: AnubisConfig::small_test(),
         }
     }
@@ -230,6 +235,7 @@ impl ServeConfig {
         env_parse("ANUBIS_SERVE_STALL_MS", &mut c.stall_ms)?;
         env_parse("ANUBIS_SERVE_MAX_FRAME", &mut c.max_frame_bytes)?;
         c.chaos = std::env::var("ANUBIS_SERVE_CHAOS").map(|v| v == "1") == Ok(true);
+        c.anchor_override = std::env::var("ANUBIS_ANCHOR_OVERRIDE").map(|v| v == "1") == Ok(true);
         Ok(c)
     }
 

@@ -239,8 +239,17 @@ impl Tenant {
         threads: &ThreadReg,
     ) -> Result<Arc<Tenant>, NvmError> {
         let image = cfg.image_path(&spec.name);
-        let backend = FileBackend::open(&image)?;
+        // Every tenant image is opened under its freshness anchor: a
+        // rolled-back or unverifiable image surfaces a refusal hint that
+        // the boot ladder turns into `ServeMode::Unavailable` — stale
+        // state is never silently served.
+        let policy = if cfg.anchor_override {
+            anubis_nvm::AnchorPolicy::Override
+        } else {
+            anubis_nvm::AnchorPolicy::Strict
+        };
         let mem = &cfg.mem_config;
+        let backend = FileBackend::open_with_anchor(&image, mem.key.0, policy)?;
         let (ctrl, hint) = open_family(spec.family, mem, backend);
         let tenant = Arc::new(Tenant {
             name: spec.name.clone(),

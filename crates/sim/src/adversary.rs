@@ -1,0 +1,1377 @@
+//! Restart-time adversary engine: at-rest tamper drills for durable state.
+//!
+//! The kill −9 drills in [`crate::drill`] prove that an *honest* crash
+//! loses no acknowledged write. This module drops the honesty
+//! assumption: between the child's death and the restart, an adversary
+//! with full filesystem access **mutates the durable artifacts** — bit
+//! flips, truncations, frame splices and reorders, wholesale rollback to
+//! an earlier captured state, cross-domain image swaps, and attacks on
+//! the freshness anchor itself — and the campaign demands that every
+//! single mutated restart terminates in one of exactly three typed
+//! verdicts:
+//!
+//! 1. **Full recovery** — every acknowledged write reads back intact
+//!    (only allowed when the mutation could not have removed acked
+//!    state, e.g. an anchor deletion under the explicit operator
+//!    override);
+//! 2. **Degraded** — the system serves, but damage is *declared*
+//!    through typed read errors or quarantine loss accounting;
+//! 3. **Refusal** — reopen or supervised recovery returns a typed
+//!    error ([`RecoveryError::RollbackDetected`] for freshness
+//!    violations) and nothing is served.
+//!
+//! Two outcomes are campaign-stopping findings, not verdicts: a
+//! **panic** anywhere in the reopen/recover/read path, and a **silent
+//! stale serve** — a read of an acknowledged address returning wrong
+//! data without a typed error or declared quarantine loss. A completed
+//! campaign therefore certifies: zero panics, zero silent staleness,
+//! and 100 % detection of snapshot/WAL rollback.
+//!
+//! ## Threat-model boundary
+//!
+//! The sealed anchor beside the image stands in for the paper's
+//! *on-chip NVRAM root register*: the adversary may read it but its
+//! mutations there are limited to deletion/corruption/rollback of the
+//! *file* (modeling NVRAM loss, not NVRAM forgery — the MAC key lives
+//! in the processor). Substituting a *consistent old pair* (image +
+//! matching anchor captured together) is out of scope, exactly as
+//! rewinding the on-chip register in lockstep with external NVM is out
+//! of scope for Anubis itself. Likewise, a single forged tail frame at
+//! `anchored + 1` is indistinguishable from the one honest in-flight
+//! barrier a crash can leave unanchored; anything further ahead is
+//! refused as [`anubis_nvm::Freshness::TailForged`].
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use anubis::{
+    AnubisConfig, BonsaiController, BonsaiScheme, DataAddr, RecoveryError, RecoveryOutcome,
+    SgxController, SgxScheme, Supervised, Supervisor,
+};
+use anubis_nvm::{anchor_path_for, AnchorPolicy, FileBackend, FreshnessAnchor, NvmBackend};
+
+use crate::drill::{
+    ack_expectations, drill_script, read_ack_log, AckExpectations, AckWriter, DrillError,
+    DrillFamily,
+};
+use crate::fault::op_payload;
+
+/// Bytes per ack record (same format as the drill's ack log).
+const ACK_RECORD_BYTES: u64 = 24;
+
+/// How long the parent waits for a child before declaring it hung.
+const CHILD_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// WAL image header bytes (magic + version) — the adversary is an
+/// external observer of the on-disk format, so the constants are
+/// duplicated from the NVM crate rather than exported by it.
+const WAL_HEADER_BYTES: usize = 12;
+
+/// WAL frame header bytes: payload len u32 | crc u64 | epoch u64.
+const FRAME_HEADER_BYTES: usize = 20;
+
+/// Acks the capture run stops short of the base run, so the captured
+/// image is strictly older than the base image's sealed anchor even
+/// after kill-latency overshoot.
+const CAPTURE_MARGIN_ACKS: u64 = 35;
+
+/// Smallest kill threshold: enough acked frames for every frame-level
+/// mutation and comfortably past the capture margin.
+const MIN_KILL_ACKS: u64 = 45;
+
+/// Mutations evaluated per base kill point (including the unmutated
+/// control), across all classes in [`MutationClass::all`].
+pub const MUTATIONS_PER_RUN: u64 = 22;
+
+/// Campaign parameters besides the family.
+#[derive(Debug, Clone)]
+pub struct AdversarySpec {
+    /// Script length in operations (reads and writes).
+    pub script_len: usize,
+    /// Data-line address range the script touches.
+    pub lines: u64,
+    /// Seed for the script, kill points, and mutation draws.
+    pub seed: u64,
+}
+
+impl Default for AdversarySpec {
+    fn default() -> Self {
+        AdversarySpec {
+            script_len: 900,
+            lines: 220,
+            seed: 0xAD7E_5A21,
+        }
+    }
+}
+
+/// The mutation classes the adversary draws from. Every class carries a
+/// *required verdict floor* — the weakest verdict the campaign accepts
+/// for it (see [`Requirement`]); stronger outcomes are always allowed
+/// upward in the order refusal > degraded > full recovery for damage,
+/// but a required refusal is exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MutationClass {
+    /// The unmutated dead image — must recover and serve (baseline).
+    Control,
+    /// One bit flipped somewhere past the image header.
+    BitFlip,
+    /// Bytes sheared off the end of the image (torn or malicious tail).
+    TruncateTail,
+    /// Two or more *complete acked frames* removed from the WAL tail —
+    /// internally consistent older state; only the anchor can tell.
+    WalRollback,
+    /// Two adjacent frames swapped in place (reordered log).
+    FrameReorder,
+    /// An earlier frame appended again at the tail (duplicated log).
+    FrameDuplicate,
+    /// An old frame's payload re-framed at fresh epochs with valid
+    /// checksums — a format-aware replay splice.
+    ReplaySplice,
+    /// The whole image replaced by a capture taken mid-run (snapshot +
+    /// WAL rollback); the anchor stays, as on-chip NVRAM would.
+    StateRollback,
+    /// The image (and optionally anchor) of a *different device with a
+    /// different key* swapped in.
+    CrossSwap,
+    /// Attacks on the anchor file itself: deletion (strict and
+    /// override), corruption, rollback, and the one-barrier lag heal.
+    AnchorAttack,
+}
+
+impl MutationClass {
+    /// Stable identifier used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationClass::Control => "control",
+            MutationClass::BitFlip => "bit-flip",
+            MutationClass::TruncateTail => "truncate-tail",
+            MutationClass::WalRollback => "wal-rollback",
+            MutationClass::FrameReorder => "frame-reorder",
+            MutationClass::FrameDuplicate => "frame-duplicate",
+            MutationClass::ReplaySplice => "replay-splice",
+            MutationClass::StateRollback => "state-rollback",
+            MutationClass::CrossSwap => "cross-swap",
+            MutationClass::AnchorAttack => "anchor-attack",
+        }
+    }
+
+    /// Every class, in report order.
+    pub fn all() -> [MutationClass; 10] {
+        [
+            MutationClass::Control,
+            MutationClass::BitFlip,
+            MutationClass::TruncateTail,
+            MutationClass::WalRollback,
+            MutationClass::FrameReorder,
+            MutationClass::FrameDuplicate,
+            MutationClass::ReplaySplice,
+            MutationClass::StateRollback,
+            MutationClass::CrossSwap,
+            MutationClass::AnchorAttack,
+        ]
+    }
+}
+
+/// The verdict floor a mutation must reach for the campaign to pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Requirement {
+    /// Any of the three verdicts (silent staleness and panics are
+    /// campaign failures regardless, so "any" still means *typed*).
+    AnyTyped,
+    /// Recovery must refuse: reopen or the supervisor returns a typed
+    /// error and nothing is served.
+    Refusal,
+    /// Recovery must refuse *specifically* with
+    /// [`RecoveryError::RollbackDetected`].
+    RollbackRefusal,
+    /// The system must serve (full or degraded recovery) — refusing
+    /// would mean the legitimate path is broken.
+    Accepted,
+}
+
+impl Requirement {
+    /// Stable identifier used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Requirement::AnyTyped => "any-typed",
+            Requirement::Refusal => "refusal",
+            Requirement::RollbackRefusal => "rollback-refusal",
+            Requirement::Accepted => "accepted",
+        }
+    }
+
+    /// Whether `verdict` satisfies this floor.
+    pub fn met(self, verdict: &Verdict) -> bool {
+        match self {
+            Requirement::AnyTyped => true,
+            Requirement::Refusal => matches!(verdict, Verdict::Refused { .. }),
+            Requirement::RollbackRefusal => {
+                matches!(verdict, Verdict::Refused { rollback: true, .. })
+            }
+            Requirement::Accepted => !matches!(verdict, Verdict::Refused { .. }),
+        }
+    }
+}
+
+/// How one mutated restart terminated. Every point lands in exactly one
+/// of these; silent staleness and panics are *errors*, never verdicts.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// Recovery succeeded and every acknowledged write read back its
+    /// acknowledged payload (the one in-flight tolerance of the drill
+    /// applies).
+    FullRecovery,
+    /// The system serves, but some acknowledged state was damaged — and
+    /// said so, through typed read errors or declared quarantine loss.
+    Degraded {
+        /// Acknowledged addresses whose reads errored or were declared
+        /// lost by quarantine.
+        damage: u64,
+        /// The supervised recovery outcome, rendered.
+        outcome: String,
+    },
+    /// Reopen or supervised recovery returned a typed error; nothing
+    /// was served.
+    Refused {
+        /// Whether the refusal was specifically
+        /// [`RecoveryError::RollbackDetected`].
+        rollback: bool,
+        /// The refusal, rendered.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// Stable identifier used in reports and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Verdict::FullRecovery => "full-recovery",
+            Verdict::Degraded { .. } => "degraded",
+            Verdict::Refused { .. } => "refused",
+        }
+    }
+}
+
+/// An adversary-campaign failure. Every variant is typed and campaign
+/// stopping; a completed campaign means every requirement in every
+/// class was met with zero panics and zero silent-stale serves.
+#[derive(Debug)]
+pub enum AdversaryError {
+    /// Harness filesystem or process-control failure.
+    Io {
+        /// What the harness was doing.
+        op: &'static str,
+        /// The file or executable involved.
+        path: PathBuf,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// A base or capture child run failed (spawn, serve, or hang) —
+    /// infrastructure, not a finding.
+    Child(DrillError),
+    /// A mutation could not be applied (e.g. too few frames to splice);
+    /// indicates a bad spec, not a finding.
+    Mutation {
+        /// The mutation's label.
+        label: String,
+        /// Why it could not be applied.
+        detail: String,
+    },
+    /// THE FINDING: a read of an acknowledged address returned wrong
+    /// data with no typed error and no declared quarantine loss.
+    SilentStale {
+        /// The mutation class that slipped through.
+        class: &'static str,
+        /// The specific mutation label.
+        label: String,
+        /// The acknowledged data-line address served stale.
+        addr: u64,
+    },
+    /// THE FINDING: the reopen/recover/read path panicked instead of
+    /// returning a typed error.
+    Panicked {
+        /// The mutation class that triggered it.
+        class: &'static str,
+        /// The specific mutation label.
+        label: String,
+        /// The panic payload, rendered.
+        what: String,
+    },
+    /// THE FINDING: the point terminated in a typed verdict, but not
+    /// the one its class requires (e.g. a WAL rollback that was not
+    /// refused as rollback).
+    MissedRequirement {
+        /// The mutation class.
+        class: &'static str,
+        /// The specific mutation label.
+        label: String,
+        /// The required verdict floor.
+        want: &'static str,
+        /// The verdict actually reached, rendered.
+        got: String,
+    },
+    /// A campaign point failed; wraps the underlying error with its
+    /// scratch dir (preserved for post-mortem).
+    Point {
+        /// The drilled family.
+        family: &'static str,
+        /// Base-run index in campaign order.
+        run: u64,
+        /// Scratch directory preserved for post-mortem.
+        dir: PathBuf,
+        /// The underlying failure.
+        source: Box<AdversaryError>,
+    },
+}
+
+impl std::fmt::Display for AdversaryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdversaryError::Io { op, path, source } => {
+                write!(
+                    f,
+                    "adversary harness I/O: {op} {}: {source}",
+                    path.display()
+                )
+            }
+            AdversaryError::Child(e) => write!(f, "adversary child run failed: {e}"),
+            AdversaryError::Mutation { label, detail } => {
+                write!(f, "mutation {label} could not be applied: {detail}")
+            }
+            AdversaryError::SilentStale { class, label, addr } => write!(
+                f,
+                "SILENT STALE SERVE: class {class} ({label}) read acked addr {addr} \
+                 wrong with no typed error and no declared loss"
+            ),
+            AdversaryError::Panicked { class, label, what } => {
+                write!(f, "PANIC in recovery path: class {class} ({label}): {what}")
+            }
+            AdversaryError::MissedRequirement {
+                class,
+                label,
+                want,
+                got,
+            } => write!(
+                f,
+                "requirement missed: class {class} ({label}) requires {want}, got {got}"
+            ),
+            AdversaryError::Point {
+                family,
+                run,
+                dir,
+                source,
+            } => write!(
+                f,
+                "{family} base run {run} (artifacts in {}): {source}",
+                dir.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdversaryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AdversaryError::Io { source, .. } => Some(source),
+            AdversaryError::Child(e) => Some(e),
+            AdversaryError::Point { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<DrillError> for AdversaryError {
+    fn from(e: DrillError) -> Self {
+        AdversaryError::Child(e)
+    }
+}
+
+/// Stamps `op` and `path` onto a raw I/O error.
+fn io_ctx<'a>(
+    op: &'static str,
+    path: &'a Path,
+) -> impl FnOnce(std::io::Error) -> AdversaryError + 'a {
+    move |source| AdversaryError::Io {
+        op,
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+/// FNV-1a over arbitrary bytes (the WAL frame checksum primitive; the
+/// adversary knows the format, so it is duplicated here).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_seeded(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Continues an FNV-1a stream from `seed`.
+fn fnv1a64_seeded(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The keyless WAL frame checksum: FNV-1a over epoch ‖ payload. The
+/// adversary can forge it — which is exactly why the anchor, not the
+/// checksum, carries the freshness authority.
+fn frame_crc(epoch: u64, payload: &[u8]) -> u64 {
+    fnv1a64_seeded(fnv1a64(&epoch.to_le_bytes()), payload)
+}
+
+/// xorshift64* — deterministic, dependency-free randomness.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// A complete WAL frame located in an image's byte stream.
+#[derive(Debug, Clone, Copy)]
+struct FrameLoc {
+    /// Byte offset of the frame header.
+    start: usize,
+    /// Total frame length (header + payload).
+    len: usize,
+    /// The frame's epoch field.
+    epoch: u64,
+}
+
+impl FrameLoc {
+    fn end(&self) -> usize {
+        self.start + self.len
+    }
+}
+
+/// Locates every *complete* frame in a WAL image (a torn tail is
+/// ignored, matching the backend's own open behavior).
+fn parse_frames(bytes: &[u8]) -> Vec<FrameLoc> {
+    let mut out = Vec::new();
+    let mut pos = WAL_HEADER_BYTES;
+    while pos + FRAME_HEADER_BYTES <= bytes.len() {
+        let plen = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+            as usize;
+        let Some(end) = pos.checked_add(FRAME_HEADER_BYTES + plen) else {
+            break;
+        };
+        if end > bytes.len() {
+            break;
+        }
+        let epoch = u64::from_le_bytes(
+            bytes[pos + 12..pos + 20]
+                .try_into()
+                .expect("sliced to 8 bytes"),
+        );
+        out.push(FrameLoc {
+            start: pos,
+            len: FRAME_HEADER_BYTES + plen,
+            epoch,
+        });
+        pos = end;
+    }
+    out
+}
+
+/// The byte-level operation one mutation performs on the staged copy.
+#[derive(Debug, Clone)]
+enum MutationOp {
+    /// Leave the image alone (the control point).
+    Noop,
+    /// Flip one bit; `draw` selects offset and bit.
+    FlipBit { draw: u64 },
+    /// Shear bytes off the tail; `draw` selects how many.
+    TruncateTail { draw: u64 },
+    /// Remove the last `frames` complete frames (≥ 2, so detection
+    /// cannot hinge on the one-barrier anchor lag).
+    DropTailFrames { frames: usize },
+    /// Swap two adjacent frames; `draw` selects which pair.
+    SwapAdjacentFrames { draw: u64 },
+    /// Append a copy of an earlier frame at the tail; `draw` selects it.
+    DuplicateFrame { draw: u64 },
+    /// Re-frame an earlier frame's payload at two fresh epochs with
+    /// valid checksums; `draw` selects the source frame.
+    SpliceReplay { draw: u64 },
+    /// Replace the image with the mid-run capture (anchor untouched).
+    SubstituteCapturedImage,
+    /// Replace the image with the foreign-key device's image; when
+    /// `with_anchor`, its anchor too.
+    SwapInForeign {
+        /// Also swap in the foreign anchor (a consistent foreign pair).
+        with_anchor: bool,
+    },
+    /// Delete the anchor file.
+    DeleteAnchor,
+    /// Overwrite the anchor file with garbage of the same length.
+    CorruptAnchor,
+    /// Replace the anchor with the mid-run capture's anchor (anchor
+    /// rolled back far beyond the crash window).
+    RollBackAnchor,
+    /// Reseal the anchor at `image epoch − 1` — the honest one-barrier
+    /// crash lag, which reopen must heal forward, not refuse.
+    LagAnchorByOne,
+}
+
+/// One planned mutation: the op plus its class, label, open policy,
+/// and required verdict floor.
+#[derive(Debug, Clone)]
+struct MutationSpec {
+    class: MutationClass,
+    label: String,
+    op: MutationOp,
+    policy: AnchorPolicy,
+    requirement: Requirement,
+}
+
+/// Draws the per-base-run mutation plan: [`MUTATIONS_PER_RUN`] specs
+/// covering every class in [`MutationClass::all`].
+fn plan_mutations(rng: &mut u64) -> Vec<MutationSpec> {
+    let mut plan = Vec::with_capacity(MUTATIONS_PER_RUN as usize);
+    let mut push = |class: MutationClass,
+                    label: String,
+                    op: MutationOp,
+                    policy: AnchorPolicy,
+                    requirement: Requirement| {
+        plan.push(MutationSpec {
+            class,
+            label,
+            op,
+            policy,
+            requirement,
+        });
+    };
+
+    push(
+        MutationClass::Control,
+        "control".into(),
+        MutationOp::Noop,
+        AnchorPolicy::Strict,
+        Requirement::Accepted,
+    );
+    for k in 0..4 {
+        push(
+            MutationClass::BitFlip,
+            format!("bit-flip-{k}"),
+            MutationOp::FlipBit {
+                draw: xorshift(rng),
+            },
+            AnchorPolicy::Strict,
+            Requirement::AnyTyped,
+        );
+    }
+    for k in 0..3 {
+        push(
+            MutationClass::TruncateTail,
+            format!("truncate-tail-{k}"),
+            MutationOp::TruncateTail {
+                draw: xorshift(rng),
+            },
+            AnchorPolicy::Strict,
+            Requirement::AnyTyped,
+        );
+    }
+    for k in 0..3 {
+        let frames = 2 + (xorshift(rng) % 8) as usize;
+        push(
+            MutationClass::WalRollback,
+            format!("wal-rollback-{k}x{frames}"),
+            MutationOp::DropTailFrames { frames },
+            AnchorPolicy::Strict,
+            Requirement::RollbackRefusal,
+        );
+    }
+    push(
+        MutationClass::FrameReorder,
+        "frame-reorder".into(),
+        MutationOp::SwapAdjacentFrames {
+            draw: xorshift(rng),
+        },
+        AnchorPolicy::Strict,
+        Requirement::Refusal,
+    );
+    push(
+        MutationClass::FrameDuplicate,
+        "frame-duplicate".into(),
+        MutationOp::DuplicateFrame {
+            draw: xorshift(rng),
+        },
+        AnchorPolicy::Strict,
+        Requirement::Refusal,
+    );
+    push(
+        MutationClass::ReplaySplice,
+        "replay-splice".into(),
+        MutationOp::SpliceReplay {
+            draw: xorshift(rng),
+        },
+        AnchorPolicy::Strict,
+        Requirement::Refusal,
+    );
+    push(
+        MutationClass::StateRollback,
+        "state-rollback".into(),
+        MutationOp::SubstituteCapturedImage,
+        AnchorPolicy::Strict,
+        Requirement::RollbackRefusal,
+    );
+    push(
+        MutationClass::CrossSwap,
+        "cross-swap-image".into(),
+        MutationOp::SwapInForeign { with_anchor: false },
+        AnchorPolicy::Strict,
+        Requirement::RollbackRefusal,
+    );
+    push(
+        MutationClass::CrossSwap,
+        "cross-swap-pair".into(),
+        MutationOp::SwapInForeign { with_anchor: true },
+        AnchorPolicy::Strict,
+        Requirement::Refusal,
+    );
+    push(
+        MutationClass::AnchorAttack,
+        "anchor-delete-strict".into(),
+        MutationOp::DeleteAnchor,
+        AnchorPolicy::Strict,
+        Requirement::Refusal,
+    );
+    push(
+        MutationClass::AnchorAttack,
+        "anchor-delete-override".into(),
+        MutationOp::DeleteAnchor,
+        AnchorPolicy::Override,
+        Requirement::Accepted,
+    );
+    push(
+        MutationClass::AnchorAttack,
+        "anchor-corrupt-strict".into(),
+        MutationOp::CorruptAnchor,
+        AnchorPolicy::Strict,
+        Requirement::Refusal,
+    );
+    push(
+        MutationClass::AnchorAttack,
+        "anchor-rollback".into(),
+        MutationOp::RollBackAnchor,
+        AnchorPolicy::Strict,
+        Requirement::Refusal,
+    );
+    push(
+        MutationClass::AnchorAttack,
+        "anchor-lag-one".into(),
+        MutationOp::LagAnchorByOne,
+        AnchorPolicy::Strict,
+        Requirement::Accepted,
+    );
+    debug_assert_eq!(plan.len() as u64, MUTATIONS_PER_RUN);
+    plan
+}
+
+/// Artifacts of one killed child run: the dead image, its anchor, and
+/// the parsed ack log.
+struct DeadRun {
+    image: PathBuf,
+    anchor: PathBuf,
+    acked: Vec<(u64, u64)>,
+}
+
+/// Spawns the child (`exe --child family image ack len lines seed`),
+/// SIGKILLs it once `kill_after` acks are durable, and returns the dead
+/// artifacts. The child must not finish: `kill_after` stays below the
+/// script's total writes.
+fn run_killed_child(
+    exe: &Path,
+    family: DrillFamily,
+    spec: &AdversarySpec,
+    dir: &Path,
+    kill_after: u64,
+) -> Result<DeadRun, AdversaryError> {
+    fs::create_dir_all(dir).map_err(io_ctx("create scratch dir", dir))?;
+    let image = dir.join("image.wal");
+    let ack = dir.join("acks.bin");
+    for stale in [&image, &ack, &anchor_path_for(&image)] {
+        let _ = fs::remove_file(stale);
+    }
+    let mut child = Command::new(exe)
+        .arg("--child")
+        .arg(family.name())
+        .arg(&image)
+        .arg(&ack)
+        .arg(spec.script_len.to_string())
+        .arg(spec.lines.to_string())
+        .arg(spec.seed.to_string())
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .spawn()
+        .map_err(io_ctx("spawn child", exe))?;
+
+    let started = Instant::now();
+    let threshold = kill_after.saturating_mul(ACK_RECORD_BYTES);
+    loop {
+        if let Some(status) = child.try_wait().map_err(io_ctx("poll child", exe))? {
+            // The kill thresholds are capped below the script's write
+            // count, so a clean exit means the child failed early.
+            return Err(AdversaryError::Child(DrillError::Child {
+                code: status.code().filter(|_| !status.success()),
+            }));
+        }
+        let acked_bytes = fs::metadata(&ack).map(|m| m.len()).unwrap_or(0);
+        if acked_bytes >= threshold {
+            child.kill().map_err(io_ctx("kill child", exe))?;
+            child.wait().map_err(io_ctx("wait for child", exe))?;
+            break;
+        }
+        if started.elapsed() > CHILD_TIMEOUT {
+            child.kill().map_err(io_ctx("kill child", exe))?;
+            child.wait().map_err(io_ctx("wait for child", exe))?;
+            return Err(AdversaryError::Child(DrillError::Hung));
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let acked = read_ack_log(&ack).map_err(io_ctx("read ack log", &ack))?;
+    let anchor = anchor_path_for(&image);
+    Ok(DeadRun {
+        image,
+        anchor,
+        acked,
+    })
+}
+
+/// Builds a small healthy device of the same family under a *different
+/// key* — the cross-swap donor. Returns its image, anchor, and final
+/// epoch (the campaign keeps every kill threshold above it so a swapped
+/// foreign image always reads as rolled back).
+fn build_foreign(
+    family: DrillFamily,
+    dir: &Path,
+    spec: &AdversarySpec,
+) -> Result<(PathBuf, PathBuf, u64), AdversaryError> {
+    fs::create_dir_all(dir).map_err(io_ctx("create foreign dir", dir))?;
+    let image = dir.join("foreign.wal");
+    for stale in [&image, &anchor_path_for(&image)] {
+        let _ = fs::remove_file(stale);
+    }
+    let mut config = AnubisConfig::small_test();
+    config.key.0 = [0x0F0E_1617_C0FF_EE00, 0x5EED_0000_0000_0042];
+    let backend = FileBackend::open_with_anchor(&image, config.key.0, AnchorPolicy::Strict)
+        .map_err(|e| AdversaryError::Child(DrillError::Nvm(e)))?;
+    let epoch = match family {
+        DrillFamily::BonsaiAgitPlus => {
+            let (mut ctrl, hint) =
+                BonsaiController::reopen(BonsaiScheme::AgitPlus, &config, backend);
+            foreign_writes(&mut ctrl, hint, spec)?;
+            ctrl.domain().device().backend().epoch()
+        }
+        DrillFamily::SgxAsit => {
+            let (mut ctrl, hint) = SgxController::reopen(SgxScheme::Asit, &config, backend);
+            foreign_writes(&mut ctrl, hint, spec)?;
+            ctrl.domain().device().backend().epoch()
+        }
+    };
+    let anchor = anchor_path_for(&image);
+    Ok((image, anchor, epoch))
+}
+
+/// Recovers a freshly-built foreign controller and writes a handful of
+/// distinct lines so the donor image has real history.
+fn foreign_writes<C: Supervised>(
+    ctrl: &mut C,
+    hint: Option<RecoveryError>,
+    spec: &AdversarySpec,
+) -> Result<(), AdversaryError> {
+    let sup = Supervisor::new().with_lanes(1);
+    let res = match hint {
+        Some(ref e) => sup.repair_then_recover(ctrl, e),
+        None => sup.recover(ctrl),
+    };
+    res.map_err(|e| AdversaryError::Child(DrillError::Recovery(e)))?;
+    for i in 0..8u64 {
+        let addr = i % spec.lines.max(1);
+        ctrl.write(DataAddr::new(addr), op_payload(0xF0_0000 + i, addr))
+            .map_err(|err| AdversaryError::Child(DrillError::Serve { op_index: i, err }))?;
+    }
+    Ok(())
+}
+
+/// Everything a mutation can draw on when staging its files.
+struct PointCtx<'a> {
+    base: &'a DeadRun,
+    capture: &'a DeadRun,
+    foreign_image: &'a Path,
+    foreign_anchor: &'a Path,
+}
+
+/// Stages one mutation into `dir` and returns the image path to
+/// evaluate. The staged copy always has its own anchor file beside it
+/// (except when the mutation removes it).
+fn stage_mutation(
+    spec: &MutationSpec,
+    ctx: &PointCtx<'_>,
+    dir: &Path,
+) -> Result<PathBuf, AdversaryError> {
+    fs::create_dir_all(dir).map_err(io_ctx("create mutation dir", dir))?;
+    let work = dir.join("image.wal");
+    let work_anchor = anchor_path_for(&work);
+    for stale in [&work, &work_anchor] {
+        let _ = fs::remove_file(stale);
+    }
+    let (src_image, src_anchor): (&Path, Option<&Path>) = match &spec.op {
+        MutationOp::SubstituteCapturedImage => (&ctx.capture.image, Some(&ctx.base.anchor)),
+        MutationOp::SwapInForeign { with_anchor: false } => {
+            (ctx.foreign_image, Some(&ctx.base.anchor))
+        }
+        MutationOp::SwapInForeign { with_anchor: true } => {
+            (ctx.foreign_image, Some(ctx.foreign_anchor))
+        }
+        MutationOp::DeleteAnchor => (&ctx.base.image, None),
+        _ => (&ctx.base.image, Some(&ctx.base.anchor)),
+    };
+    fs::copy(src_image, &work).map_err(io_ctx("copy image to", &work))?;
+    if let Some(a) = src_anchor {
+        fs::copy(a, &work_anchor).map_err(io_ctx("copy anchor to", &work_anchor))?;
+    }
+
+    let bad = |label: &str, detail: String| AdversaryError::Mutation {
+        label: label.to_string(),
+        detail,
+    };
+    match &spec.op {
+        MutationOp::Noop
+        | MutationOp::SubstituteCapturedImage
+        | MutationOp::SwapInForeign { .. }
+        | MutationOp::DeleteAnchor => {}
+        MutationOp::FlipBit { draw } => {
+            let mut bytes = fs::read(&work).map_err(io_ctx("read image", &work))?;
+            if bytes.len() <= WAL_HEADER_BYTES {
+                return Err(bad(&spec.label, "image has no body to flip".into()));
+            }
+            let span = bytes.len() - WAL_HEADER_BYTES;
+            let off = WAL_HEADER_BYTES + (draw % span as u64) as usize;
+            bytes[off] ^= 1 << ((draw >> 48) % 8);
+            fs::write(&work, &bytes).map_err(io_ctx("write image", &work))?;
+        }
+        MutationOp::TruncateTail { draw } => {
+            let bytes = fs::read(&work).map_err(io_ctx("read image", &work))?;
+            if bytes.len() <= WAL_HEADER_BYTES + 1 {
+                return Err(bad(&spec.label, "image too short to truncate".into()));
+            }
+            let span = (bytes.len() - WAL_HEADER_BYTES - 1).min(4096) as u64;
+            let cut = 1 + (draw % span) as usize;
+            fs::write(&work, &bytes[..bytes.len() - cut]).map_err(io_ctx("write image", &work))?;
+        }
+        MutationOp::DropTailFrames { frames } => {
+            let bytes = fs::read(&work).map_err(io_ctx("read image", &work))?;
+            let locs = parse_frames(&bytes);
+            if locs.len() < frames + 1 {
+                return Err(bad(
+                    &spec.label,
+                    format!("only {} complete frames, need > {frames}", locs.len()),
+                ));
+            }
+            let keep = locs[locs.len() - frames].start;
+            fs::write(&work, &bytes[..keep]).map_err(io_ctx("write image", &work))?;
+        }
+        MutationOp::SwapAdjacentFrames { draw } => {
+            let bytes = fs::read(&work).map_err(io_ctx("read image", &work))?;
+            let locs = parse_frames(&bytes);
+            if locs.len() < 2 {
+                return Err(bad(&spec.label, "fewer than two frames to swap".into()));
+            }
+            let i = (draw % (locs.len() as u64 - 1)) as usize;
+            let (a, b) = (locs[i], locs[i + 1]);
+            let mut out = Vec::with_capacity(bytes.len());
+            out.extend_from_slice(&bytes[..a.start]);
+            out.extend_from_slice(&bytes[b.start..b.end()]);
+            out.extend_from_slice(&bytes[a.start..a.end()]);
+            out.extend_from_slice(&bytes[b.end()..]);
+            fs::write(&work, &out).map_err(io_ctx("write image", &work))?;
+        }
+        MutationOp::DuplicateFrame { draw } => {
+            let mut bytes = fs::read(&work).map_err(io_ctx("read image", &work))?;
+            let locs = parse_frames(&bytes);
+            if locs.is_empty() {
+                return Err(bad(&spec.label, "no frames to duplicate".into()));
+            }
+            let i = (draw % locs.len() as u64) as usize;
+            let frame = bytes[locs[i].start..locs[i].end()].to_vec();
+            bytes.extend_from_slice(&frame);
+            fs::write(&work, &bytes).map_err(io_ctx("write image", &work))?;
+        }
+        MutationOp::SpliceReplay { draw } => {
+            let mut bytes = fs::read(&work).map_err(io_ctx("read image", &work))?;
+            let locs = parse_frames(&bytes);
+            let Some(last) = locs.last().copied() else {
+                return Err(bad(&spec.label, "no frames to splice".into()));
+            };
+            // Prefer a non-empty old frame so the replay carries records.
+            let donors: Vec<FrameLoc> = locs
+                .iter()
+                .copied()
+                .filter(|l| l.len > FRAME_HEADER_BYTES)
+                .collect();
+            if donors.is_empty() {
+                return Err(bad(
+                    &spec.label,
+                    "no payload-bearing frame to replay".into(),
+                ));
+            }
+            let donor = donors[(draw % donors.len() as u64) as usize];
+            let payload = bytes[donor.start + FRAME_HEADER_BYTES..donor.end()].to_vec();
+            for step in 1..=2u64 {
+                let epoch = last.epoch + step;
+                bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                bytes.extend_from_slice(&frame_crc(epoch, &payload).to_le_bytes());
+                bytes.extend_from_slice(&epoch.to_le_bytes());
+                bytes.extend_from_slice(&payload);
+            }
+            fs::write(&work, &bytes).map_err(io_ctx("write image", &work))?;
+        }
+        MutationOp::CorruptAnchor => {
+            let len = fs::metadata(&work_anchor)
+                .map(|m| m.len() as usize)
+                .unwrap_or(44);
+            let garbage: Vec<u8> = (0..len)
+                .map(|i| (i as u8).wrapping_mul(0xA7) ^ 0x5C)
+                .collect();
+            fs::write(&work_anchor, &garbage).map_err(io_ctx("write anchor", &work_anchor))?;
+        }
+        MutationOp::RollBackAnchor => {
+            fs::copy(&ctx.capture.anchor, &work_anchor)
+                .map_err(io_ctx("copy captured anchor to", &work_anchor))?;
+        }
+        MutationOp::LagAnchorByOne => {
+            let bytes = fs::read(&work).map_err(io_ctx("read image", &work))?;
+            let Some(last) = parse_frames(&bytes).last().copied() else {
+                return Err(bad(&spec.label, "no frames; cannot derive epoch".into()));
+            };
+            if last.epoch == 0 {
+                return Err(bad(&spec.label, "image at epoch 0; cannot lag".into()));
+            }
+            fs::remove_file(&work_anchor).map_err(io_ctx("remove anchor", &work_anchor))?;
+            let key = AnubisConfig::small_test().key.0;
+            FreshnessAnchor::create(work_anchor, key, last.epoch - 1).map_err(|e| {
+                AdversaryError::Mutation {
+                    label: spec.label.clone(),
+                    detail: format!("reseal lagged anchor: {e}"),
+                }
+            })?;
+        }
+    }
+    Ok(work)
+}
+
+/// Why an evaluation failed the campaign rather than reaching a verdict.
+enum EvalFailure {
+    /// Wrong data served for an acked address with nothing typed.
+    SilentStale { addr: u64 },
+}
+
+/// Reopens a mutated image and drives it to a verdict: typed refusal,
+/// degraded-with-declared-damage, or full recovery. Panics are caught
+/// by the caller; silent staleness is returned as [`EvalFailure`].
+fn evaluate(
+    family: DrillFamily,
+    image: &Path,
+    policy: AnchorPolicy,
+    expected: &AckExpectations,
+    inflight: Option<(u64, u64)>,
+) -> Result<Verdict, EvalFailure> {
+    let config = AnubisConfig::small_test();
+    let backend = match FileBackend::open_with_anchor(image, config.key.0, policy) {
+        Ok(b) => b,
+        Err(e) => {
+            return Ok(Verdict::Refused {
+                rollback: false,
+                reason: e.to_string(),
+            })
+        }
+    };
+    match family {
+        DrillFamily::BonsaiAgitPlus => {
+            let (ctrl, hint) = BonsaiController::reopen(BonsaiScheme::AgitPlus, &config, backend);
+            verdict_for(ctrl, hint, expected, inflight)
+        }
+        DrillFamily::SgxAsit => {
+            let (ctrl, hint) = SgxController::reopen(SgxScheme::Asit, &config, backend);
+            verdict_for(ctrl, hint, expected, inflight)
+        }
+    }
+}
+
+/// Runs supervised recovery and the acked-write audit on a reopened
+/// controller.
+fn verdict_for<C: Supervised>(
+    mut ctrl: C,
+    hint: Option<RecoveryError>,
+    expected: &AckExpectations,
+    inflight: Option<(u64, u64)>,
+) -> Result<Verdict, EvalFailure> {
+    let sup = Supervisor::new().with_lanes(1);
+    let rec = match hint {
+        Some(ref e) => sup.repair_then_recover(&mut ctrl, e),
+        None => sup.recover(&mut ctrl),
+    };
+    let rec = match rec {
+        Ok(r) => r,
+        Err(e) => {
+            return Ok(Verdict::Refused {
+                rollback: matches!(e, RecoveryError::RollbackDetected { .. }),
+                reason: e.to_string(),
+            })
+        }
+    };
+    let mut damage = 0u64;
+    for (&addr, &(_, want)) in expected {
+        match ctrl.read(DataAddr::new(addr)) {
+            Ok(got) if got == want => {}
+            Ok(got) => {
+                if let Some((j, aj)) = inflight {
+                    if aj == addr && got == op_payload(j, aj) {
+                        continue;
+                    }
+                }
+                // Wrong data is tolerable only as *declared* loss: the
+                // supervisor quarantined the line and says so.
+                if rec.quarantined_lines > 0 && ctrl.is_line_quarantined(DataAddr::new(addr)) {
+                    damage += 1;
+                } else {
+                    return Err(EvalFailure::SilentStale { addr });
+                }
+            }
+            // A typed read error is detected damage, never silent.
+            Err(_) => damage += 1,
+        }
+    }
+    if damage == 0 && matches!(rec.outcome, RecoveryOutcome::Recovered) {
+        Ok(Verdict::FullRecovery)
+    } else {
+        Ok(Verdict::Degraded {
+            damage: damage.max(rec.lost_lines),
+            outcome: rec.outcome.to_string(),
+        })
+    }
+}
+
+/// One evaluated mutation point.
+#[derive(Debug, Clone)]
+pub struct MutationOutcome {
+    /// The mutation class.
+    pub class: MutationClass,
+    /// The specific mutation label.
+    pub label: String,
+    /// Base-run kill threshold this point was built from.
+    pub kill_after_acks: u64,
+    /// The required verdict floor.
+    pub requirement: Requirement,
+    /// The verdict reached.
+    pub verdict: Verdict,
+}
+
+/// Per-class verdict tallies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassStats {
+    /// Points evaluated in this class.
+    pub points: u64,
+    /// Full-recovery verdicts.
+    pub full: u64,
+    /// Degraded verdicts.
+    pub degraded: u64,
+    /// Refusal verdicts.
+    pub refused: u64,
+    /// Refusals that were specifically `RollbackDetected`.
+    pub rollback_refusals: u64,
+}
+
+/// Aggregate results of one family's adversary campaign.
+#[derive(Debug, Clone)]
+pub struct FamilyAdvReport {
+    /// The drilled family.
+    pub family: DrillFamily,
+    /// Base kill points executed (each spawns a base + capture child).
+    pub base_runs: u64,
+    /// Mutated-restart points evaluated (including controls).
+    pub points: u64,
+    /// Acked writes audited across all points.
+    pub audited_reads: u64,
+    /// Smallest and largest kill thresholds drawn.
+    pub kill_range: (u64, u64),
+    /// The cross-swap donor's final epoch.
+    pub foreign_epoch: u64,
+    /// Per-class verdict tallies, in [`MutationClass::all`] order.
+    pub classes: Vec<(MutationClass, ClassStats)>,
+    /// Every point, in evaluation order.
+    pub outcomes: Vec<MutationOutcome>,
+}
+
+/// Runs one family's full adversary campaign: `base_runs` randomized
+/// kill points, each mutated [`MUTATIONS_PER_RUN`] ways and driven to a
+/// verdict.
+///
+/// # Errors
+///
+/// Stops at the first [`AdversaryError`]. A completed campaign means:
+/// every point reached a typed verdict meeting its class requirement,
+/// zero panics, zero silent-stale serves, and 100 % rollback detection.
+pub fn run_campaign(
+    exe: &Path,
+    family: DrillFamily,
+    spec: &AdversarySpec,
+    dir: &Path,
+    base_runs: u64,
+) -> Result<FamilyAdvReport, AdversaryError> {
+    let script = drill_script(spec.script_len, spec.lines, spec.seed);
+    let max_acks = script.iter().filter(|op| op.0).count() as u64;
+    let (foreign_image, foreign_anchor, foreign_epoch) = build_foreign(
+        family,
+        &dir.join(format!("{}-foreign", family.name())),
+        spec,
+    )?;
+    // Every kill threshold stays above both the capture margin and the
+    // foreign donor's epoch, so state-rollback and cross-swap points are
+    // *guaranteed* behind the base anchor.
+    let lo = MIN_KILL_ACKS.max(foreign_epoch + 2);
+    let hi = max_acks.saturating_mul(3) / 4;
+    if hi <= lo {
+        return Err(AdversaryError::Mutation {
+            label: "campaign".into(),
+            detail: format!("script too short: kill window [{lo}, {hi}) is empty"),
+        });
+    }
+
+    let mut rng = (spec.seed ^ fnv1a64(family.name().as_bytes())) | 1;
+    let mut stats: BTreeMap<MutationClass, ClassStats> = BTreeMap::new();
+    let mut report = FamilyAdvReport {
+        family,
+        base_runs: 0,
+        points: 0,
+        audited_reads: 0,
+        kill_range: (u64::MAX, 0),
+        foreign_epoch,
+        classes: Vec::new(),
+        outcomes: Vec::new(),
+    };
+
+    for run in 0..base_runs {
+        let rdir = dir.join(format!("{}-r{run}", family.name()));
+        let result = run_base_point(
+            exe,
+            family,
+            spec,
+            &rdir,
+            &script,
+            lo + xorshift(&mut rng) % (hi - lo),
+            &foreign_image,
+            &foreign_anchor,
+            &mut rng,
+            &mut stats,
+            &mut report,
+        );
+        match result {
+            Ok(()) => {
+                let _ = fs::remove_dir_all(&rdir);
+            }
+            Err(source) => {
+                return Err(AdversaryError::Point {
+                    family: family.name(),
+                    run,
+                    dir: rdir,
+                    source: Box::new(source),
+                })
+            }
+        }
+        report.base_runs += 1;
+    }
+    let _ = fs::remove_dir_all(dir.join(format!("{}-foreign", family.name())));
+    report.classes = MutationClass::all()
+        .into_iter()
+        .map(|c| (c, stats.get(&c).copied().unwrap_or_default()))
+        .collect();
+    Ok(report)
+}
+
+/// One base kill point: base + capture children, then every planned
+/// mutation staged and evaluated.
+#[allow(clippy::too_many_arguments)]
+fn run_base_point(
+    exe: &Path,
+    family: DrillFamily,
+    spec: &AdversarySpec,
+    rdir: &Path,
+    script: &[(bool, u64)],
+    kill_after: u64,
+    foreign_image: &Path,
+    foreign_anchor: &Path,
+    rng: &mut u64,
+    stats: &mut BTreeMap<MutationClass, ClassStats>,
+    report: &mut FamilyAdvReport,
+) -> Result<(), AdversaryError> {
+    let base = run_killed_child(exe, family, spec, &rdir.join("base"), kill_after)?;
+    let capture = run_killed_child(
+        exe,
+        family,
+        spec,
+        &rdir.join("capture"),
+        kill_after - CAPTURE_MARGIN_ACKS,
+    )?;
+    let (expected, inflight) = ack_expectations(&base.acked, script);
+    let ctx = PointCtx {
+        base: &base,
+        capture: &capture,
+        foreign_image,
+        foreign_anchor,
+    };
+    for (mi, m) in plan_mutations(rng).into_iter().enumerate() {
+        let mdir = rdir.join(format!("m{mi}-{}", m.label));
+        let image = stage_mutation(&m, &ctx, &mdir)?;
+        let verdict = match panic::catch_unwind(AssertUnwindSafe(|| {
+            evaluate(family, &image, m.policy, &expected, inflight)
+        })) {
+            Ok(Ok(v)) => v,
+            Ok(Err(EvalFailure::SilentStale { addr })) => {
+                return Err(AdversaryError::SilentStale {
+                    class: m.class.name(),
+                    label: m.label,
+                    addr,
+                })
+            }
+            Err(payload) => {
+                let what = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                return Err(AdversaryError::Panicked {
+                    class: m.class.name(),
+                    label: m.label,
+                    what,
+                });
+            }
+        };
+        if !m.requirement.met(&verdict) {
+            return Err(AdversaryError::MissedRequirement {
+                class: m.class.name(),
+                label: m.label,
+                want: m.requirement.name(),
+                got: format!("{} ({:?})", verdict.name(), verdict),
+            });
+        }
+        let s = stats.entry(m.class).or_default();
+        s.points += 1;
+        match &verdict {
+            Verdict::FullRecovery => s.full += 1,
+            Verdict::Degraded { .. } => s.degraded += 1,
+            Verdict::Refused { rollback, .. } => {
+                s.refused += 1;
+                s.rollback_refusals += u64::from(*rollback);
+            }
+        }
+        report.points += 1;
+        report.audited_reads += expected.len() as u64;
+        report.kill_range.0 = report.kill_range.0.min(kill_after);
+        report.kill_range.1 = report.kill_range.1.max(kill_after);
+        report.outcomes.push(MutationOutcome {
+            class: m.class,
+            label: m.label,
+            kill_after_acks: kill_after,
+            requirement: m.requirement,
+            verdict,
+        });
+    }
+    Ok(())
+}
+
+/// The serve loop for the anchored child: recover, then play the script
+/// appending fsynced ack records — identical to the drill's child except
+/// that the image is opened under the freshness anchor.
+fn serve<C: Supervised>(
+    mut ctrl: C,
+    hint: Option<RecoveryError>,
+    ack: &Path,
+    script: &[(bool, u64)],
+) -> Result<(), DrillError> {
+    let sup = Supervisor::new().with_lanes(1);
+    let res = match hint {
+        Some(ref e) => sup.repair_then_recover(&mut ctrl, e),
+        None => sup.recover(&mut ctrl),
+    };
+    res.map_err(DrillError::Recovery)?;
+    let mut log = AckWriter::create(ack).map_err(|source| DrillError::Io {
+        op: "create ack log",
+        path: ack.to_path_buf(),
+        source,
+    })?;
+    for (i, &(is_write, addr)) in script.iter().enumerate() {
+        if is_write {
+            ctrl.write(DataAddr::new(addr), op_payload(i as u64, addr))
+                .map_err(|err| DrillError::Serve {
+                    op_index: i as u64,
+                    err,
+                })?;
+            log.append(i as u64, addr)
+                .map_err(|source| DrillError::Io {
+                    op: "append ack record to",
+                    path: ack.to_path_buf(),
+                    source,
+                })?;
+        } else {
+            ctrl.read(DataAddr::new(addr))
+                .map_err(|err| DrillError::Serve {
+                    op_index: i as u64,
+                    err,
+                })?;
+        }
+    }
+    Ok(())
+}
+
+/// Child-process entry point; `args` is the tail of the command line
+/// after `--child`: `family image ack script_len lines seed`. Unlike
+/// the plain drill child, the image is opened under the freshness
+/// anchor with the strict policy.
+///
+/// # Errors
+///
+/// Any [`DrillError`] from opening, recovering, or serving.
+pub fn child_main(args: &[String]) -> Result<(), DrillError> {
+    let bad = |what: &'static str| DrillError::BadChildArg { what };
+    let family = args
+        .first()
+        .and_then(|s| DrillFamily::parse(s))
+        .ok_or_else(|| bad("family"))?;
+    let image = PathBuf::from(args.get(1).ok_or_else(|| bad("image path"))?);
+    let ack = PathBuf::from(args.get(2).ok_or_else(|| bad("ack path"))?);
+    let script_len: usize = args
+        .get(3)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("script len"))?;
+    let lines: u64 = args
+        .get(4)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("lines"))?;
+    let seed: u64 = args
+        .get(5)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("seed"))?;
+    let script = drill_script(script_len, lines, seed);
+    let config = AnubisConfig::small_test();
+    let backend = FileBackend::open_with_anchor(&image, config.key.0, AnchorPolicy::Strict)
+        .map_err(DrillError::Nvm)?;
+    match family {
+        DrillFamily::BonsaiAgitPlus => {
+            let (ctrl, hint) = BonsaiController::reopen(BonsaiScheme::AgitPlus, &config, backend);
+            serve(ctrl, hint, &ack, &script)
+        }
+        DrillFamily::SgxAsit => {
+            let (ctrl, hint) = SgxController::reopen(SgxScheme::Asit, &config, backend);
+            serve(ctrl, hint, &ack, &script)
+        }
+    }
+}

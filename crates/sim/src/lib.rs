@@ -45,6 +45,7 @@ mod event;
 mod report;
 mod timing;
 
+pub mod adversary;
 pub mod chaos;
 pub mod drill;
 pub mod experiments;
